@@ -1,0 +1,24 @@
+//! Not a statistical benchmark: a smoke run of every figure driver with a
+//! tiny preset, so `cargo bench --workspace` exercises the full measurement
+//! pipeline (throughput, counters, categorization, category sweeps) and
+//! regenerates small-scale CSVs under `results/smoke/`.
+
+use bench::figures::{self, FigCfg};
+
+fn main() {
+    // `cargo bench` passes flags like `--bench`; ignore them.
+    let mut cfg = FigCfg::smoke();
+    // cargo bench runs with the package as CWD; anchor at the workspace
+    // root so the CSVs land next to the CLI harness's outputs
+    cfg.out_dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results/smoke");
+    let t = std::time::Instant::now();
+    let files = figures::run_all(&cfg);
+    println!(
+        "\nfigures smoke pass: {} CSVs regenerated in {:.1}s under {}",
+        files.len(),
+        t.elapsed().as_secs_f64(),
+        cfg.out_dir.display()
+    );
+}

@@ -1,0 +1,72 @@
+//! Criterion per-operation latency benches for every evaluated algorithm.
+//!
+//! These complement the figure harness: where `bin/figures` measures
+//! multi-thread throughput over time windows (the paper's methodology),
+//! these measure single-operation latency distributions on a prefilled
+//! structure — useful for spotting regressions in the hot paths.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::{build, AlgoKind};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pmem::{Backend, PmemPool, PoolCfg, ThreadCtx};
+
+const RANGE: u64 = 500;
+
+fn prefilled(kind: AlgoKind) -> (Arc<PmemPool>, Arc<dyn bench::SetAlgo>, ThreadCtx) {
+    let pool = Arc::new(PmemPool::new(PoolCfg {
+        capacity: 1 << 30,
+        backend: Backend::Clflush,
+        shadow: false,
+        max_threads: 8,
+    }));
+    let algo = build(kind, pool.clone(), 4, RANGE);
+    let ctx = ThreadCtx::new(pool.clone(), 0);
+    let mut rng = 0x5EEDu64;
+    for _ in 0..RANGE / 2 {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        algo.insert(&ctx, (rng >> 33) % RANGE + 1);
+    }
+    (pool, algo, ctx)
+}
+
+fn bench_ops(c: &mut Criterion) {
+    for kind in [
+        AlgoKind::Tracking,
+        AlgoKind::TrackingBst,
+        AlgoKind::Capsules,
+        AlgoKind::CapsulesOpt,
+        AlgoKind::Romulus,
+        AlgoKind::RedoOpt,
+        AlgoKind::OneFile,
+    ] {
+        let mut g = c.benchmark_group(kind.name());
+        g.measurement_time(Duration::from_millis(600));
+        g.warm_up_time(Duration::from_millis(150));
+        g.sample_size(10);
+        let (_pool, algo, ctx) = prefilled(kind);
+        let mut key = 0u64;
+        g.bench_function("find", |b| {
+            b.iter(|| {
+                key = key % RANGE + 1;
+                std::hint::black_box(algo.find(&ctx, key))
+            })
+        });
+        g.bench_function("insert_delete", |b| {
+            // paired so the structure size stays stable across samples
+            b.iter_batched(
+                || key % RANGE + 1,
+                |k| {
+                    std::hint::black_box(algo.insert(&ctx, k));
+                    std::hint::black_box(algo.delete(&ctx, k));
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

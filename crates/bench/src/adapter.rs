@@ -1,0 +1,417 @@
+//! A uniform set interface over all evaluated implementations.
+
+use std::sync::Arc;
+
+use pmem::{PmemPool, SiteId, ThreadCtx};
+
+/// The concurrent-set operations every evaluated algorithm exposes, plus
+/// the metadata the categorization experiments need (its `pwb` site table).
+pub trait SetAlgo: Send + Sync {
+    /// Inserts `key`; `false` if present.
+    fn insert(&self, ctx: &ThreadCtx, key: u64) -> bool;
+    /// Deletes `key`; `false` if absent.
+    fn delete(&self, ctx: &ThreadCtx, key: u64) -> bool;
+    /// Is `key` present?
+    fn find(&self, ctx: &ThreadCtx, key: u64) -> bool;
+    /// [`Self::insert`] without the system's `CP_q := 0` pre-step (crash
+    /// harnesses call [`ThreadCtx::begin_op`] themselves).
+    fn insert_started(&self, ctx: &ThreadCtx, key: u64) -> bool;
+    /// [`Self::delete`] without the system's `CP_q := 0` pre-step.
+    fn delete_started(&self, ctx: &ThreadCtx, key: u64) -> bool;
+    /// `Insert.Recover` — the recovery function after a crash during insert.
+    fn recover_insert(&self, ctx: &ThreadCtx, key: u64) -> bool;
+    /// `Delete.Recover`.
+    fn recover_delete(&self, ctx: &ThreadCtx, key: u64) -> bool;
+    /// `Find.Recover`.
+    fn recover_find(&self, ctx: &ThreadCtx, key: u64) -> bool;
+    /// Post-crash structural repair (Romulus' region recovery); a no-op for
+    /// the lock-free algorithms.
+    fn recover_structure(&self) {}
+    /// The algorithm's `pwb` call sites (id, name).
+    fn sites(&self) -> &'static [(SiteId, &'static str)];
+    /// Quiescent key count (sanity checking between runs).
+    fn len(&self) -> usize;
+    /// Is the set empty (quiescent)?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The implementations of the paper's evaluation, Figure 3a's legend.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// The paper's contribution applied to the sorted linked list (§4).
+    Tracking,
+    /// Tracking applied to the external BST (§6) — extra datapoint, not in
+    /// the paper's figures.
+    TrackingBst,
+    /// Ablation: Tracking list with the naive flush-every-shared-read
+    /// placement (what the paper's persistence-instruction scheme avoids).
+    TrackingNaive,
+    /// Ablation: Tracking list without the read-only optimization.
+    TrackingNoReadOpt,
+    /// Capsules + full durability transformation.
+    Capsules,
+    /// Hand-tuned Capsules-Opt.
+    CapsulesOpt,
+    /// Romulus-style blocking durable TM.
+    Romulus,
+    /// RedoOpt-style wait-free universal construction.
+    RedoOpt,
+    /// OneFile-style wait-free persistent TM (measured in the paper but
+    /// dominated by RedoOpt, hence absent from its figures).
+    OneFile,
+}
+
+impl AlgoKind {
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<AlgoKind> {
+        Some(match s {
+            "tracking" => AlgoKind::Tracking,
+            "tracking-bst" => AlgoKind::TrackingBst,
+            "tracking-naive" => AlgoKind::TrackingNaive,
+            "tracking-no-read-opt" => AlgoKind::TrackingNoReadOpt,
+            "capsules" => AlgoKind::Capsules,
+            "capsules-opt" => AlgoKind::CapsulesOpt,
+            "romulus" => AlgoKind::Romulus,
+            "redo-opt" | "redoopt" => AlgoKind::RedoOpt,
+            "onefile" | "one-file" => AlgoKind::OneFile,
+            _ => return None,
+        })
+    }
+
+    /// Display name (matches the paper's legends).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoKind::Tracking => "Tracking",
+            AlgoKind::TrackingBst => "Tracking-BST",
+            AlgoKind::TrackingNaive => "Tracking[naive-flush]",
+            AlgoKind::TrackingNoReadOpt => "Tracking[no-read-opt]",
+            AlgoKind::Capsules => "Capsules",
+            AlgoKind::CapsulesOpt => "Capsules-Opt",
+            AlgoKind::Romulus => "Romulus",
+            AlgoKind::RedoOpt => "RedoOpt",
+            AlgoKind::OneFile => "OneFile",
+        }
+    }
+
+    /// The five list-based competitors of Figures 3–4.
+    pub fn paper_lineup() -> [AlgoKind; 5] {
+        [
+            AlgoKind::Tracking,
+            AlgoKind::Capsules,
+            AlgoKind::CapsulesOpt,
+            AlgoKind::Romulus,
+            AlgoKind::RedoOpt,
+        ]
+    }
+}
+
+struct TrackingAdapter(tracking::RecoverableList);
+
+impl SetAlgo for TrackingAdapter {
+    fn insert(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.insert(ctx, key)
+    }
+    fn delete(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.delete(ctx, key)
+    }
+    fn find(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.find(ctx, key)
+    }
+    fn insert_started(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.insert_started(ctx, key)
+    }
+    fn delete_started(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.delete_started(ctx, key)
+    }
+    fn recover_insert(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_insert(ctx, key)
+    }
+    fn recover_delete(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_delete(ctx, key)
+    }
+    fn recover_find(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_find(ctx, key)
+    }
+    fn sites(&self) -> &'static [(SiteId, &'static str)] {
+        &tracking::sites::SITES
+    }
+    fn len(&self) -> usize {
+        self.0.keys().len()
+    }
+}
+
+struct TrackingBstAdapter(tracking::RecoverableBst);
+
+impl SetAlgo for TrackingBstAdapter {
+    fn insert(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.insert(ctx, key)
+    }
+    fn delete(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.delete(ctx, key)
+    }
+    fn find(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.find(ctx, key)
+    }
+    fn insert_started(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.insert_started(ctx, key)
+    }
+    fn delete_started(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.delete_started(ctx, key)
+    }
+    fn recover_insert(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_insert(ctx, key)
+    }
+    fn recover_delete(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_delete(ctx, key)
+    }
+    fn recover_find(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_find(ctx, key)
+    }
+    fn sites(&self) -> &'static [(SiteId, &'static str)] {
+        &tracking::sites::SITES
+    }
+    fn len(&self) -> usize {
+        self.0.keys().len()
+    }
+}
+
+struct CapsulesAdapter(capsules::CapsulesList);
+
+impl SetAlgo for CapsulesAdapter {
+    fn insert(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.insert(ctx, key)
+    }
+    fn delete(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.delete(ctx, key)
+    }
+    fn find(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.find(ctx, key)
+    }
+    fn insert_started(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.insert_started(ctx, key)
+    }
+    fn delete_started(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.delete_started(ctx, key)
+    }
+    fn recover_insert(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_insert(ctx, key)
+    }
+    fn recover_delete(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_delete(ctx, key)
+    }
+    fn recover_find(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_find(ctx, key)
+    }
+    fn sites(&self) -> &'static [(SiteId, &'static str)] {
+        &capsules::sites::SITES
+    }
+    fn len(&self) -> usize {
+        self.0.keys().len()
+    }
+}
+
+struct RomulusAdapter(romulus::RomulusList);
+
+impl SetAlgo for RomulusAdapter {
+    fn insert(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.insert(ctx, key)
+    }
+    fn delete(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.delete(ctx, key)
+    }
+    fn find(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.find(ctx, key)
+    }
+    fn insert_started(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.insert_started(ctx, key)
+    }
+    fn delete_started(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.delete_started(ctx, key)
+    }
+    fn recover_insert(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_insert(ctx, key)
+    }
+    fn recover_delete(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_delete(ctx, key)
+    }
+    fn recover_find(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_find(ctx, key)
+    }
+    fn recover_structure(&self) {
+        self.0.tm().recover();
+    }
+    fn sites(&self) -> &'static [(SiteId, &'static str)] {
+        &romulus::sites::SITES
+    }
+    fn len(&self) -> usize {
+        self.0.keys().len()
+    }
+}
+
+struct RedoAdapter(redo::RedoSet);
+
+impl SetAlgo for RedoAdapter {
+    fn insert(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.insert(ctx, key)
+    }
+    fn delete(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.delete(ctx, key)
+    }
+    fn find(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.find(ctx, key)
+    }
+    fn insert_started(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.insert_started(ctx, key)
+    }
+    fn delete_started(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.delete_started(ctx, key)
+    }
+    fn recover_insert(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_insert(ctx, key)
+    }
+    fn recover_delete(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_delete(ctx, key)
+    }
+    fn recover_find(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_find(ctx, key)
+    }
+    fn sites(&self) -> &'static [(SiteId, &'static str)] {
+        &redo::sites::SITES
+    }
+    fn len(&self) -> usize {
+        self.0.keys().len()
+    }
+}
+
+struct OneFileAdapter(onefile::OneFileList);
+
+impl SetAlgo for OneFileAdapter {
+    fn insert(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.insert(ctx, key)
+    }
+    fn delete(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.delete(ctx, key)
+    }
+    fn find(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.find(ctx, key)
+    }
+    fn insert_started(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.insert_started(ctx, key)
+    }
+    fn delete_started(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.delete_started(ctx, key)
+    }
+    fn recover_insert(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_insert(ctx, key)
+    }
+    fn recover_delete(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_delete(ctx, key)
+    }
+    fn recover_find(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.0.recover_find(ctx, key)
+    }
+    fn sites(&self) -> &'static [(SiteId, &'static str)] {
+        &onefile::sites::SITES
+    }
+    fn len(&self) -> usize {
+        self.0.keys().len()
+    }
+}
+
+/// Builds the structure of `kind` in `pool` (rooted at root cell 0).
+/// `threads` and `key_range` size the per-thread tables of the algorithms
+/// that need them (Romulus' region, RedoOpt's state object).
+pub fn build(
+    kind: AlgoKind,
+    pool: Arc<PmemPool>,
+    threads: usize,
+    key_range: u64,
+) -> Arc<dyn SetAlgo> {
+    match kind {
+        AlgoKind::Tracking => Arc::new(TrackingAdapter(tracking::RecoverableList::new(pool, 0))),
+        AlgoKind::TrackingNaive => Arc::new(TrackingAdapter(tracking::RecoverableList::with_config(
+            pool,
+            0,
+            tracking::list::ListConfig { traversal_flush: true, read_only_opt: true },
+        ))),
+        AlgoKind::TrackingNoReadOpt => {
+            Arc::new(TrackingAdapter(tracking::RecoverableList::with_config(
+                pool,
+                0,
+                tracking::list::ListConfig { traversal_flush: false, read_only_opt: false },
+            )))
+        }
+        AlgoKind::TrackingBst => {
+            Arc::new(TrackingBstAdapter(tracking::RecoverableBst::new(pool, 0)))
+        }
+        AlgoKind::Capsules => Arc::new(CapsulesAdapter(capsules::CapsulesList::new(
+            pool,
+            0,
+            capsules::PersistPolicy::Full,
+        ))),
+        AlgoKind::CapsulesOpt => Arc::new(CapsulesAdapter(capsules::CapsulesList::new(
+            pool,
+            0,
+            capsules::PersistPolicy::Opt,
+        ))),
+        AlgoKind::Romulus => Arc::new(RomulusAdapter(romulus::RomulusList::new(
+            pool,
+            0,
+            key_range as usize + 16,
+        ))),
+        AlgoKind::RedoOpt => Arc::new(RedoAdapter(redo::RedoSet::new(
+            pool,
+            0,
+            threads,
+            key_range as usize + 16,
+        ))),
+        AlgoKind::OneFile => Arc::new(OneFileAdapter(onefile::OneFileList::new(
+            pool,
+            0,
+            threads,
+            key_range as usize + 16,
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PoolCfg;
+
+    #[test]
+    fn every_kind_builds_and_operates() {
+        for kind in [
+            AlgoKind::Tracking,
+            AlgoKind::TrackingBst,
+            AlgoKind::TrackingNaive,
+            AlgoKind::TrackingNoReadOpt,
+            AlgoKind::Capsules,
+            AlgoKind::CapsulesOpt,
+            AlgoKind::Romulus,
+            AlgoKind::RedoOpt,
+            AlgoKind::OneFile,
+        ] {
+            let pool = Arc::new(PmemPool::new(PoolCfg::model(32 << 20)));
+            let ctx = ThreadCtx::new(pool.clone(), 0);
+            let s = build(kind, pool, 4, 500);
+            assert!(s.insert(&ctx, 10), "{kind:?}");
+            assert!(s.find(&ctx, 10), "{kind:?}");
+            assert!(s.delete(&ctx, 10), "{kind:?}");
+            assert!(!s.find(&ctx, 10), "{kind:?}");
+            assert!(s.is_empty(), "{kind:?}");
+            assert!(!s.sites().is_empty());
+        }
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in AlgoKind::paper_lineup() {
+            let lower = kind.name().to_lowercase();
+            assert_eq!(AlgoKind::parse(&lower), Some(kind));
+        }
+        assert_eq!(AlgoKind::parse("nope"), None);
+    }
+}

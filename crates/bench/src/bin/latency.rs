@@ -1,0 +1,151 @@
+//! Per-operation latency percentiles for every implementation.
+//!
+//! Complements the throughput harness and the Criterion benches with a
+//! latency-distribution view: p50/p90/p99/p999 per operation type, from a
+//! log-bucketed histogram (hand-rolled; no extra dependencies).
+//!
+//! ```text
+//! cargo run -p bench --release --bin latency [-- --ops 200000 --range 500]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::{build, AlgoKind};
+use pmem::{Backend, PmemPool, PoolCfg, ThreadCtx};
+
+/// Log-bucketed latency histogram: bucket i covers [2^(i/4), 2^((i+1)/4))
+/// nanoseconds-ish (quarter-powers of two give <20 % bucket error, plenty
+/// for percentile reporting).
+struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram { buckets: vec![0; 256], count: 0 }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns < 2 {
+            return 0;
+        }
+        let log2 = 63 - ns.leading_zeros() as u64;
+        let frac = (ns >> log2.saturating_sub(2)) & 0b11; // next 2 bits
+        ((log2 * 4 + frac) as usize).min(255)
+    }
+
+    fn record(&mut self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+    }
+
+    /// Upper edge (ns) of the bucket holding the q-quantile.
+    fn quantile(&self, q: f64) -> u64 {
+        let target = (self.count as f64 * q) as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                let log2 = i as u64 / 4;
+                let frac = i as u64 % 4;
+                return (1u64 << log2) + ((frac + 1) << log2.saturating_sub(2));
+            }
+        }
+        u64::MAX
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ops: u64 = 100_000;
+    let mut range: u64 = 500;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ops" => {
+                i += 1;
+                ops = args[i].parse().expect("bad op count");
+            }
+            "--range" => {
+                i += 1;
+                range = args[i].parse().expect("bad range");
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!(
+        "{:<22} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "algo/op", "ops", "p50(ns)", "p90(ns)", "p99(ns)", "p999(ns)"
+    );
+    for kind in [
+        AlgoKind::Tracking,
+        AlgoKind::TrackingBst,
+        AlgoKind::Capsules,
+        AlgoKind::CapsulesOpt,
+        AlgoKind::Romulus,
+        AlgoKind::RedoOpt,
+        AlgoKind::OneFile,
+    ] {
+        let pool = Arc::new(PmemPool::new(PoolCfg {
+            capacity: 2 << 30,
+            backend: Backend::Clflush,
+            shadow: false,
+            max_threads: 8,
+        }));
+        let algo = build(kind, pool.clone(), 4, range);
+        let ctx = ThreadCtx::new(pool.clone(), 0);
+        let mut rng = 0x5EEDu64;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for _ in 0..range / 2 {
+            let k = next() % range + 1;
+            algo.insert(&ctx, k);
+        }
+        let mut hists = [Histogram::new(), Histogram::new(), Histogram::new()];
+        // Capsules is ~20x slower; keep wall time comparable.
+        let n = if kind == AlgoKind::Capsules { ops / 10 } else { ops };
+        for _ in 0..n {
+            if pool.remaining_lines() < 4096 {
+                break;
+            }
+            let r = next();
+            let key = r % range + 1;
+            let op = (r >> 32) % 3;
+            let t = Instant::now();
+            match op {
+                0 => {
+                    std::hint::black_box(algo.insert(&ctx, key));
+                }
+                1 => {
+                    std::hint::black_box(algo.delete(&ctx, key));
+                }
+                _ => {
+                    std::hint::black_box(algo.find(&ctx, key));
+                }
+            }
+            hists[op as usize].record(t.elapsed().as_nanos() as u64);
+        }
+        for (h, name) in hists.iter().zip(["insert", "delete", "find"]) {
+            println!(
+                "{:<22} {:>10} {:>8} {:>8} {:>8} {:>8}",
+                format!("{}/{}", kind.name(), name),
+                h.count,
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.quantile(0.999),
+            );
+        }
+    }
+}

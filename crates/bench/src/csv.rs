@@ -1,0 +1,103 @@
+//! A minimal CSV writer for the figure outputs (no format crates needed).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Accumulates rows and writes them to `results/<name>.csv`.
+pub struct Csv {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Starts a CSV with the given column names.
+    pub fn new(name: &str, header: &[&str]) -> Csv {
+        Csv {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The CSV's file stem.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a row (stringified cells; caller formats numbers).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: appends a row of displayable values.
+    pub fn push<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Writes `results/<name>.csv` under `dir`, returning the path.
+    pub fn write(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut w = BufWriter::new(File::create(&path)?);
+        writeln!(w, "{}", self.header.join(","))?;
+        for r in &self.rows {
+            writeln!(w, "{}", r.join(","))?;
+        }
+        w.flush()?;
+        Ok(path)
+    }
+
+    /// Renders the table as aligned text (for the console summary).
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        for r in &self.rows {
+            out.push('\n');
+            out.push_str(&fmt_row(r));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_formats() {
+        let mut c = Csv::new("unit_test_fig", &["algo", "threads", "mops"]);
+        c.push(&["Tracking".to_string(), "4".to_string(), "1.25".to_string()]);
+        let dir = std::env::temp_dir().join("bench-csv-test");
+        let path = c.write(&dir).unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.starts_with("algo,threads,mops\n"));
+        assert!(body.contains("Tracking,4,1.25"));
+        let text = c.to_text();
+        assert!(text.contains("Tracking"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut c = Csv::new("x", &["a", "b"]);
+        c.push(&["only-one"]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # bench — the harness regenerating every figure of the paper
+//!
+//! The paper's evaluation (Section 5) consists of Figures 3–6 over a sorted
+//! linked list with keys uniform in `[1, 500]`, prefilled with 250 random
+//! inserts, under a read-intensive (70 % find) and an update-intensive
+//! (30 % find) mix. This crate provides:
+//!
+//! * [`adapter`] — one uniform [`adapter::SetAlgo`] interface over all five
+//!   evaluated implementations (Tracking list & BST, Capsules,
+//!   Capsules-Opt, Romulus, RedoOpt);
+//! * [`workload`] — the timed multi-thread throughput runner with
+//!   persistence-instruction accounting;
+//! * [`figures`] — drivers that reproduce each figure's measurement
+//!   protocol, including the paper's pwb-categorization methodology
+//!   (persistence-free baseline → single-site impact → L/M/H classes →
+//!   category add/remove sweeps);
+//! * `bin/figures` — the CLI that writes one CSV per figure into
+//!   `results/`.
+//!
+//! Numbers are *shapes*, not absolutes: the substrate is simulated NVMM
+//! over DRAM (`clflush`/`sfence`) and this container exposes a single CPU,
+//! so thread "scaling" interleaves. See EXPERIMENTS.md for the
+//! paper-vs-measured discussion.
+
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod csv;
+pub mod figures;
+pub mod workload;
+
+pub use adapter::{build, AlgoKind, SetAlgo};
+pub use workload::{run, Mix, RunCfg, RunResult};

@@ -1,0 +1,258 @@
+//! The timed throughput runner: the paper's benchmark loop.
+//!
+//! Keys are drawn uniformly from `[1, key_range]`; the structure is
+//! prefilled with `key_range / 2` random inserts (the paper's 250 inserts
+//! over range 500 ≈ 40 % full); each worker then draws operations from the
+//! configured mix until the deadline. Persistence-instruction counters are
+//! snapshotted around the timed window so every run reports its
+//! `pwb`/`psync` per operation alongside throughput.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use pmem::{Backend, PmemPool, PoolCfg, ThreadCtx};
+
+use crate::adapter::{build, AlgoKind, SetAlgo};
+
+/// Operation mix (percentages; insert/delete split the remainder evenly).
+#[derive(Copy, Clone, Debug)]
+pub struct Mix {
+    /// Percentage of `find` operations.
+    pub find_pct: u32,
+}
+
+impl Mix {
+    /// The paper's read-intensive benchmark (70 % finds).
+    pub const READ_INTENSIVE: Mix = Mix { find_pct: 70 };
+    /// The paper's update-intensive benchmark (30 % finds).
+    pub const UPDATE_INTENSIVE: Mix = Mix { find_pct: 30 };
+}
+
+/// One throughput-run configuration.
+#[derive(Clone, Debug)]
+pub struct RunCfg {
+    /// Which implementation to run.
+    pub kind: AlgoKind,
+    /// Worker threads.
+    pub threads: usize,
+    /// Timed-window length.
+    pub duration: Duration,
+    /// Keys are uniform in `[1, key_range]`.
+    pub key_range: u64,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Pool capacity in bytes (arena for nodes + descriptors).
+    pub pool_bytes: usize,
+    /// Persistence backend for the run.
+    pub backend: Backend,
+    /// RNG seed (deterministic workloads across variants).
+    pub seed: u64,
+    /// Disable `psync`/`pfence` (the paper's `[no psyncs]` variants).
+    pub psync_enabled: bool,
+    /// `pwb` site mask (bit *i* enables site *i*); `u64::MAX` = all.
+    pub site_mask: u64,
+}
+
+impl RunCfg {
+    /// Paper-shaped defaults for `kind` at `threads` threads.
+    pub fn paper(kind: AlgoKind, threads: usize) -> RunCfg {
+        RunCfg {
+            kind,
+            threads,
+            duration: Duration::from_millis(300),
+            key_range: 500,
+            mix: Mix::READ_INTENSIVE,
+            pool_bytes: 1 << 30,
+            backend: Backend::Clflush,
+            seed: 0xD1CE,
+            psync_enabled: true,
+            site_mask: u64::MAX,
+        }
+    }
+}
+
+/// What a run measured.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Completed operations across all threads.
+    pub ops: u64,
+    /// Actual timed-window length.
+    pub elapsed: Duration,
+    /// `pwb` executions per site during the window.
+    pub pwb_per_site: [u64; pmem::MAX_SITES],
+    /// `psync` + `pfence` executions during the window.
+    pub psync: u64,
+}
+
+impl RunResult {
+    /// Million operations per second.
+    pub fn mops(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+
+    /// Total `pwb`s in the window.
+    pub fn pwb_total(&self) -> u64 {
+        self.pwb_per_site.iter().sum()
+    }
+
+    /// `pwb`s per completed operation.
+    pub fn pwb_per_op(&self) -> f64 {
+        self.pwb_total() as f64 / self.ops.max(1) as f64
+    }
+
+    /// `psync`s (incl. `pfence`s) per completed operation.
+    pub fn psync_per_op(&self) -> f64 {
+        self.psync as f64 / self.ops.max(1) as f64
+    }
+}
+
+// xorshift64* — cheap deterministic per-thread RNG for the hot loop.
+#[inline]
+fn next_rng(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// Runs one timed throughput measurement per `cfg`.
+pub fn run(cfg: &RunCfg) -> RunResult {
+    let pool = Arc::new(PmemPool::new(PoolCfg {
+        capacity: cfg.pool_bytes,
+        backend: cfg.backend,
+        shadow: false,
+        max_threads: cfg.threads.max(1).next_power_of_two().max(8),
+    }));
+    let algo = build(cfg.kind, pool.clone(), cfg.threads, cfg.key_range);
+    prefill(&pool, &*algo, cfg);
+    pool.set_psync_enabled(cfg.psync_enabled);
+    pool.set_sites_mask(cfg.site_mask);
+    pool.stats_reset();
+    let before = pool.stats();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_ops = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(cfg.threads + 1));
+    let mut handles = Vec::with_capacity(cfg.threads);
+    for t in 0..cfg.threads {
+        let pool = pool.clone();
+        let algo: Arc<dyn SetAlgo> = algo.clone();
+        let stop = stop.clone();
+        let total_ops = total_ops.clone();
+        let barrier = barrier.clone();
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let ctx = ThreadCtx::new(pool.clone(), t);
+            let mut rng = cfg.seed ^ (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+            barrier.wait();
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Leave headroom so allocation never aborts the run.
+                if pool.remaining_lines() < 4096 {
+                    break;
+                }
+                let r = next_rng(&mut rng);
+                let key = r % cfg.key_range + 1;
+                let dice = (r >> 32) % 100;
+                let f = cfg.mix.find_pct as u64;
+                if dice < f {
+                    std::hint::black_box(algo.find(&ctx, key));
+                } else if dice < f + (100 - f) / 2 {
+                    std::hint::black_box(algo.insert(&ctx, key));
+                } else {
+                    std::hint::black_box(algo.delete(&ctx, key));
+                }
+                ops += 1;
+            }
+            total_ops.fetch_add(ops, Ordering::Relaxed);
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let elapsed = start.elapsed();
+    let after = pool.stats();
+    let d = after.delta(&before);
+    // restore pool instrumentation defaults (pool is dropped anyway)
+    RunResult {
+        ops: total_ops.load(Ordering::Relaxed),
+        elapsed,
+        pwb_per_site: d.pwb_per_site,
+        psync: d.psync + d.pfence,
+    }
+}
+
+fn prefill(pool: &Arc<PmemPool>, algo: &dyn SetAlgo, cfg: &RunCfg) {
+    let ctx = ThreadCtx::new(pool.clone(), 0);
+    let mut rng = cfg.seed ^ 0xABCDEF;
+    for _ in 0..cfg.key_range / 2 {
+        let key = next_rng(&mut rng) % cfg.key_range + 1;
+        algo.insert(&ctx, key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(kind: AlgoKind) -> RunCfg {
+        RunCfg {
+            duration: Duration::from_millis(50),
+            pool_bytes: 256 << 20,
+            key_range: 64,
+            backend: Backend::Noop,
+            ..RunCfg::paper(kind, 2)
+        }
+    }
+
+    #[test]
+    fn every_algorithm_sustains_a_tiny_run() {
+        for kind in AlgoKind::paper_lineup() {
+            let r = run(&tiny(kind));
+            assert!(r.ops > 0, "{kind:?} completed no ops");
+            assert!(r.elapsed.as_millis() >= 45, "{kind:?} window too short");
+        }
+    }
+
+    #[test]
+    fn tracking_counts_persistence_instructions() {
+        let r = run(&tiny(AlgoKind::Tracking));
+        assert!(r.pwb_total() > 0, "tracking must flush");
+        assert!(r.psync > 0, "tracking must fence");
+        assert!(r.pwb_per_op() >= 1.0, "at least the RD flush per op");
+    }
+
+    #[test]
+    fn site_mask_suppresses_pwbs() {
+        let mut cfg = tiny(AlgoKind::Tracking);
+        cfg.site_mask = 0;
+        cfg.psync_enabled = false;
+        let r = run(&cfg);
+        assert_eq!(r.pwb_total(), 0, "persistence-free run must not flush");
+        assert_eq!(r.psync, 0);
+    }
+
+    #[test]
+    fn update_mix_produces_more_updates_than_read_mix() {
+        let mut read = tiny(AlgoKind::Tracking);
+        read.mix = Mix::READ_INTENSIVE;
+        let mut upd = tiny(AlgoKind::Tracking);
+        upd.mix = Mix::UPDATE_INTENSIVE;
+        let r1 = run(&read);
+        let r2 = run(&upd);
+        // update ops persist more: pwb/op must be clearly higher
+        assert!(
+            r2.pwb_per_op() > r1.pwb_per_op(),
+            "update-intensive should flush more per op ({} vs {})",
+            r2.pwb_per_op(),
+            r1.pwb_per_op()
+        );
+    }
+}

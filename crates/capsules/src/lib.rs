@@ -1,0 +1,38 @@
+//! # capsules — the Capsules / Capsules-Opt baselines of the paper
+//!
+//! Section 5 of *Detectable Recovery of Lock-Free Data Structures* compares
+//! Tracking against a detectably recoverable linked list obtained by
+//! applying the **capsules** transformation of Ben-David, Blelloch,
+//! Friedman and Wei (SPAA '19) to Harris' ordered linked list. This crate
+//! rebuilds that competitor from scratch:
+//!
+//! * [`harris`] — Harris' lock-free ordered linked list (logical deletion
+//!   via a mark bit in the `next` pointer, physical unlinking during
+//!   traversal), the base algorithm both papers start from.
+//! * [`rcas`] — a recoverable CAS in the style of Attiya–Ben-Baruch–Hendler
+//!   (PODC '18): CASed values carry a `(thread, sequence)` stamp, and every
+//!   CASer first notifies the stamped previous winner through a persistent
+//!   notification array, so a crashed thread can always determine whether
+//!   its own CAS took effect.
+//! * [`capsules`] — the normalized two-capsule operations (a search capsule
+//!   and a CAS-executing capsule, as in Timnat–Petrank normalized form),
+//!   with a persistent per-thread capsule record that is written and fenced
+//!   at every capsule boundary. Two persistence policies:
+//!   [`capsules::PersistPolicy::Full`] applies the Izraelevitz–Mendes–Scott
+//!   durability transformation (a `pwb; pfence` after *every* shared-memory
+//!   access — the paper's **Capsules**, with its "extremely low"
+//!   throughput), while [`capsules::PersistPolicy::Opt`] is the paper's
+//!   hand-tuned **Capsules-Opt**: during traversal it persists only marked
+//!   nodes and the neighborhood of the target node, exactly the scheme
+//!   Section 5 describes (a marked node must be persisted by every thread
+//!   traversing it, or a post-crash `find` could resurrect a logically
+//!   deleted key).
+
+#![warn(missing_docs)]
+
+pub mod capsules;
+pub mod harris;
+pub mod rcas;
+pub mod sites;
+
+pub use capsules::{CapsulesList, PersistPolicy};

@@ -1,0 +1,249 @@
+//! Recoverable CAS: stamped values + a persistent notification array.
+//!
+//! After a crash, a thread must be able to tell whether a CAS it may or may
+//! not have executed took effect — even if other threads have long
+//! overwritten the location. Following Attiya–Ben-Baruch–Hendler
+//! (PODC '18), every value written by a CAS carries a **stamp** naming the
+//! writing thread and a sequence number, and every CASer, before
+//! installing its own value, **notifies** the stamped previous winner by
+//! persisting the observed sequence number into a per-thread notification
+//! slot. Recovery then decides:
+//!
+//! * the location still carries my stamp for this sequence → my CAS
+//!   succeeded;
+//! * my notification slot for this sequence's parity holds this sequence →
+//!   someone observed my value in the location before replacing it → my
+//!   CAS succeeded;
+//! * otherwise my value was never in the location → the CAS did not happen
+//!   (or failed) and can safely be re-attempted or the operation restarted.
+//!
+//! Notification is persisted (`pwb; pfence`) *before* the overwriting CAS
+//! executes, so under TSO no stamped value can leave persistent memory
+//! without its notification already being durable.
+//!
+//! ## Word layout
+//!
+//! ```text
+//! bits 0..40   core value (a pool word address; bit 0 doubles as Harris'
+//!              mark bit — addresses are line-aligned so bits 0..3 are free)
+//! bits 40..48  stamping thread id (0xFF = "no thread": initial values)
+//! bits 48..64  low 16 bits of the stamping operation's sequence number
+//! ```
+//!
+//! The 16-bit truncation is benign: a false "still my stamp" reading would
+//! require the same location to stay untouched across 65536 of the *same
+//! thread's* operations and a crash landing exactly there, and parity
+//! indexing of the two notification slots keeps consecutive sequences of a
+//! thread from colliding.
+
+use pmem::{PAddr, PmemPool, ThreadCtx};
+
+use crate::sites::C_NOTIFY;
+
+/// Mask of the core-value bits.
+pub const CORE_MASK: u64 = (1 << 40) - 1;
+/// Thread-id stamp reserved for initial (never-CASed) values.
+pub const NO_TID: u64 = 0xFF;
+
+/// Extracts the core value (address + mark bit).
+#[inline]
+pub fn core(v: u64) -> u64 {
+    v & CORE_MASK
+}
+
+/// Extracts the stamping thread id.
+#[inline]
+pub fn stamp_tid(v: u64) -> u64 {
+    (v >> 40) & 0xFF
+}
+
+/// Extracts the stamped (truncated) sequence number.
+#[inline]
+pub fn stamp_seq(v: u64) -> u64 {
+    v >> 48
+}
+
+/// Builds a stamped value.
+#[inline]
+pub fn stamped(core: u64, tid: u64, seq: u64) -> u64 {
+    debug_assert!(core <= CORE_MASK, "core value overflows stamp layout");
+    core | (tid & 0xFF) << 40 | (seq & 0xFFFF) << 48
+}
+
+/// The persistent notification array: one cache line per thread, slot
+/// parity in words 0 and 1.
+pub struct NotifyArray {
+    base: PAddr,
+    threads: usize,
+}
+
+impl NotifyArray {
+    /// Allocates a notification array for `threads` threads.
+    pub fn alloc(pool: &PmemPool, threads: usize) -> Self {
+        NotifyArray { base: pool.alloc_lines(threads), threads }
+    }
+
+    /// Re-attaches to an array previously allocated at `base`.
+    pub fn attach(base: PAddr, threads: usize) -> Self {
+        NotifyArray { base, threads }
+    }
+
+    /// Base address (for storing in a superblock).
+    pub fn base(&self) -> PAddr {
+        self.base
+    }
+
+    fn slot(&self, tid: u64, seq: u64) -> PAddr {
+        debug_assert!((tid as usize) < self.threads);
+        self.base.add(tid * pmem::WORDS_PER_LINE as u64 + (seq & 1))
+    }
+
+    /// Notifies the previous winner stamped on `observed` that its value
+    /// was seen (and is about to be replaced). Persisted before returning.
+    pub fn notify(&self, pool: &PmemPool, observed: u64) {
+        let tid = stamp_tid(observed);
+        if tid == NO_TID || tid as usize >= self.threads {
+            return; // initial value: nobody to notify
+        }
+        let seq = stamp_seq(observed);
+        let slot = self.slot(tid, seq);
+        // Store seq+1 so slot value 0 unambiguously means "never notified".
+        pool.store(slot, seq + 1);
+        pool.pwb(slot, C_NOTIFY);
+        pool.pfence();
+    }
+
+    /// Recovery check: did thread `ctx.tid()`'s CAS with sequence `seq` on
+    /// `loc` (installing a value it stamped) take effect?
+    pub fn cas_succeeded(&self, pool: &PmemPool, ctx: &ThreadCtx, loc: PAddr, seq: u64) -> bool {
+        let cur = pool.load(loc);
+        if stamp_tid(cur) == ctx.tid() as u64 && stamp_seq(cur) == (seq & 0xFFFF) {
+            return true; // my value is still there
+        }
+        pool.load(self.slot(ctx.tid() as u64, seq)) == (seq & 0xFFFF) + 1
+    }
+}
+
+/// A recoverable CAS: notify the stamped previous winner, then CAS in a
+/// value stamped with `(ctx.tid(), seq)`. Returns whether the CAS
+/// succeeded. The caller persists the location itself (policy-specific).
+pub fn rcas(
+    pool: &PmemPool,
+    notify: &NotifyArray,
+    ctx: &ThreadCtx,
+    loc: PAddr,
+    expected: u64,
+    new_core: u64,
+    seq: u64,
+) -> bool {
+    notify.notify(pool, expected);
+    let new = stamped(new_core, ctx.tid() as u64, seq);
+    pool.cas(loc, expected, new).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{PoolCfg, PmemPool};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<PmemPool>, NotifyArray, ThreadCtx, ThreadCtx) {
+        let pool = Arc::new(PmemPool::new(PoolCfg::model(1 << 20)));
+        let arr = NotifyArray::alloc(&pool, 8);
+        let a = ThreadCtx::new(pool.clone(), 0);
+        let b = ThreadCtx::new(pool.clone(), 1);
+        (pool, arr, a, b)
+    }
+
+    #[test]
+    fn stamp_roundtrip() {
+        let v = stamped(0x12345678, 3, 0x1ABCD);
+        assert_eq!(core(v), 0x12345678);
+        assert_eq!(stamp_tid(v), 3);
+        assert_eq!(stamp_seq(v), 0xABCD, "sequence truncated to 16 bits");
+    }
+
+    #[test]
+    fn mark_bit_survives_stamping() {
+        let v = stamped(0x1000 | 1, 2, 7);
+        assert_eq!(core(v) & 1, 1);
+        assert_eq!(core(v) & !1, 0x1000);
+    }
+
+    #[test]
+    fn successful_cas_detected_by_stamp() {
+        let (p, arr, a, _b) = setup();
+        let loc = p.alloc_lines(1);
+        let init = stamped(0, NO_TID, 0);
+        p.store(loc, init);
+        assert!(rcas(&p, &arr, &a, loc, init, 0x100, 5));
+        assert!(arr.cas_succeeded(&p, &a, loc, 5));
+    }
+
+    #[test]
+    fn overwritten_cas_detected_by_notification() {
+        let (p, arr, a, b) = setup();
+        let loc = p.alloc_lines(1);
+        let init = stamped(0, NO_TID, 0);
+        p.store(loc, init);
+        assert!(rcas(&p, &arr, &a, loc, init, 0x100, 5));
+        // b overwrites a's value; the notify inside rcas records a's success
+        let a_val = p.load(loc);
+        assert!(rcas(&p, &arr, &b, loc, a_val, 0x200, 1));
+        assert_ne!(stamp_tid(p.load(loc)), 0, "a's stamp is gone");
+        assert!(arr.cas_succeeded(&p, &a, loc, 5), "notification proves success");
+    }
+
+    #[test]
+    fn failed_cas_reports_failure() {
+        let (p, arr, a, b) = setup();
+        let loc = p.alloc_lines(1);
+        let init = stamped(0, NO_TID, 0);
+        p.store(loc, init);
+        assert!(rcas(&p, &arr, &b, loc, init, 0x200, 9)); // b wins first
+        assert!(!rcas(&p, &arr, &a, loc, init, 0x100, 5)); // a's expected is stale
+        assert!(!arr.cas_succeeded(&p, &a, loc, 5));
+    }
+
+    #[test]
+    fn never_attempted_cas_reports_failure() {
+        let (p, arr, a, _b) = setup();
+        let loc = p.alloc_lines(1);
+        p.store(loc, stamped(0, NO_TID, 0));
+        assert!(!arr.cas_succeeded(&p, &a, loc, 3));
+    }
+
+    #[test]
+    fn parity_slots_do_not_collide_across_consecutive_ops() {
+        let (p, arr, a, b) = setup();
+        let loc = p.alloc_lines(1);
+        let init = stamped(0, NO_TID, 0);
+        p.store(loc, init);
+        // op seq 4 by a, overwritten (notified)
+        assert!(rcas(&p, &arr, &a, loc, init, 0x100, 4));
+        let v = p.load(loc);
+        assert!(rcas(&p, &arr, &b, loc, v, 0x200, 1));
+        assert!(arr.cas_succeeded(&p, &a, loc, 4));
+        // op seq 6 (same parity) by a: must not inherit seq-4's notification
+        assert!(!arr.cas_succeeded(&p, &a, loc, 6));
+    }
+
+    #[test]
+    fn notification_is_durable_before_the_overwrite() {
+        let (p, arr, a, b) = setup();
+        let loc = p.alloc_lines(1);
+        let init = stamped(0, NO_TID, 0);
+        p.store(loc, init);
+        p.pwb(loc, pmem::SiteId(10));
+        p.psync();
+        assert!(rcas(&p, &arr, &a, loc, init, 5, 7));
+        p.pwb(loc, pmem::SiteId(10));
+        p.psync(); // a's value durable in loc
+        let v = p.load(loc);
+        assert!(rcas(&p, &arr, &b, loc, v, 9, 2));
+        // crash with maximal loss: b's CAS (never flushed) is lost, but the
+        // notification must have persisted first
+        p.crash(&mut pmem::PessimistAdversary);
+        assert!(arr.cas_succeeded(&p, &a, loc, 7));
+    }
+}

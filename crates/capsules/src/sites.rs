@@ -1,0 +1,64 @@
+//! `pwb` call sites of the Capsules / Capsules-Opt implementations.
+//!
+//! The paper's categorization experiments (Figures 3e–f, 4e–f, 6) found
+//! that Capsules-Opt's dominant cost comes from flushes of shared,
+//! contended lines ([`C_TRAVERSE`], [`C_NEIGHBORHOOD`], [`C_CAS`]), while
+//! its per-thread capsule-record flushes are cheap — the harness re-derives
+//! this by sweeping these sites.
+
+use pmem::SiteId;
+
+/// `pwb` after every shared-memory access during traversal (the
+/// Izraelevitz durability transformation; **Capsules** policy only).
+pub const C_TRAVERSE: SiteId = SiteId(0);
+/// `pwb` of a logically deleted (marked) node encountered during traversal
+/// (**Capsules-Opt**: required for post-crash correctness of `find`).
+pub const C_MARKED: SiteId = SiteId(1);
+/// `pwb` of the target neighborhood (`pred`, `curr`) at the end of a
+/// search (**Capsules-Opt**).
+pub const C_NEIGHBORHOOD: SiteId = SiteId(2);
+/// `pwb` of a freshly allocated node before it is published.
+pub const C_NEWNODE: SiteId = SiteId(3);
+/// `pwb` of the per-thread capsule record at a capsule boundary.
+pub const C_CAPSULE: SiteId = SiteId(4);
+/// `pwb` of a CASed location after the (recoverable) CAS.
+pub const C_CAS: SiteId = SiteId(5);
+/// `pwb` of the notification-array entry written before a CAS.
+pub const C_NOTIFY: SiteId = SiteId(6);
+/// `pwb` of the operation's result in the capsule record.
+pub const C_RESULT: SiteId = SiteId(7);
+
+/// All capsules sites with human-readable names.
+pub const SITES: [(SiteId, &str); 8] = [
+    (C_TRAVERSE, "traverse"),
+    (C_MARKED, "marked-node"),
+    (C_NEIGHBORHOOD, "neighborhood"),
+    (C_NEWNODE, "new-node"),
+    (C_CAPSULE, "capsule-record"),
+    (C_CAS, "cas-target"),
+    (C_NOTIFY, "notify"),
+    (C_RESULT, "result"),
+];
+
+/// Human-readable name of a capsules site (or `"?"`).
+pub fn site_name(s: SiteId) -> &'static str {
+    SITES
+        .iter()
+        .find(|(id, _)| *id == s)
+        .map(|(_, n)| *n)
+        .unwrap_or("?")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_ids_are_unique() {
+        for (i, (a, _)) in SITES.iter().enumerate() {
+            for (b, _) in SITES.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

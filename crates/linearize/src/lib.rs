@@ -1,0 +1,420 @@
+//! # linearize — a small linearizability checker
+//!
+//! Records concurrent histories (invocation/response intervals stamped by a
+//! global logical clock) and decides whether a history is linearizable with
+//! respect to a sequential specification, using the classic Wing–Gong
+//! search with Lowe-style memoization.
+//!
+//! Intended for the integration tests of this repository: histories of a
+//! few dozen operations from a handful of threads over the recoverable
+//! sets/queues, checked exactly. The search is exponential in the worst
+//! case — keep recorded histories small (≲ 30 operations).
+//!
+//! ```
+//! use linearize::{History, SetSpec, SetOp};
+//! let mut h = History::new();
+//! // two overlapping inserts of the same key: only one may win
+//! let a0 = h.invoke(0, SetOp::Insert(1));
+//! let b0 = h.invoke(1, SetOp::Insert(1));
+//! h.ret(a0, true);
+//! h.ret(b0, false);
+//! assert!(h.check(SetSpec::default()).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// A sequential specification: deterministic state machine with observable
+/// return values.
+pub trait Spec: Clone {
+    /// Operation descriptions.
+    type Op: Clone + std::fmt::Debug;
+    /// Return values.
+    type Ret: PartialEq + Clone + std::fmt::Debug;
+    /// State digest for memoization (must uniquely identify the state).
+    type Digest: Eq + Hash;
+
+    /// Applies `op`, returning its sequential response.
+    fn apply(&mut self, op: &Self::Op) -> Self::Ret;
+    /// Current state digest.
+    fn digest(&self) -> Self::Digest;
+}
+
+/// One completed operation in a recorded history.
+#[derive(Clone, Debug)]
+struct Entry<S: Spec> {
+    op: S::Op,
+    ret: Option<S::Ret>,
+    inv: u64,
+    res: u64,
+}
+
+/// Handle returned by [`History::invoke`], consumed by [`History::ret`].
+#[derive(Copy, Clone, Debug)]
+pub struct Token(usize);
+
+/// A recorded concurrent history.
+///
+/// Thread-safety note: this recorder is deliberately simple — concurrent
+/// tests collect per-thread `(inv, res, op, ret)` tuples with a shared
+/// [`Clock`] and merge them via [`History::record`]; the `invoke`/`ret`
+/// pair is the single-threaded convenience API.
+#[derive(Clone, Debug, Default)]
+pub struct History<S: Spec> {
+    entries: Vec<Entry<S>>,
+    clock: u64,
+}
+
+impl<S: Spec> History<S> {
+    /// An empty history.
+    pub fn new() -> Self {
+        History { entries: Vec::new(), clock: 0 }
+    }
+
+    /// Records an invocation (single-threaded recording API).
+    pub fn invoke(&mut self, _thread: usize, op: S::Op) -> Token {
+        let inv = self.clock;
+        self.clock += 1;
+        self.entries.push(Entry { op, ret: None, inv, res: u64::MAX });
+        Token(self.entries.len() - 1)
+    }
+
+    /// Records the matching response.
+    pub fn ret(&mut self, tok: Token, ret: S::Ret) {
+        let res = self.clock;
+        self.clock += 1;
+        let e = &mut self.entries[tok.0];
+        assert!(e.ret.is_none(), "response recorded twice");
+        e.ret = Some(ret);
+        e.res = res;
+    }
+
+    /// Records a pre-timestamped completed operation (multi-threaded
+    /// recording: threads stamp `inv`/`res` with a shared [`Clock`]).
+    pub fn record(&mut self, op: S::Op, ret: S::Ret, inv: u64, res: u64) {
+        assert!(inv < res, "invocation must precede response");
+        self.entries.push(Entry { op, ret: Some(ret), inv, res });
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the history empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Decides linearizability against `initial`. `Ok(order)` returns one
+    /// witness linearization (indices into recording order); `Err(msg)`
+    /// explains the failure.
+    pub fn check(&self, initial: S) -> Result<Vec<usize>, String> {
+        let n = self.entries.len();
+        assert!(n <= 63, "history too large for the bitmask search");
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.ret.is_none() {
+                return Err(format!("operation {i} has no recorded response"));
+            }
+        }
+        // precedence: a must be linearized before b if a.res < b.inv
+        let mut seen: HashSet<(u64, S::Digest)> = HashSet::new();
+        let mut order = Vec::with_capacity(n);
+        if self.dfs(initial, (1u64 << n) - 1, &mut seen, &mut order) {
+            Ok(order)
+        } else {
+            Err(format!(
+                "history of {n} operations is not linearizable: {:?}",
+                self.entries
+                    .iter()
+                    .map(|e| format!("{:?}->{:?} [{} {}]", e.op, e.ret, e.inv, e.res))
+                    .collect::<Vec<_>>()
+            ))
+        }
+    }
+
+    fn dfs(
+        &self,
+        state: S,
+        remaining: u64,
+        seen: &mut HashSet<(u64, S::Digest)>,
+        order: &mut Vec<usize>,
+    ) -> bool {
+        if remaining == 0 {
+            return true;
+        }
+        if !seen.insert((remaining, state.digest())) {
+            return false; // configuration already refuted
+        }
+        // earliest response among remaining ops bounds which ops are minimal
+        let min_res = (0..self.entries.len())
+            .filter(|i| remaining & (1 << i) != 0)
+            .map(|i| self.entries[i].res)
+            .min()
+            .unwrap();
+        for i in 0..self.entries.len() {
+            if remaining & (1 << i) == 0 {
+                continue;
+            }
+            let e = &self.entries[i];
+            if e.inv > min_res {
+                continue; // some remaining op completed before this started
+            }
+            let mut next = state.clone();
+            let got = next.apply(&e.op);
+            if &got != e.ret.as_ref().unwrap() {
+                continue; // spec disagrees with the observed response
+            }
+            order.push(i);
+            if self.dfs(next, remaining & !(1 << i), seen, order) {
+                return true;
+            }
+            order.pop();
+        }
+        false
+    }
+}
+
+/// A shared logical clock for multi-threaded recording.
+#[derive(Default)]
+pub struct Clock(std::sync::atomic::AtomicU64);
+
+impl Clock {
+    /// A clock starting at zero.
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// Takes the next timestamp.
+    pub fn now(&self) -> u64 {
+        self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Sequential specifications
+// ----------------------------------------------------------------------
+
+/// Set operations over small integer keys.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SetOp {
+    /// Add a key; responds whether it was absent.
+    Insert(u64),
+    /// Remove a key; responds whether it was present.
+    Delete(u64),
+    /// Membership test.
+    Find(u64),
+}
+
+/// Sequential set over keys `0..64` (bitmap state).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SetSpec {
+    present: u64,
+}
+
+impl Spec for SetSpec {
+    type Op = SetOp;
+    type Ret = bool;
+    type Digest = u64;
+
+    fn apply(&mut self, op: &SetOp) -> bool {
+        match *op {
+            SetOp::Insert(k) => {
+                assert!(k < 64);
+                let was = self.present & (1 << k) != 0;
+                self.present |= 1 << k;
+                !was
+            }
+            SetOp::Delete(k) => {
+                let was = self.present & (1 << k) != 0;
+                self.present &= !(1 << k);
+                was
+            }
+            SetOp::Find(k) => self.present & (1 << k) != 0,
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        self.present
+    }
+}
+
+/// Queue operations over u64 values.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum QueueOp {
+    /// Append a value (responds with the value, fixed).
+    Enqueue(u64),
+    /// Remove the oldest value (`None` when empty).
+    Dequeue,
+}
+
+/// Responses of [`QueueOp`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueueRet {
+    /// Enqueue acknowledgement.
+    Enqueued,
+    /// Dequeue response.
+    Dequeued(Option<u64>),
+}
+
+/// Sequential FIFO queue.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueueSpec {
+    items: std::collections::VecDeque<u64>,
+}
+
+impl Spec for QueueSpec {
+    type Op = QueueOp;
+    type Ret = QueueRet;
+    type Digest = Vec<u64>;
+
+    fn apply(&mut self, op: &QueueOp) -> QueueRet {
+        match *op {
+            QueueOp::Enqueue(v) => {
+                self.items.push_back(v);
+                QueueRet::Enqueued
+            }
+            QueueOp::Dequeue => QueueRet::Dequeued(self.items.pop_front()),
+        }
+    }
+
+    fn digest(&self) -> Vec<u64> {
+        self.items.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let mut h = History::new();
+        let a = h.invoke(0, SetOp::Insert(1));
+        h.ret(a, true);
+        let b = h.invoke(0, SetOp::Find(1));
+        h.ret(b, true);
+        let c = h.invoke(0, SetOp::Delete(1));
+        h.ret(c, true);
+        assert_eq!(h.check(SetSpec::default()).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wrong_sequential_response_is_rejected() {
+        let mut h = History::new();
+        let a = h.invoke(0, SetOp::Insert(1));
+        h.ret(a, true);
+        let b = h.invoke(0, SetOp::Find(2));
+        h.ret(b, true); // 2 was never inserted
+        assert!(h.check(SetSpec::default()).is_err());
+    }
+
+    #[test]
+    fn overlapping_inserts_one_winner_ok() {
+        let mut h = History::new();
+        let a = h.invoke(0, SetOp::Insert(1));
+        let b = h.invoke(1, SetOp::Insert(1));
+        h.ret(a, true);
+        h.ret(b, false);
+        assert!(h.check(SetSpec::default()).is_ok());
+    }
+
+    #[test]
+    fn overlapping_inserts_two_winners_rejected() {
+        let mut h = History::new();
+        let a = h.invoke(0, SetOp::Insert(1));
+        let b = h.invoke(1, SetOp::Insert(1));
+        h.ret(a, true);
+        h.ret(b, true);
+        assert!(h.check(SetSpec::default()).is_err());
+    }
+
+    #[test]
+    fn real_time_order_is_respected() {
+        // insert(1)=true completes strictly before find(1)=false: not
+        // linearizable (no delete in between)
+        let mut h = History::new();
+        let a = h.invoke(0, SetOp::Insert(1));
+        h.ret(a, true);
+        let b = h.invoke(1, SetOp::Find(1));
+        h.ret(b, false);
+        assert!(h.check(SetSpec::default()).is_err());
+        // but if they overlap, find may linearize first
+        let mut h2 = History::new();
+        let a = h2.invoke(0, SetOp::Insert(1));
+        let b = h2.invoke(1, SetOp::Find(1));
+        h2.ret(a, true);
+        h2.ret(b, false);
+        assert!(h2.check(SetSpec::default()).is_ok());
+    }
+
+    #[test]
+    fn queue_fifo_violation_rejected() {
+        // enqueue 1 then (strictly later) enqueue 2; dequeues (later still)
+        // return 2 before 1: not linearizable
+        let mut h = History::new();
+        let a = h.invoke(0, QueueOp::Enqueue(1));
+        h.ret(a, QueueRet::Enqueued);
+        let b = h.invoke(0, QueueOp::Enqueue(2));
+        h.ret(b, QueueRet::Enqueued);
+        let c = h.invoke(1, QueueOp::Dequeue);
+        h.ret(c, QueueRet::Dequeued(Some(2)));
+        let d = h.invoke(1, QueueOp::Dequeue);
+        h.ret(d, QueueRet::Dequeued(Some(1)));
+        assert!(h.check(QueueSpec::default()).is_err());
+    }
+
+    #[test]
+    fn queue_fifo_ok() {
+        let mut h = History::new();
+        let a = h.invoke(0, QueueOp::Enqueue(1));
+        h.ret(a, QueueRet::Enqueued);
+        let b = h.invoke(0, QueueOp::Enqueue(2));
+        h.ret(b, QueueRet::Enqueued);
+        let c = h.invoke(1, QueueOp::Dequeue);
+        h.ret(c, QueueRet::Dequeued(Some(1)));
+        let d = h.invoke(1, QueueOp::Dequeue);
+        h.ret(d, QueueRet::Dequeued(Some(2)));
+        assert!(h.check(QueueSpec::default()).is_ok());
+        // empty dequeue afterwards
+        let mut h2 = h.clone();
+        let e = h2.invoke(0, QueueOp::Dequeue);
+        h2.ret(e, QueueRet::Dequeued(None));
+        assert!(h2.check(QueueSpec::default()).is_ok());
+    }
+
+    #[test]
+    fn concurrent_recording_api() {
+        let clock = Clock::new();
+        let mut h: History<SetSpec> = History::new();
+        // simulate two threads' recorded tuples
+        let i0 = clock.now();
+        let i1 = clock.now();
+        let r0 = clock.now();
+        let r1 = clock.now();
+        h.record(SetOp::Insert(3), true, i0, r0);
+        h.record(SetOp::Insert(3), false, i1, r1);
+        assert!(h.check(SetSpec::default()).is_ok());
+    }
+
+    #[test]
+    fn memoization_handles_many_overlapping_ops() {
+        // 12 fully-overlapping inserts of the same key, one winner: the
+        // naive search is 12! orders; memoization must make this instant.
+        let mut h = History::new();
+        let toks: Vec<Token> = (0..12).map(|t| h.invoke(t, SetOp::Insert(1))).collect();
+        for (i, t) in toks.into_iter().enumerate() {
+            h.ret(t, i == 7);
+        }
+        assert!(h.check(SetSpec::default()).is_ok());
+    }
+
+    #[test]
+    fn unresponded_operation_rejected() {
+        let mut h: History<SetSpec> = History::new();
+        let _ = h.invoke(0, SetOp::Insert(1));
+        assert!(h.check(SetSpec::default()).is_err());
+    }
+}

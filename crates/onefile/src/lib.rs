@@ -1,0 +1,41 @@
+//! # onefile — a OneFile-style wait-free persistent transactional memory
+//!
+//! The paper's evaluation also measured **OneFile** (Ramalhete, Correia,
+//! Felber, Cohen — DSN '19), the wait-free persistent TM, though its
+//! figures show only RedoOpt "since RedoOpt constantly outperformed
+//! OneFile". This crate rebuilds OneFile's architecture from scratch so the
+//! claim can be checked rather than assumed:
+//!
+//! * **One shared data copy.** Unlike the CX/Redo universal constructions
+//!   (see the `redo` crate), there is no object cloning: the set lives in a
+//!   single region of **sequence-stamped words** (`value | seq << 40`).
+//! * **Per-transaction redo logs.** A committing thread aggregates every
+//!   announced operation into one combined transaction, simulates it
+//!   against the committed state, and writes the resulting
+//!   `(offset, value)` redo log into a freshly allocated, immutable log
+//!   object. A single CAS on the `curTx` word (packing the log's address
+//!   and the new sequence number) commits it.
+//! * **Cooperative application.** Everyone — committer, helpers, readers —
+//!   applies the published log: each word is CASed to `(value, seq)` only
+//!   while its stamp is older than `seq`, so application is idempotent and
+//!   a straggler can never regress a newer write.
+//! * **Wait-freedom by announcement.** An operation returns as soon as
+//!   *some* committed transaction has applied its announce-sequence; every
+//!   combiner applies everyone's pending announcements (the function-
+//!   shipping of real OneFile, specialized to set operations).
+//! * **Durability & detectability.** The log is flushed before the `curTx`
+//!   CAS, applied words are flushed before `curTx` itself is flushed, and
+//!   each thread's response is a logged write to its persistent result
+//!   slot — committed atomically with its operation. Recovery is the same
+//!   `CP_q`/`RD_q` protocol used across this repository.
+//!
+//! The set on top is a sorted linked list with a free-list allocator inside
+//! the region (node reuse is safe: all mutation goes through the committed
+//! redo logs, and readers validate against `curTx`).
+
+#![warn(missing_docs)]
+
+pub mod sites;
+pub mod tm;
+
+pub use tm::OneFileList;

@@ -1,0 +1,28 @@
+//! `pwb` call sites of the OneFile baseline.
+
+use pmem::SiteId;
+
+/// `pwb` of a thread's announce word (thread-private line).
+pub const F_ANNOUNCE: SiteId = SiteId(0);
+/// `pwb`s of a freshly written redo log before publication (not yet shared).
+pub const F_LOG: SiteId = SiteId(1);
+/// `pwb` of a data word after its apply CAS (shared).
+pub const F_WORD: SiteId = SiteId(2);
+/// `pwb` of the `curTx` commit word (shared, contended).
+pub const F_CURTX: SiteId = SiteId(3);
+/// `pwb` of the per-thread `CP_q`/`RD_q` detectability words.
+pub const F_RD: SiteId = SiteId(4);
+
+/// All OneFile sites with human-readable names.
+pub const SITES: [(SiteId, &str); 5] = [
+    (F_ANNOUNCE, "announce"),
+    (F_LOG, "redo-log"),
+    (F_WORD, "data-word"),
+    (F_CURTX, "curtx"),
+    (F_RD, "rd"),
+];
+
+/// Human-readable name of a OneFile site (or `"?"`).
+pub fn site_name(s: SiteId) -> &'static str {
+    SITES.iter().find(|(id, _)| *id == s).map(|(_, n)| *n).unwrap_or("?")
+}

@@ -1,0 +1,136 @@
+//! Word addresses into a [`crate::PmemPool`] and descriptor-pointer tagging.
+//!
+//! The paper's algorithms store *tagged* pointers to operation descriptors in
+//! the `info` field of nodes ("tagging a node is like putting a soft lock on
+//! it"). Tagging is implemented, as in the paper, by setting the least
+//! significant bit of the stored value. Because a [`PAddr`] is a *word*
+//! index (word 0 is reserved as null), every valid address has its LSB free
+//! whenever descriptors are line-aligned — which the pool's allocator
+//! guarantees — so `tagged`/`untagged` never corrupt an address.
+
+/// Number of 64-bit words per simulated cache line (64 bytes).
+pub const WORDS_PER_LINE: usize = 8;
+
+/// A word address inside a [`crate::PmemPool`].
+///
+/// `PAddr(0)` is the null address; the pool never allocates word 0.
+/// Addresses are plain indices, so they remain valid across simulated
+/// crashes and can be stored *inside* persistent memory (as raw `u64`s).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PAddr(pub u64);
+
+impl PAddr {
+    /// The null address (word 0, reserved).
+    pub const NULL: PAddr = PAddr(0);
+
+    /// Is this the null address?
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Word index into the pool's backing array.
+    #[inline]
+    pub fn word(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Index of the cache line containing this word.
+    #[inline]
+    pub fn line(self) -> usize {
+        self.0 as usize / WORDS_PER_LINE
+    }
+
+    /// Address `n` words past this one.
+    #[inline]
+    pub fn add(self, n: u64) -> PAddr {
+        PAddr(self.0 + n)
+    }
+
+    /// Raw value as stored in persistent cells.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs an address from a raw stored value, verbatim.
+    ///
+    /// Word addresses may be odd (a field inside a node), so no tag bit is
+    /// cleared here — values that may carry a descriptor tag go through
+    /// [`untagged`] explicitly (e.g. `Desc::from_raw` in the tracking
+    /// crate).
+    #[inline]
+    pub fn from_raw(v: u64) -> PAddr {
+        PAddr(v)
+    }
+}
+
+/// Returns the tagged version of a stored descriptor pointer (LSB set).
+///
+/// Matches the paper's `getTagged`: the value is unchanged except for the
+/// tag bit, so a tagged and an untagged pointer refer to the same
+/// descriptor.
+#[inline]
+pub fn tagged(v: u64) -> u64 {
+    v | 1
+}
+
+/// Returns the untagged version of a stored descriptor pointer (LSB clear).
+///
+/// Matches the paper's `getUntagged`.
+#[inline]
+pub fn untagged(v: u64) -> u64 {
+    v & !1
+}
+
+/// Is the stored value tagged (paper's `isTagged`)? Null is never tagged.
+#[inline]
+pub fn is_tagged(v: u64) -> bool {
+    v & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_word_zero() {
+        assert!(PAddr::NULL.is_null());
+        assert_eq!(PAddr::NULL.word(), 0);
+        assert!(!PAddr(8).is_null());
+    }
+
+    #[test]
+    fn line_math() {
+        assert_eq!(PAddr(0).line(), 0);
+        assert_eq!(PAddr(7).line(), 0);
+        assert_eq!(PAddr(8).line(), 1);
+        assert_eq!(PAddr(17).line(), 2);
+    }
+
+    #[test]
+    fn add_offsets_words() {
+        assert_eq!(PAddr(8).add(3), PAddr(11));
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        let a = PAddr(48).raw();
+        assert!(!is_tagged(a));
+        let t = tagged(a);
+        assert!(is_tagged(t));
+        assert_eq!(untagged(t), a);
+        assert_eq!(PAddr::from_raw(untagged(t)), PAddr(48));
+        // tagging is idempotent
+        assert_eq!(tagged(t), t);
+        assert_eq!(untagged(untagged(t)), a);
+    }
+
+    #[test]
+    fn from_raw_preserves_odd_field_addresses() {
+        // field addresses inside a node may be odd word indices; from_raw
+        // must not disturb them
+        assert_eq!(PAddr::from_raw(0xCA1).word(), 0xCA1);
+        assert_eq!(PAddr::from_raw(tagged(PAddr(128).raw())).word(), 129);
+    }
+}

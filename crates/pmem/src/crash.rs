@@ -1,0 +1,194 @@
+//! Crash injection: stop a thread at a precise instrumented memory event.
+//!
+//! The paper's system model has *system-wide crash failures* that may strike
+//! at any point of an operation; detectable recovery means the operation's
+//! recovery function must return a correct response no matter where the
+//! crash fell. Real hardware can only sample crash points; this simulator
+//! enumerates them. Every instrumented pool access (`load`, `store`, `cas`,
+//! `pwb`, `pfence`, `psync`) calls [`CrashCtl::tick`]; when a countdown
+//! armed with [`CrashCtl::arm_after`] reaches zero — or a broadcast crash is
+//! raised with [`CrashCtl::raise`] — the tick panics with a [`CrashPoint`]
+//! payload, which [`run_crashable`] converts back into `None`. Tests sweep
+//! the countdown over every step of an operation, call
+//! [`crate::PmemPool::crash`] to resolve volatile state, and then run the
+//! operation's recovery function.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+
+/// Panic payload distinguishing an injected crash from a genuine bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint;
+
+/// Crash-injection control block shared by all threads of a pool.
+pub struct CrashCtl {
+    /// Remaining instrumented events before the injected crash; negative
+    /// means "no countdown armed".
+    countdown: AtomicI64,
+    /// When set, *every* tick on *every* thread crashes (system-wide crash).
+    broadcast: AtomicBool,
+    /// Master switch; kept false in performance runs so `tick` costs one
+    /// predictable branch on a read-only flag.
+    enabled: AtomicBool,
+}
+
+impl CrashCtl {
+    pub(crate) fn new() -> Self {
+        CrashCtl {
+            countdown: AtomicI64::new(-1),
+            broadcast: AtomicBool::new(false),
+            enabled: AtomicBool::new(false),
+        }
+    }
+
+    /// Arms a crash after `n` further instrumented events (0 = the very next
+    /// event crashes).
+    pub fn arm_after(&self, n: u64) {
+        self.countdown.store(n as i64, Ordering::SeqCst);
+        self.broadcast.store(false, Ordering::SeqCst);
+        self.enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Raises a system-wide crash: every thread panics with [`CrashPoint`]
+    /// at its next instrumented event.
+    pub fn raise(&self) {
+        self.broadcast.store(true, Ordering::SeqCst);
+        self.enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarms crash injection (normal operation).
+    pub fn disarm(&self) {
+        self.enabled.store(false, Ordering::SeqCst);
+        self.broadcast.store(false, Ordering::SeqCst);
+        self.countdown.store(-1, Ordering::SeqCst);
+    }
+
+    /// Has a broadcast crash been raised?
+    pub fn raised(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst) && self.broadcast.load(Ordering::SeqCst)
+    }
+
+    /// Called by the pool on every instrumented event. Panics with
+    /// [`CrashPoint`] when an armed crash fires.
+    #[inline]
+    pub fn tick(&self) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.tick_slow();
+    }
+
+    #[cold]
+    fn tick_slow(&self) {
+        if self.broadcast.load(Ordering::SeqCst) {
+            std::panic::panic_any(CrashPoint);
+        }
+        let prev = self.countdown.fetch_sub(1, Ordering::SeqCst);
+        if prev == 0 {
+            std::panic::panic_any(CrashPoint);
+        }
+        // prev < 0: countdown already exhausted by another thread or never
+        // armed; fall through (disarm is the caller's job after the crash).
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent for
+/// injected [`CrashPoint`] panics but delegates everything else to the
+/// previous hook — so crash sweeps don't spam the log while genuine test
+/// failures still print normally. Thread-safe.
+fn install_quiet_hook() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashPoint>().is_none() {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, converting an injected [`CrashPoint`] panic into `None`.
+///
+/// Any other panic is propagated — a genuine bug must still fail the test.
+/// Safe to call concurrently from many threads.
+pub fn run_crashable<R>(f: impl FnOnce() -> R) -> Option<R> {
+    // The closures used in crash tests capture `&PmemPool` etc.; unwinding
+    // is safe because the pool's internal locks are parking_lot guards that
+    // release on unwind and its data is atomics (no torn invariants beyond
+    // what the crash model deliberately examines).
+    install_quiet_hook();
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Some(v),
+        Err(payload) => {
+            if payload.downcast_ref::<CrashPoint>().is_some() {
+                None
+            } else {
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_ticks_are_free() {
+        let c = CrashCtl::new();
+        for _ in 0..1000 {
+            c.tick();
+        }
+    }
+
+    #[test]
+    fn countdown_fires_exactly_at_n() {
+        let c = CrashCtl::new();
+        c.arm_after(3);
+        let r = run_crashable(|| {
+            let mut steps = 0;
+            loop {
+                c.tick();
+                steps += 1;
+                if steps > 10 {
+                    return steps;
+                }
+            }
+        });
+        assert_eq!(r, None);
+        // exactly 3 ticks survived before the 4th crashed
+        c.disarm();
+    }
+
+    #[test]
+    fn countdown_zero_crashes_immediately() {
+        let c = CrashCtl::new();
+        c.arm_after(0);
+        assert_eq!(run_crashable(|| c.tick()), None);
+        c.disarm();
+    }
+
+    #[test]
+    fn broadcast_crashes_all_ticks() {
+        let c = CrashCtl::new();
+        c.raise();
+        assert!(c.raised());
+        assert_eq!(run_crashable(|| c.tick()), None);
+        assert_eq!(run_crashable(|| c.tick()), None);
+        c.disarm();
+        assert!(!c.raised());
+        c.tick(); // no panic after disarm
+    }
+
+    #[test]
+    fn other_panics_propagate() {
+        let r = std::panic::catch_unwind(|| run_crashable(|| panic!("real bug")));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn run_crashable_passes_value() {
+        assert_eq!(run_crashable(|| 42), Some(42));
+    }
+}

@@ -1,0 +1,75 @@
+//! # pmem — a simulated byte-addressable persistent main memory
+//!
+//! This crate is the hardware substrate for the PPoPP '22 paper
+//! *Detectable Recovery of Lock-Free Data Structures* (Attiya, Ben-Baruch,
+//! Fatourou, Hendler, Kosmas). The paper's algorithms run on Intel Optane
+//! DCPMM with explicit epoch persistency: volatile caches, persistent main
+//! memory, and three persistence instructions:
+//!
+//! * **`pwb(x)`** — *persistent write-back*: initiates the write-back of the
+//!   cache line holding `x`. Write-backs of different lines may reorder.
+//! * **`pfence`** — orders preceding `pwb`s before subsequent `pwb`s.
+//! * **`psync`** — waits until all preceding `pwb`s have reached persistent
+//!   memory.
+//!
+//! We do not have NVMM hardware, so [`PmemPool`] simulates it over DRAM with
+//! two orthogonal facilities, selectable per pool via [`PoolCfg`]:
+//!
+//! 1. **Performance backend** ([`Backend`]): in [`Backend::Clflush`] mode a
+//!    `pwb` issues a real `clflush` on the backing cache line and
+//!    `psync`/`pfence` issue a real `sfence`. Flushing DRAM cache lines
+//!    reproduces the *mechanism* behind the paper's persistence-cost
+//!    analysis — a flush of a contended shared line causes coherence misses
+//!    and is expensive, a flush of a thread-private line is cheap — which is
+//!    exactly the low/medium/high categorization of Figures 3e–f, 4e–f, 5
+//!    and 6. [`Backend::Delay`] injects calibrated latencies instead (for
+//!    non-x86 hosts), and [`Backend::Noop`] turns persistence instructions
+//!    into pure counters.
+//! 2. **Crash model** (the `shadow` module, enabled with
+//!    [`PoolCfg::shadow`]): every cache line keeps a *persisted* image and an
+//!    optional *pwb-pending* snapshot. A simulated crash
+//!    ([`PmemPool::crash`]) resolves each line — via a pluggable
+//!    [`shadow::CrashAdversary`] — to its persisted, pending, or current
+//!    volatile content, modeling loss of non-written-back lines as well as
+//!    spontaneous cache evictions. Crash *injection* ([`crash::CrashCtl`])
+//!    panics a thread at the N-th instrumented memory event so tests can
+//!    crash an operation at every single step and exercise its recovery
+//!    function.
+//!
+//! Persistence instructions are *instrumented per call site* ([`SiteId`]):
+//! each `pwb` in an algorithm names the code line it came from, the pool
+//! counts executions per site, and sites can be enabled or disabled at run
+//! time. This is the instrument that regenerates the paper's
+//! categorization experiments without rebuilding: the persistence-free
+//! version is "all sites masked", Figure 3e enables one site at a time, and
+//! Figures 3f/5/6 add or remove whole categories.
+//!
+//! ## Memory layout
+//!
+//! A pool is a flat array of 64-bit words grouped into 64-byte lines (8
+//! words). [`PAddr`] is a word index; `PAddr::NULL` (word 0) is reserved.
+//! Words 8..8+[`NUM_ROOTS`] form a root directory for data-structure entry
+//! points, followed by a per-thread recovery table (one line per thread
+//! holding the paper's `CP_q` and `RD_q` variables — see [`ThreadCtx`]).
+//! All allocations are line-aligned bump allocations; memory is never
+//! recycled during a run, mirroring the paper's reliance on a garbage
+//! collector (their §7 leaves recoverable memory management to future
+//! work) and discharging ABA concerns by construction.
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod crash;
+pub mod persist;
+pub mod pool;
+pub mod shadow;
+pub mod stats;
+pub mod thread;
+
+pub use addr::{is_tagged, tagged, untagged, PAddr, WORDS_PER_LINE};
+pub use crash::{run_crashable, CrashCtl, CrashPoint};
+pub use persist::{Backend, SiteId, MAX_SITES};
+pub use pool::{PmemPool, PoolCfg, NUM_ROOTS};
+pub use shadow::{CrashAdversary, CrashChoice, OptimistAdversary, PessimistAdversary, SeededAdversary};
+pub use stats::StatsSnapshot;
+pub use thread::{ThreadCtx, MAX_THREADS};

@@ -1,0 +1,580 @@
+//! The persistent-memory pool: allocation, word primitives, persistence
+//! instructions, and simulated crashes.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::addr::{PAddr, WORDS_PER_LINE};
+use crate::crash::CrashCtl;
+use crate::persist::{self, Backend, SiteId, SiteMask};
+use crate::shadow::{CrashAdversary, ShadowMem};
+use crate::stats::{Stats, StatsSnapshot};
+
+/// Number of root-directory cells (each on its own cache line).
+pub const NUM_ROOTS: usize = 16;
+
+/// Pool construction parameters.
+#[derive(Clone, Debug)]
+pub struct PoolCfg {
+    /// Pool capacity in bytes (rounded up to whole cache lines).
+    pub capacity: usize,
+    /// Persistence-instruction behaviour (see [`Backend`]).
+    pub backend: Backend,
+    /// Enable the shadow-memory crash model (Model mode). Doubles memory
+    /// use and adds bookkeeping to `pwb`/`psync`; meant for tests, not for
+    /// performance runs.
+    pub shadow: bool,
+    /// Number of per-thread recovery slots (`CP_q`/`RD_q` lines) to reserve.
+    pub max_threads: usize,
+}
+
+impl Default for PoolCfg {
+    fn default() -> Self {
+        PoolCfg {
+            capacity: 64 << 20,
+            backend: Backend::Clflush,
+            shadow: false,
+            max_threads: crate::thread::MAX_THREADS,
+        }
+    }
+}
+
+impl PoolCfg {
+    /// Small shadowed pool with no-op persistence backend: the standard
+    /// configuration for crash-model tests.
+    pub fn model(capacity: usize) -> Self {
+        PoolCfg {
+            capacity,
+            backend: Backend::Noop,
+            shadow: true,
+            ..Default::default()
+        }
+    }
+
+    /// Performance configuration with real cache-line flushes.
+    pub fn perf(capacity: usize) -> Self {
+        PoolCfg {
+            capacity,
+            backend: Backend::Clflush,
+            shadow: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Allocates a zero-initialized `AtomicU64` slice without touching every
+/// page up front (the OS maps zero pages lazily), so multi-GiB pools are
+/// cheap until used.
+pub(crate) fn alloc_zeroed_atomics(n: usize) -> Box<[AtomicU64]> {
+    use std::alloc::{alloc_zeroed, Layout};
+    let layout = Layout::array::<AtomicU64>(n).expect("pool too large");
+    // SAFETY: AtomicU64 is a transparent wrapper over u64 with no drop glue;
+    // the all-zero bit pattern is a valid AtomicU64. The Box takes ownership
+    // of the allocation with the exact layout it was allocated with.
+    unsafe {
+        let ptr = alloc_zeroed(layout) as *mut AtomicU64;
+        assert!(!ptr.is_null(), "pool allocation failed ({n} words)");
+        Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, n))
+    }
+}
+
+/// A simulated persistent main memory (see crate docs).
+///
+/// All methods take `&self`; a pool is shared across threads behind an
+/// `Arc`. Word reads/writes/CAS are the paper's base-object primitives;
+/// [`PmemPool::pwb`], [`PmemPool::pfence`] and [`PmemPool::psync`] are the
+/// persistence instructions.
+pub struct PmemPool {
+    words: Box<[AtomicU64]>,
+    next: AtomicUsize,
+    backend: Backend,
+    shadow: Option<ShadowMem>,
+    stats: Stats,
+    mask: SiteMask,
+    crash_ctl: CrashCtl,
+    recovery_base: usize, // first word of the per-thread recovery table
+    max_threads: usize,
+}
+
+impl PmemPool {
+    /// Creates a pool per `cfg`. Layout: line 0 reserved (null), then
+    /// [`NUM_ROOTS`] root lines, then `cfg.max_threads` recovery lines,
+    /// then the allocatable heap.
+    pub fn new(cfg: PoolCfg) -> Self {
+        let nwords = (cfg.capacity / 8).next_multiple_of(WORDS_PER_LINE).max(
+            (1 + NUM_ROOTS + cfg.max_threads + 16) * WORDS_PER_LINE,
+        );
+        let words = alloc_zeroed_atomics(nwords);
+        let recovery_base = (1 + NUM_ROOTS) * WORDS_PER_LINE;
+        let heap_base = recovery_base + cfg.max_threads * WORDS_PER_LINE;
+        PmemPool {
+            words,
+            next: AtomicUsize::new(heap_base),
+            backend: cfg.backend,
+            shadow: if cfg.shadow { Some(ShadowMem::new(nwords)) } else { None },
+            stats: Stats::new(),
+            mask: SiteMask::all_on(),
+            crash_ctl: CrashCtl::new(),
+            recovery_base,
+            max_threads: cfg.max_threads,
+        }
+    }
+
+    /// Address of root cell `i` (data-structure entry points). Each root
+    /// occupies its own cache line.
+    pub fn root(&self, i: usize) -> PAddr {
+        assert!(i < NUM_ROOTS, "root index out of range");
+        PAddr(((1 + i) * WORDS_PER_LINE) as u64)
+    }
+
+    /// Address of thread `tid`'s recovery line (`CP_q` at word 0, `RD_q` at
+    /// word 1; the rest of the line is padding against false sharing).
+    pub fn recovery_line(&self, tid: usize) -> PAddr {
+        assert!(tid < self.max_threads, "tid {tid} >= max_threads {}", self.max_threads);
+        PAddr((self.recovery_base + tid * WORDS_PER_LINE) as u64)
+    }
+
+    /// Number of recovery slots reserved at construction.
+    pub fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Line-aligned bump allocation of `nlines` cache lines; the memory is
+    /// zeroed. Returns `None` when the pool is exhausted.
+    ///
+    /// Memory is never recycled — the arena stands in for the garbage
+    /// collector the paper assumes (see crate docs), which also rules out
+    /// ABA from address reuse. The bump pointer lives outside pmem but is
+    /// monotone, which is equivalent to persisting the watermark on every
+    /// allocation.
+    pub fn try_alloc_lines(&self, nlines: usize) -> Option<PAddr> {
+        let need = nlines * WORDS_PER_LINE;
+        let mut cur = self.next.load(Ordering::Relaxed);
+        loop {
+            if cur + need > self.words.len() {
+                return None;
+            }
+            match self.next.compare_exchange_weak(
+                cur,
+                cur + need,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(PAddr(cur as u64)),
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Like [`Self::try_alloc_lines`] but panics on exhaustion with an
+    /// actionable message.
+    pub fn alloc_lines(&self, nlines: usize) -> PAddr {
+        self.try_alloc_lines(nlines).unwrap_or_else(|| {
+            panic!(
+                "pmem pool exhausted ({} words): increase PoolCfg.capacity or shorten the run",
+                self.words.len()
+            )
+        })
+    }
+
+    /// Cache lines still available for allocation.
+    pub fn remaining_lines(&self) -> usize {
+        (self.words.len() - self.next.load(Ordering::Relaxed).min(self.words.len()))
+            / WORDS_PER_LINE
+    }
+
+    // ------------------------------------------------------------------
+    // Word primitives (read / write / CAS)
+    // ------------------------------------------------------------------
+
+    /// Atomic read of a word (acquire).
+    #[inline]
+    pub fn load(&self, a: PAddr) -> u64 {
+        self.crash_ctl.tick();
+        self.words[a.word()].load(Ordering::Acquire)
+    }
+
+    /// Atomic write of a word (release). Under TSO (x86) writes become
+    /// visible in program order, matching the paper's model.
+    #[inline]
+    pub fn store(&self, a: PAddr, v: u64) {
+        self.crash_ctl.tick();
+        self.words[a.word()].store(v, Ordering::Release);
+    }
+
+    /// Atomic compare-and-swap. Returns `Ok(old)` on success and `Err(seen)`
+    /// on failure. On x86 this compiles to `lock cmpxchg`, which serializes
+    /// outstanding stores — the very effect behind the paper's finding that
+    /// `psync` cost is negligible in CAS-heavy code (Section 5).
+    #[inline]
+    pub fn cas(&self, a: PAddr, old: u64, new: u64) -> Result<u64, u64> {
+        self.crash_ctl.tick();
+        self.words[a.word()]
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .map_err(|seen| seen)
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence instructions
+    // ------------------------------------------------------------------
+
+    /// `pwb`: initiates write-back of the cache line containing `a`,
+    /// attributed to call site `site`. A disabled site is a no-op that is
+    /// not counted — the site's code line has been "removed" in the paper's
+    /// categorization methodology.
+    #[inline]
+    pub fn pwb(&self, a: PAddr, site: SiteId) {
+        if !self.mask.site_enabled(site) {
+            return;
+        }
+        self.crash_ctl.tick();
+        self.stats.count_pwb(site);
+        match self.backend {
+            Backend::Clflush => {
+                let line_base = a.line() * WORDS_PER_LINE;
+                persist::hw_flush(self.words[line_base..].as_ptr() as *const u8);
+            }
+            Backend::Delay { pwb_ns, .. } => persist::busy_wait_ns(pwb_ns),
+            Backend::Noop => {}
+        }
+        if let Some(sh) = &self.shadow {
+            sh.pwb(&self.words, a.line());
+        }
+    }
+
+    /// `pwb` over a `nwords`-long object: one flush per covered line.
+    #[inline]
+    pub fn pwb_range(&self, a: PAddr, nwords: usize, site: SiteId) {
+        let first = a.line();
+        let last = PAddr(a.raw() + nwords.max(1) as u64 - 1).line();
+        for line in first..=last {
+            self.pwb(PAddr((line * WORDS_PER_LINE) as u64), site);
+        }
+    }
+
+    /// `pfence`: orders preceding `pwb`s before subsequent ones. Like the
+    /// paper's testbed (whose machine lacks a distinct `pfence`), it is
+    /// implemented exactly as `psync`.
+    #[inline]
+    pub fn pfence(&self) {
+        if !self.mask.psync_enabled() {
+            return;
+        }
+        self.crash_ctl.tick();
+        self.stats.count_pfence();
+        self.fence_backend();
+    }
+
+    /// `psync`: waits until all preceding `pwb`s have reached persistent
+    /// memory.
+    #[inline]
+    pub fn psync(&self) {
+        if !self.mask.psync_enabled() {
+            return;
+        }
+        self.crash_ctl.tick();
+        self.stats.count_psync();
+        self.fence_backend();
+    }
+
+    #[inline]
+    fn fence_backend(&self) {
+        match self.backend {
+            Backend::Clflush => persist::hw_sfence(),
+            Backend::Delay { psync_ns, .. } => persist::busy_wait_ns(psync_ns),
+            Backend::Noop => {}
+        }
+        if let Some(sh) = &self.shadow {
+            sh.psync();
+        }
+    }
+
+    /// `pbarrier(x)`: flush an `nwords` object and fence — the paper's
+    /// shorthand for "these pwbs are ordered before whatever follows"
+    /// (Algorithm 1 lines 3 and 19).
+    #[inline]
+    pub fn pbarrier(&self, a: PAddr, nwords: usize, site: SiteId) {
+        self.pwb_range(a, nwords, site);
+        self.pfence();
+    }
+
+    // ------------------------------------------------------------------
+    // Instrumentation control
+    // ------------------------------------------------------------------
+
+    /// Enables/disables one `pwb` call site.
+    pub fn set_site_enabled(&self, site: SiteId, on: bool) {
+        self.mask.set_site(site, on);
+    }
+
+    /// Replaces the whole site mask (bit *i* = site *i* enabled).
+    pub fn set_sites_mask(&self, mask: u64) {
+        self.mask.set_mask(mask);
+    }
+
+    /// Current site mask.
+    pub fn sites_mask(&self) -> u64 {
+        self.mask.mask()
+    }
+
+    /// Enables/disables `psync`/`pfence` (the paper's "no psyncs" variants,
+    /// Figures 3c/4c).
+    pub fn set_psync_enabled(&self, on: bool) {
+        self.mask.set_psync(on);
+    }
+
+    /// Snapshot of the persistence-instruction counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Zeroes the persistence-instruction counters.
+    pub fn stats_reset(&self) {
+        self.stats.reset();
+    }
+
+    /// Crash-injection controls (see [`CrashCtl`]).
+    pub fn crash_ctl(&self) -> &CrashCtl {
+        &self.crash_ctl
+    }
+
+    // ------------------------------------------------------------------
+    // Crash model
+    // ------------------------------------------------------------------
+
+    /// Resolves a simulated system-wide crash (Model mode only): every cache
+    /// line's surviving content is decided by `adversary`, volatile state is
+    /// re-initialized from it, and crash injection is disarmed.
+    ///
+    /// Requires quiescence: all worker threads must have stopped (e.g.
+    /// unwound via an injected [`crate::CrashPoint`]) before this is called.
+    ///
+    /// # Panics
+    /// If the pool was built without `shadow` (there is no crash model to
+    /// consult in Perf mode).
+    pub fn crash(&self, adversary: &mut dyn CrashAdversary) {
+        let sh = self
+            .shadow
+            .as_ref()
+            .expect("PmemPool::crash requires PoolCfg.shadow = true (Model mode)");
+        self.crash_ctl.disarm();
+        // Only lines up to the allocation watermark can differ between the
+        // volatile and persisted views.
+        let nlines = self.next.load(Ordering::Relaxed).div_ceil(WORDS_PER_LINE);
+        sh.crash(&self.words, adversary, nlines);
+    }
+
+    /// Reads the *persisted* image of a word (Model mode test introspection).
+    pub fn persisted_load(&self, a: PAddr) -> u64 {
+        self.shadow
+            .as_ref()
+            .expect("persisted_load requires Model mode")
+            .persisted_load(a.word())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shadow::PessimistAdversary;
+
+    fn model_pool() -> PmemPool {
+        PmemPool::new(PoolCfg::model(1 << 20))
+    }
+
+    #[test]
+    fn layout_reserves_null_roots_recovery() {
+        let p = model_pool();
+        assert!(p.root(0).word() >= WORDS_PER_LINE); // line 0 reserved
+        assert_eq!(p.root(1).word() - p.root(0).word(), WORDS_PER_LINE);
+        let r0 = p.recovery_line(0);
+        assert!(r0.word() > p.root(NUM_ROOTS - 1).word());
+        let heap = p.alloc_lines(1);
+        assert!(heap.word() > p.recovery_line(p.max_threads() - 1).word());
+    }
+
+    #[test]
+    #[should_panic(expected = "root index")]
+    fn root_bounds_checked() {
+        model_pool().root(NUM_ROOTS);
+    }
+
+    #[test]
+    fn alloc_is_line_aligned_and_disjoint() {
+        let p = model_pool();
+        let a = p.alloc_lines(1);
+        let b = p.alloc_lines(2);
+        let c = p.alloc_lines(1);
+        assert_eq!(a.word() % WORDS_PER_LINE, 0);
+        assert_eq!(b.word(), a.word() + WORDS_PER_LINE);
+        assert_eq!(c.word(), b.word() + 2 * WORDS_PER_LINE);
+    }
+
+    #[test]
+    fn alloc_exhaustion_returns_none() {
+        let p = PmemPool::new(PoolCfg::model(0)); // minimum-size pool
+        // eat everything
+        while p.try_alloc_lines(1).is_some() {}
+        assert!(p.try_alloc_lines(1).is_none());
+        assert_eq!(p.remaining_lines(), 0);
+    }
+
+    #[test]
+    fn load_store_cas_roundtrip() {
+        let p = model_pool();
+        let a = p.alloc_lines(1);
+        assert_eq!(p.load(a), 0); // zero-initialized
+        p.store(a, 17);
+        assert_eq!(p.load(a), 17);
+        assert_eq!(p.cas(a, 17, 23), Ok(17));
+        assert_eq!(p.load(a), 23);
+        assert_eq!(p.cas(a, 17, 99), Err(23));
+        assert_eq!(p.load(a), 23);
+    }
+
+    #[test]
+    fn stats_count_instructions() {
+        let p = model_pool();
+        let a = p.alloc_lines(1);
+        p.pwb(a, SiteId(2));
+        p.pwb(a, SiteId(2));
+        p.psync();
+        p.pfence();
+        let s = p.stats();
+        assert_eq!(s.pwb_at(SiteId(2)), 2);
+        assert_eq!(s.psync, 1);
+        assert_eq!(s.pfence, 1);
+    }
+
+    #[test]
+    fn disabled_site_neither_flushes_nor_counts() {
+        let p = model_pool();
+        let a = p.alloc_lines(1);
+        p.store(a, 5);
+        p.set_site_enabled(SiteId(1), false);
+        p.pwb(a, SiteId(1));
+        p.psync();
+        assert_eq!(p.stats().pwb_at(SiteId(1)), 0);
+        // not flushed => lost by a pessimist crash
+        p.crash(&mut PessimistAdversary);
+        assert_eq!(p.load(a), 0);
+    }
+
+    #[test]
+    fn disabled_psync_not_counted_and_not_committed() {
+        let p = model_pool();
+        let a = p.alloc_lines(1);
+        p.store(a, 5);
+        p.pwb(a, SiteId(0));
+        p.set_psync_enabled(false);
+        p.psync();
+        assert_eq!(p.stats().psync, 0);
+        p.crash(&mut PessimistAdversary);
+        assert_eq!(p.load(a), 0, "psync was disabled, pwb never committed");
+    }
+
+    #[test]
+    fn pwb_psync_makes_word_durable() {
+        let p = model_pool();
+        let a = p.alloc_lines(1);
+        p.store(a, 5);
+        p.pwb(a, SiteId(0));
+        p.psync();
+        p.crash(&mut PessimistAdversary);
+        assert_eq!(p.load(a), 5);
+        assert_eq!(p.persisted_load(a), 5);
+    }
+
+    #[test]
+    fn pwb_range_covers_multi_line_objects() {
+        let p = model_pool();
+        let a = p.alloc_lines(2); // 16-word object
+        for i in 0..16 {
+            p.store(a.add(i), i + 1);
+        }
+        p.pwb_range(a, 16, SiteId(0));
+        p.psync();
+        p.crash(&mut PessimistAdversary);
+        for i in 0..16 {
+            assert_eq!(p.load(a.add(i)), i + 1);
+        }
+        assert_eq!(p.stats().pwb_at(SiteId(0)), 2); // two lines, two pwbs
+    }
+
+    #[test]
+    fn pbarrier_is_pwb_plus_fence() {
+        let p = model_pool();
+        let a = p.alloc_lines(1);
+        p.store(a, 9);
+        p.pbarrier(a, 1, SiteId(3));
+        let s = p.stats();
+        assert_eq!(s.pwb_at(SiteId(3)), 1);
+        assert_eq!(s.pfence, 1);
+        p.crash(&mut PessimistAdversary);
+        assert_eq!(p.load(a), 9);
+    }
+
+    #[test]
+    fn crash_injection_stops_mid_sequence() {
+        let p = model_pool();
+        let a = p.alloc_lines(1);
+        p.crash_ctl().arm_after(2); // two events survive, third crashes
+        let done = crate::crash::run_crashable(|| {
+            p.store(a, 1); // event 0
+            p.pwb(a, SiteId(0)); // event 1
+            p.psync(); // event 2 -> crash before completing
+            true
+        });
+        assert_eq!(done, None);
+        p.crash(&mut PessimistAdversary);
+        // The pwb was issued but never synced; pessimist drops it.
+        assert_eq!(p.load(a), 0);
+    }
+
+    #[test]
+    fn perf_mode_pool_smoke() {
+        let p = PmemPool::new(PoolCfg::perf(1 << 20));
+        let a = p.alloc_lines(1);
+        p.store(a, 7);
+        p.pwb(a, SiteId(0)); // real clflush on x86-64
+        p.psync(); // real sfence
+        assert_eq!(p.load(a), 7);
+        assert_eq!(p.stats().pwb_total(), 1);
+    }
+
+    #[test]
+    fn delay_backend_injects_latency() {
+        let p = PmemPool::new(PoolCfg {
+            capacity: 1 << 20,
+            backend: Backend::Delay { pwb_ns: 200_000, psync_ns: 0 },
+            shadow: false,
+            ..Default::default()
+        });
+        let a = p.alloc_lines(1);
+        let t = std::time::Instant::now();
+        p.pwb(a, SiteId(0));
+        assert!(t.elapsed().as_nanos() >= 200_000);
+    }
+
+    #[test]
+    fn concurrent_allocation_is_disjoint() {
+        let p = std::sync::Arc::new(model_pool());
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..100).map(|_| p.alloc_lines(1).word()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 400, "allocations overlapped");
+    }
+}

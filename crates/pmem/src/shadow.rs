@@ -1,0 +1,323 @@
+//! Shadow memory: the crash *model* (Model mode).
+//!
+//! Under the paper's explicit epoch persistency model, a write reaches
+//! persistent memory when (a) its cache line is explicitly written back with
+//! `pwb` and a later `psync` completes, or (b) the line happens to be
+//! evicted. A write that did neither is lost by a crash. The shadow keeps,
+//! for every cache line,
+//!
+//! * the **persisted** image — the content guaranteed durable (committed by
+//!   `psync`),
+//! * an optional **pending** snapshot — taken at `pwb` time, durable *iff*
+//!   the write-back completed before the crash,
+//! * while the pool's own word array plays the role of the **volatile**
+//!   (cache) view.
+//!
+//! A simulated crash asks a [`CrashAdversary`] to resolve each line to one
+//! of the three images ([`CrashChoice`]); choosing `Volatile` models a
+//! spontaneous eviction, `Pending` a completed-but-unsynced write-back, and
+//! `Persisted` the maximal loss. Per-location write-backs preserve program
+//! order (the three images of a line are temporally ordered), while
+//! different lines resolve independently (write-backs of different lines may
+//! reorder) — matching Section 2 of the paper.
+//!
+//! One deliberate simplification: `psync` commits *all* pending snapshots,
+//! not just the calling thread's. This only ever makes *more* data durable,
+//! never creates a state unreachable on real hardware (the same snapshots
+//! could have been evicted), so it cannot mask a false positive in crash
+//! tests; it merely under-approximates maximal adversarial loss across
+//! concurrently crashing threads.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::addr::WORDS_PER_LINE;
+
+/// How a crash resolves one cache line.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CrashChoice {
+    /// The line keeps only its persisted image: every un-synced write to it
+    /// is lost (maximal loss).
+    Persisted,
+    /// The pending `pwb` snapshot made it to memory, writes after the `pwb`
+    /// are lost. Falls back to `Persisted` if the line has no pending
+    /// snapshot.
+    Pending,
+    /// The line was evicted at crash time: the full volatile content
+    /// survives (minimal loss).
+    Volatile,
+}
+
+/// Decides, per cache line, what a crash leaves in persistent memory.
+pub trait CrashAdversary {
+    /// Chooses the surviving image for `line` (which differs between its
+    /// volatile and persisted views, and/or has a pending snapshot).
+    fn choose(&mut self, line: usize, has_pending: bool) -> CrashChoice;
+}
+
+/// Maximal-loss adversary: every un-synced write is dropped.
+pub struct PessimistAdversary;
+
+impl CrashAdversary for PessimistAdversary {
+    fn choose(&mut self, _line: usize, _has_pending: bool) -> CrashChoice {
+        CrashChoice::Persisted
+    }
+}
+
+/// Minimal-loss adversary: every line behaves as if evicted (all writes
+/// survive). Useful to isolate thread-crash handling from memory loss.
+pub struct OptimistAdversary;
+
+impl CrashAdversary for OptimistAdversary {
+    fn choose(&mut self, _line: usize, _has_pending: bool) -> CrashChoice {
+        CrashChoice::Volatile
+    }
+}
+
+/// Deterministic pseudo-random adversary (xorshift64*), for randomized crash
+/// sweeps that must be reproducible from a seed.
+pub struct SeededAdversary {
+    state: u64,
+}
+
+impl SeededAdversary {
+    /// Creates an adversary from a non-zero seed (0 is mapped to a fixed
+    /// constant).
+    pub fn new(seed: u64) -> Self {
+        SeededAdversary {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64* — small, deterministic, dependency-free
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+impl CrashAdversary for SeededAdversary {
+    fn choose(&mut self, _line: usize, has_pending: bool) -> CrashChoice {
+        match self.next() % if has_pending { 3 } else { 2 } {
+            0 => CrashChoice::Persisted,
+            1 => CrashChoice::Volatile,
+            _ => CrashChoice::Pending,
+        }
+    }
+}
+
+type LineSnap = [u64; WORDS_PER_LINE];
+
+/// The shadow images backing Model mode (see module docs).
+pub(crate) struct ShadowMem {
+    persisted: Box<[AtomicU64]>,
+    pending: Mutex<HashMap<usize, LineSnap>>,
+}
+
+impl ShadowMem {
+    pub(crate) fn new(nwords: usize) -> Self {
+        ShadowMem {
+            persisted: crate::pool::alloc_zeroed_atomics(nwords),
+            pending: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Records a `pwb` of `line`: snapshots the current volatile content.
+    pub(crate) fn pwb(&self, volatile: &[AtomicU64], line: usize) {
+        let base = line * WORDS_PER_LINE;
+        let snap: LineSnap =
+            std::array::from_fn(|i| volatile[base + i].load(Ordering::Acquire));
+        self.pending.lock().insert(line, snap);
+    }
+
+    /// Commits every pending snapshot to the persisted image (`psync`).
+    pub(crate) fn psync(&self) {
+        let mut pend = self.pending.lock();
+        for (line, snap) in pend.drain() {
+            let base = line * WORDS_PER_LINE;
+            for (i, w) in snap.iter().enumerate() {
+                self.persisted[base + i].store(*w, Ordering::Release);
+            }
+        }
+    }
+
+    /// Reads the persisted image of a word (test introspection).
+    pub(crate) fn persisted_load(&self, word: usize) -> u64 {
+        self.persisted[word].load(Ordering::Acquire)
+    }
+
+    /// Resolves a crash: rewrites both the volatile and persisted views of
+    /// every line per the adversary's choices. Requires quiescence (no
+    /// concurrent pool operations) — callers crash/join all worker threads
+    /// first. `nlines` bounds the scan to the allocated prefix of the pool
+    /// (untouched lines are identical in both views by construction).
+    pub(crate) fn crash(
+        &self,
+        volatile: &[AtomicU64],
+        adversary: &mut dyn CrashAdversary,
+        nlines: usize,
+    ) {
+        let mut pend = self.pending.lock();
+        for line in 0..nlines {
+            let base = line * WORDS_PER_LINE;
+            let pending = pend.remove(&line);
+            let differs = (0..WORDS_PER_LINE).any(|i| {
+                volatile[base + i].load(Ordering::Acquire)
+                    != self.persisted[base + i].load(Ordering::Acquire)
+            });
+            if !differs && pending.is_none() {
+                continue;
+            }
+            let choice = adversary.choose(line, pending.is_some());
+            let image: LineSnap = match (choice, pending) {
+                (CrashChoice::Volatile, _) => {
+                    std::array::from_fn(|i| volatile[base + i].load(Ordering::Acquire))
+                }
+                (CrashChoice::Pending, Some(snap)) => snap,
+                // Pending without a snapshot degrades to the persisted image
+                _ => std::array::from_fn(|i| self.persisted[base + i].load(Ordering::Acquire)),
+            };
+            for (i, w) in image.iter().enumerate() {
+                volatile[base + i].store(*w, Ordering::Release);
+                self.persisted[base + i].store(*w, Ordering::Release);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(nwords: usize) -> (Box<[AtomicU64]>, ShadowMem) {
+        (crate::pool::alloc_zeroed_atomics(nwords), ShadowMem::new(nwords))
+    }
+
+    #[test]
+    fn unflushed_write_lost_under_pessimist() {
+        let (vol, sh) = mk(16);
+        vol[3].store(7, Ordering::Release);
+        sh.crash(&vol, &mut PessimistAdversary, vol.len() / WORDS_PER_LINE);
+        assert_eq!(vol[3].load(Ordering::Acquire), 0);
+        assert_eq!(sh.persisted_load(3), 0);
+    }
+
+    #[test]
+    fn pwb_plus_psync_survives_any_adversary() {
+        let (vol, sh) = mk(16);
+        vol[3].store(7, Ordering::Release);
+        sh.pwb(&vol, 0);
+        sh.psync();
+        sh.crash(&vol, &mut PessimistAdversary, vol.len() / WORDS_PER_LINE);
+        assert_eq!(vol[3].load(Ordering::Acquire), 7);
+    }
+
+    #[test]
+    fn pwb_without_psync_may_or_may_not_survive() {
+        // Pending choice keeps it; Persisted choice drops it.
+        let (vol, sh) = mk(16);
+        vol[3].store(7, Ordering::Release);
+        sh.pwb(&vol, 0);
+        struct PickPending;
+        impl CrashAdversary for PickPending {
+            fn choose(&mut self, _: usize, has_pending: bool) -> CrashChoice {
+                assert!(has_pending);
+                CrashChoice::Pending
+            }
+        }
+        sh.crash(&vol, &mut PickPending, vol.len() / WORDS_PER_LINE);
+        assert_eq!(vol[3].load(Ordering::Acquire), 7);
+
+        let (vol2, sh2) = mk(16);
+        vol2[3].store(7, Ordering::Release);
+        sh2.pwb(&vol2, 0);
+        sh2.crash(&vol2, &mut PessimistAdversary, vol2.len() / WORDS_PER_LINE);
+        assert_eq!(vol2[3].load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn write_after_pwb_not_covered_by_pending() {
+        let (vol, sh) = mk(16);
+        vol[3].store(7, Ordering::Release);
+        sh.pwb(&vol, 0);
+        vol[3].store(9, Ordering::Release); // dirties the line again
+        struct PickPending;
+        impl CrashAdversary for PickPending {
+            fn choose(&mut self, _: usize, _: bool) -> CrashChoice {
+                CrashChoice::Pending
+            }
+        }
+        sh.crash(&vol, &mut PickPending, vol.len() / WORDS_PER_LINE);
+        assert_eq!(vol[3].load(Ordering::Acquire), 7); // 9 was never written back
+    }
+
+    #[test]
+    fn eviction_choice_keeps_everything() {
+        let (vol, sh) = mk(16);
+        vol[1].store(5, Ordering::Release);
+        vol[9].store(6, Ordering::Release);
+        sh.crash(&vol, &mut OptimistAdversary, vol.len() / WORDS_PER_LINE);
+        assert_eq!(vol[1].load(Ordering::Acquire), 5);
+        assert_eq!(vol[9].load(Ordering::Acquire), 6);
+        assert_eq!(sh.persisted_load(9), 6);
+    }
+
+    #[test]
+    fn lines_resolve_independently() {
+        let (vol, sh) = mk(16);
+        vol[1].store(5, Ordering::Release); // line 0
+        vol[9].store(6, Ordering::Release); // line 1
+        struct Split;
+        impl CrashAdversary for Split {
+            fn choose(&mut self, line: usize, _: bool) -> CrashChoice {
+                if line == 0 {
+                    CrashChoice::Persisted
+                } else {
+                    CrashChoice::Volatile
+                }
+            }
+        }
+        sh.crash(&vol, &mut Split, vol.len() / WORDS_PER_LINE);
+        assert_eq!(vol[1].load(Ordering::Acquire), 0);
+        assert_eq!(vol[9].load(Ordering::Acquire), 6);
+    }
+
+    #[test]
+    fn psync_only_commits_snapshot_content() {
+        let (vol, sh) = mk(16);
+        vol[2].store(1, Ordering::Release);
+        sh.pwb(&vol, 0);
+        vol[2].store(2, Ordering::Release);
+        sh.psync(); // commits the snapshot (1), not the later write (2)
+        assert_eq!(sh.persisted_load(2), 1);
+        sh.crash(&vol, &mut PessimistAdversary, vol.len() / WORDS_PER_LINE);
+        assert_eq!(vol[2].load(Ordering::Acquire), 1);
+    }
+
+    #[test]
+    fn seeded_adversary_is_deterministic() {
+        let mut a = SeededAdversary::new(42);
+        let mut b = SeededAdversary::new(42);
+        for line in 0..100 {
+            assert_eq!(a.choose(line, line % 2 == 0), b.choose(line, line % 2 == 0));
+        }
+    }
+
+    #[test]
+    fn clean_lines_untouched() {
+        let (vol, sh) = mk(16);
+        struct MustNotBeAsked;
+        impl CrashAdversary for MustNotBeAsked {
+            fn choose(&mut self, _: usize, _: bool) -> CrashChoice {
+                panic!("adversary consulted for a clean line");
+            }
+        }
+        sh.crash(&vol, &mut MustNotBeAsked, vol.len() / WORDS_PER_LINE);
+    }
+}

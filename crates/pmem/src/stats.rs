@@ -1,0 +1,143 @@
+//! Per-site persistence-instruction counters.
+//!
+//! Figures 3b/4b (number of `psync`s) and 3d/4d (number of `pwb`s) of the
+//! paper are pure instruction counts; Figures 3e/4e additionally need the
+//! counts *per call site* so executed `pwb`s can be attributed to the
+//! low/medium/high impact categories. Counters are plain relaxed atomics —
+//! one increment per instruction — and can be snapshot/delta'd around a
+//! timed benchmark window.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::persist::{SiteId, MAX_SITES};
+
+/// Live counters owned by a pool.
+pub(crate) struct Stats {
+    pwb_per_site: [AtomicU64; MAX_SITES],
+    psync: AtomicU64,
+    pfence: AtomicU64,
+}
+
+impl Stats {
+    pub(crate) fn new() -> Self {
+        Stats {
+            pwb_per_site: std::array::from_fn(|_| AtomicU64::new(0)),
+            psync: AtomicU64::new(0),
+            pfence: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn count_pwb(&self, s: SiteId) {
+        self.pwb_per_site[s.idx()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn count_psync(&self) {
+        self.psync.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn count_pfence(&self) {
+        self.pfence.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            pwb_per_site: std::array::from_fn(|i| self.pwb_per_site[i].load(Ordering::Relaxed)),
+            psync: self.psync.load(Ordering::Relaxed),
+            pfence: self.pfence.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for c in &self.pwb_per_site {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.psync.store(0, Ordering::Relaxed);
+        self.pfence.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a pool's persistence-instruction counters.
+#[derive(Clone, Debug)]
+pub struct StatsSnapshot {
+    /// Executed `pwb`s per call site.
+    pub pwb_per_site: [u64; MAX_SITES],
+    /// Executed `psync`s.
+    pub psync: u64,
+    /// Executed `pfence`s.
+    pub pfence: u64,
+}
+
+impl StatsSnapshot {
+    /// Total `pwb`s across all sites.
+    pub fn pwb_total(&self) -> u64 {
+        self.pwb_per_site.iter().sum()
+    }
+
+    /// Counter deltas `self - earlier` (for bracketing a benchmark window).
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            pwb_per_site: std::array::from_fn(|i| {
+                self.pwb_per_site[i].saturating_sub(earlier.pwb_per_site[i])
+            }),
+            psync: self.psync.saturating_sub(earlier.psync),
+            pfence: self.pfence.saturating_sub(earlier.pfence),
+        }
+    }
+
+    /// Executed `pwb`s for one site.
+    pub fn pwb_at(&self, s: SiteId) -> u64 {
+        self.pwb_per_site[s.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_per_site() {
+        let s = Stats::new();
+        s.count_pwb(SiteId(0));
+        s.count_pwb(SiteId(0));
+        s.count_pwb(SiteId(5));
+        s.count_psync();
+        s.count_pfence();
+        s.count_pfence();
+        let snap = s.snapshot();
+        assert_eq!(snap.pwb_at(SiteId(0)), 2);
+        assert_eq!(snap.pwb_at(SiteId(5)), 1);
+        assert_eq!(snap.pwb_at(SiteId(1)), 0);
+        assert_eq!(snap.pwb_total(), 3);
+        assert_eq!(snap.psync, 1);
+        assert_eq!(snap.pfence, 2);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let s = Stats::new();
+        s.count_pwb(SiteId(2));
+        let a = s.snapshot();
+        s.count_pwb(SiteId(2));
+        s.count_pwb(SiteId(3));
+        s.count_psync();
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.pwb_at(SiteId(2)), 1);
+        assert_eq!(d.pwb_at(SiteId(3)), 1);
+        assert_eq!(d.psync, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = Stats::new();
+        s.count_pwb(SiteId(1));
+        s.count_psync();
+        s.reset();
+        let snap = s.snapshot();
+        assert_eq!(snap.pwb_total(), 0);
+        assert_eq!(snap.psync, 0);
+    }
+}

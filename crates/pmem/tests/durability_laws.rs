@@ -1,0 +1,141 @@
+//! Property-based tests of the shadow crash model's durability laws.
+//!
+//! The laws being checked (for arbitrary interleavings of writes, `pwb`s,
+//! `pfence`s, `psync`s and a final crash):
+//!
+//! 1. **Persistence**: a write whose line was `pwb`ed and then `psync`ed
+//!    (with no later write to that word) survives *any* adversary.
+//! 2. **Monotonicity**: under the pessimist adversary, every surviving word
+//!    holds a value that was actually written (or the initial zero) — the
+//!    crash can lose suffixes, never invent values.
+//! 3. **Line granularity**: resolution never tears below the tracked
+//!    granularity — a surviving value for word `w` was `w`'s value at some
+//!    pwb/psync/crash boundary.
+
+use pmem::{PessimistAdversary, PmemPool, PoolCfg, SeededAdversary, SiteId};
+use proptest::prelude::*;
+
+#[derive(Copy, Clone, Debug)]
+enum Step {
+    Write { word: u8, val: u8 },
+    Pwb { word: u8 },
+    Psync,
+    Pfence,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..32, 1u8..255).prop_map(|(word, val)| Step::Write { word, val }),
+        (0u8..32).prop_map(|word| Step::Pwb { word }),
+        Just(Step::Psync),
+        Just(Step::Pfence),
+    ]
+}
+
+/// Replays `steps` on a model pool, returning (pool, base address, the
+/// per-word set of values ever written, the per-word durable-for-sure
+/// value).
+fn replay(steps: &[Step]) -> (PmemPool, pmem::PAddr, Vec<Vec<u64>>, Vec<Option<u64>>) {
+    let pool = PmemPool::new(PoolCfg::model(1 << 20));
+    let base = pool.alloc_lines(4); // 32 words
+    let mut written: Vec<Vec<u64>> = vec![vec![0]; 32];
+    // word -> value covered by the latest pwb of its line, not yet synced
+    let mut pending: Vec<Option<u64>> = vec![None; 32];
+    let mut durable: Vec<Option<u64>> = vec![Some(0); 32];
+    let mut current: Vec<u64> = vec![0; 32];
+    for s in steps {
+        match *s {
+            Step::Write { word, val } => {
+                let w = word as usize;
+                pool.store(base.add(w as u64), val as u64);
+                current[w] = val as u64;
+                written[w].push(val as u64);
+                // a write after the pwb is not covered by it
+            }
+            Step::Pwb { word } => {
+                let w = word as usize;
+                pool.pwb(base.add(w as u64), SiteId(0));
+                // the pwb covers the whole line's current content
+                let line = w / 8 * 8;
+                for i in line..line + 8 {
+                    pending[i] = Some(current[i]);
+                }
+            }
+            Step::Psync | Step::Pfence => {
+                if matches!(s, Step::Psync) {
+                    pool.psync();
+                } else {
+                    pool.pfence();
+                }
+                for i in 0..32 {
+                    if let Some(v) = pending[i].take() {
+                        durable[i] = Some(v);
+                    }
+                }
+            }
+        }
+    }
+    (pool, base, written, durable)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn synced_writes_survive_the_pessimist(steps in prop::collection::vec(step_strategy(), 0..60)) {
+        let (pool, base, _written, durable) = replay(&steps);
+        pool.crash(&mut PessimistAdversary);
+        for (w, d) in durable.iter().enumerate() {
+            // The pessimist keeps exactly the durable image.
+            prop_assert_eq!(
+                pool.load(base.add(w as u64)),
+                d.unwrap(),
+                "word {} lost its synced value", w
+            );
+        }
+    }
+
+    #[test]
+    fn crashes_never_invent_values(
+        steps in prop::collection::vec(step_strategy(), 0..60),
+        seed in any::<u64>(),
+    ) {
+        let (pool, base, written, _durable) = replay(&steps);
+        pool.crash(&mut SeededAdversary::new(seed | 1));
+        for (w, vals) in written.iter().enumerate() {
+            let got = pool.load(base.add(w as u64));
+            prop_assert!(
+                vals.contains(&got),
+                "word {} holds {} which was never written (history {:?})", w, got, vals
+            );
+        }
+    }
+
+    #[test]
+    fn volatile_view_equals_persisted_view_after_crash(
+        steps in prop::collection::vec(step_strategy(), 0..60),
+        seed in any::<u64>(),
+    ) {
+        let (pool, base, _written, _durable) = replay(&steps);
+        pool.crash(&mut SeededAdversary::new(seed | 1));
+        for w in 0..32u64 {
+            prop_assert_eq!(
+                pool.load(base.add(w)),
+                pool.persisted_load(base.add(w)),
+                "post-crash volatile and persisted views diverge at word {}", w
+            );
+        }
+    }
+
+    #[test]
+    fn double_crash_is_idempotent_under_pessimist(
+        steps in prop::collection::vec(step_strategy(), 0..60),
+    ) {
+        let (pool, base, _w, _d) = replay(&steps);
+        pool.crash(&mut PessimistAdversary);
+        let first: Vec<u64> = (0..32).map(|w| pool.load(base.add(w))).collect();
+        pool.crash(&mut PessimistAdversary);
+        let second: Vec<u64> = (0..32).map(|w| pool.load(base.add(w))).collect();
+        prop_assert_eq!(first, second, "a second crash changed settled state");
+    }
+}

@@ -1,0 +1,38 @@
+//! # redo — the RedoOpt-style persistent universal construction baseline
+//!
+//! Section 5 of the paper measures the Redo family of wait-free persistent
+//! universal constructions (Correia–Felber–Ramalhete, EuroSys '20) and
+//! presents **RedoOpt**, the variant that "constantly outperformed OneFile
+//! and all other algorithms in \[16\]". This crate rebuilds that competitor's
+//! architecture from scratch over the simulated NVMM of [`pmem`]:
+//!
+//! * Threads **announce** operations in a per-thread persistent announce
+//!   word (op, key and sequence number packed into one CASable word).
+//! * Any thread may act as **combiner**: it clones the current persistent
+//!   state object, applies *all* pending announced operations to the clone
+//!   (recording each thread's last applied sequence number and response
+//!   inside the state object), flushes the clone with a single fence, and
+//!   swings the root pointer with a CAS. Losing combiners' clones are
+//!   discarded; every announced operation is applied exactly once because
+//!   application is keyed by sequence number.
+//! * **Detectability**: responses live inside the committed state object,
+//!   so after a crash a thread compares its announce word's sequence
+//!   number against the state's applied-sequence table — matching means
+//!   the response is recorded; anything else means the operation never
+//!   took effect and may be re-invoked.
+//!
+//! The combining loop gives the same helping-based progress as the CX/Redo
+//! constructions: a thread returns as soon as *some* combiner has applied
+//! its announcement, and every combiner applies everyone's pending work.
+//!
+//! The state object of the benchmarked set is a sorted key array (the
+//! universal construction copies whole objects regardless of their shape,
+//! which is exactly the cost profile that separates UCs from native
+//! structures in the paper's Figures 3a/4a).
+
+#![warn(missing_docs)]
+
+pub mod sites;
+pub mod uc;
+
+pub use uc::RedoSet;

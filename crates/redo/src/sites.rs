@@ -1,0 +1,22 @@
+//! `pwb` call sites of the RedoOpt-style universal construction.
+
+use pmem::SiteId;
+
+/// `pwb` of a thread's announce word (thread-private line: cheap).
+pub const X_ANNOUNCE: SiteId = SiteId(0);
+/// `pwb`s of a freshly built state object before publication (not yet
+/// shared: cheap per line, but many lines — the UC's volume cost).
+pub const X_STATE: SiteId = SiteId(1);
+/// `pwb` of the root pointer after the publishing CAS (shared, contended).
+pub const X_ROOT: SiteId = SiteId(2);
+/// `pwb` of the per-thread `CP_q`/`RD_q` detectability words.
+pub const X_RD: SiteId = SiteId(3);
+
+/// All redo sites with human-readable names.
+pub const SITES: [(SiteId, &str); 4] =
+    [(X_ANNOUNCE, "announce"), (X_STATE, "state-copy"), (X_ROOT, "root"), (X_RD, "rd")];
+
+/// Human-readable name of a redo site (or `"?"`).
+pub fn site_name(s: SiteId) -> &'static str {
+    SITES.iter().find(|(id, _)| *id == s).map(|(_, n)| *n).unwrap_or("?")
+}

@@ -1,0 +1,48 @@
+//! # romulus — the Romulus durable-TM baseline of the paper
+//!
+//! Section 5 compares Tracking against **Romulus** (Correia–Felber–
+//! Ramalhete, SPAA '18), a *blocking* persistent transactional memory that
+//! provides durability and detectability: update transactions run under a
+//! writer lock over a **twin-region** heap (a `main` region the program
+//! reads and writes, and a `back` region holding the last committed state),
+//! with a persistent three-state flag driving crash recovery:
+//!
+//! ```text
+//! IDLE ──► MUTATING (apply writes to main, flush)
+//!      ──► COPYING  (copy dirtied words main → back, flush)
+//!      ──► IDLE
+//! ```
+//!
+//! A crash in `MUTATING` rolls `main` back from `back`; a crash in
+//! `COPYING` rolls `back` forward from `main`; either way exactly one
+//! consistent committed state survives — transactions are failure-atomic.
+//!
+//! This crate rebuilds the baseline from scratch over the simulated NVMM of
+//! [`pmem`]:
+//!
+//! * [`tm`] — the twin-region TM: write transactions (serialized by a
+//!   `parking_lot` mutex, matching Romulus' blocking nature that the paper
+//!   calls out), optimistic seqlock read transactions, a region-local
+//!   allocator with a free list (safe because writers are serialized and
+//!   readers validate), and the recovery routine.
+//! * [`list`] — a sorted-list set implemented as transactions, the
+//!   structure benchmarked against Tracking. Detectability uses the same
+//!   `CP_q`/`RD_q` convention as the rest of the repository: a per-thread
+//!   operation sequence number in `RD_q` and a per-thread result slot
+//!   *inside* the managed region, written by the same transaction that
+//!   performs the update — so the result commits atomically with its
+//!   operation.
+//!
+//! Deviation noted in DESIGN.md: original Romulus offers wait-free readers
+//! via its Left-Right variant; we use a seqlock with bounded-retry
+//! traversal, which preserves the performance profile the paper reports
+//! (reads scale, updates serialize) without reproducing Left-Right.
+
+#![warn(missing_docs)]
+
+pub mod list;
+pub mod sites;
+pub mod tm;
+
+pub use list::RomulusList;
+pub use tm::RomulusTm;

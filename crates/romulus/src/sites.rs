@@ -1,0 +1,21 @@
+//! `pwb` call sites of the Romulus baseline.
+
+use pmem::SiteId;
+
+/// `pwb` of the persistent transaction-state flag (IDLE/MUTATING/COPYING).
+pub const R_STATE: SiteId = SiteId(0);
+/// `pwb` of words dirtied in the `main` region during MUTATING.
+pub const R_MAIN: SiteId = SiteId(1);
+/// `pwb` of words copied into the `back` region during COPYING.
+pub const R_BACK: SiteId = SiteId(2);
+/// `pwb` of the per-thread `RD_q`/`CP_q` detectability words.
+pub const R_RD: SiteId = SiteId(3);
+
+/// All Romulus sites with human-readable names.
+pub const SITES: [(SiteId, &str); 4] =
+    [(R_STATE, "tx-state"), (R_MAIN, "main-region"), (R_BACK, "back-region"), (R_RD, "rd")];
+
+/// Human-readable name of a Romulus site (or `"?"`).
+pub fn site_name(s: SiteId) -> &'static str {
+    SITES.iter().find(|(id, _)| *id == s).map(|(_, n)| *n).unwrap_or("?")
+}

@@ -1,0 +1,675 @@
+//! The detectably recoverable leaf-oriented (external) binary search tree —
+//! Section 6 of the paper (Algorithms 5–6, types of Figure 7), derived from
+//! the Ellen–Fatourou–Ruppert–van Breugel lock-free BST.
+//!
+//! Every key resides in a leaf; internal nodes route searches (`k <
+//! node.key` goes left). The tree is initialized with a root whose key is
+//! ∞₂ and two leaf children ∞₁ < ∞₂, both larger than every user key, so a
+//! search never falls off the tree.
+//!
+//! * **Insert** replaces the reached leaf `l` with a three-node subtree:
+//!   a fresh internal node (key `max(k, l.key)`) whose children are a new
+//!   leaf `k` and a *copy* of `l` — the same replace-with-copy trick as the
+//!   list, which keeps child pointers ABA-free. AffectSet = `{p}`; NewSet =
+//!   `{newInternal}` (leaves carry no `info` field and need no untagging).
+//! * **Delete** unlinks leaf `l` and its parent `p` by CASing the proper
+//!   child pointer of the grandparent `gp` from `p` to `l`'s sibling.
+//!   AffectSet = `{gp, p}` in root-down order (the paper's assumption (b));
+//!   `p` leaves the tree and keeps its tag forever.
+//!
+//! Two deliberate deviations from the (abbreviated) pseudocode, both noted
+//! in DESIGN.md:
+//!
+//! 1. Algorithm 6 stores a non-empty WriteSet even on the key-absent path
+//!    and Algorithm 5 on the duplicate-key path. Since `Op.Recover` calls
+//!    `Help` unconditionally, replaying such a descriptor would apply an
+//!    update the operation never intended. We store `WriteSet = ∅` for
+//!    read-only outcomes — exactly what the list pseudocode (Algorithm 4
+//!    line 64) does.
+//! 2. Algorithm 5 line 24 omits the new key leaf from its `pbarrier`; we
+//!    flush all three new nodes before publication.
+
+use std::sync::Arc;
+
+use pmem::{is_tagged, PAddr, PmemPool, ThreadCtx};
+
+use crate::descriptor::{AffectEntry, Desc, WriteEntry};
+use crate::help::help;
+use crate::result::{dec_bool, enc_bool, BOTTOM};
+use crate::sites::{S_CP, S_DESC, S_NEW, S_RD};
+
+/// First sentinel key: larger than every user key, smaller than [`INF2`].
+pub const INF1: u64 = u64::MAX - 1;
+/// Second sentinel key (the root's key).
+pub const INF2: u64 = u64::MAX;
+
+/// Descriptor op-type tag for BST inserts.
+pub const OP_INSERT: u8 = 4;
+/// Descriptor op-type tag for BST deletes.
+pub const OP_DELETE: u8 = 5;
+/// Descriptor op-type tag for BST finds.
+pub const OP_FIND: u8 = 6;
+
+// Node layout (one cache line): w0 key, w1 left, w2 right, w3 info, w4 kind.
+const N_KEY: u64 = 0;
+const N_LEFT: u64 = 1;
+const N_RIGHT: u64 = 2;
+const N_INFO: u64 = 3;
+const N_KIND: u64 = 4;
+const KIND_LEAF: u64 = 0;
+const KIND_INTERNAL: u64 = 1;
+
+/// The detectably recoverable external binary search tree.
+#[derive(Clone)]
+pub struct RecoverableBst {
+    pool: Arc<PmemPool>,
+    root: PAddr,
+}
+
+/// Result of `Search(k)` (Algorithm 5 lines 30–39): the reached leaf `l`,
+/// its parent `p`, grandparent `gp` (null at depth 1), and the `info`
+/// values gathered on first access.
+struct SearchRes {
+    gp: PAddr,
+    p: PAddr,
+    l: PAddr,
+    gp_info: u64,
+    p_info: u64,
+}
+
+impl RecoverableBst {
+    /// Creates an empty tree rooted in root cell `root_idx`, or re-attaches
+    /// to the tree already rooted there.
+    pub fn new(pool: Arc<PmemPool>, root_idx: usize) -> Self {
+        let root_cell = pool.root(root_idx);
+        let existing = pool.load(root_cell);
+        if existing != 0 {
+            return RecoverableBst { pool, root: PAddr::from_raw(existing) };
+        }
+        let root = pool.alloc_lines(1);
+        let leaf1 = Self::mk_leaf(&pool, INF1);
+        let leaf2 = Self::mk_leaf(&pool, INF2);
+        pool.store(root.add(N_KEY), INF2);
+        pool.store(root.add(N_LEFT), leaf1.raw());
+        pool.store(root.add(N_RIGHT), leaf2.raw());
+        pool.store(root.add(N_INFO), 0);
+        pool.store(root.add(N_KIND), KIND_INTERNAL);
+        pool.pwb(root, S_NEW);
+        pool.pwb(leaf1, S_NEW);
+        pool.pwb(leaf2, S_NEW);
+        pool.pfence();
+        pool.store(root_cell, root.raw());
+        pool.pbarrier(root_cell, 1, S_NEW);
+        RecoverableBst { pool, root }
+    }
+
+    fn mk_leaf(pool: &PmemPool, key: u64) -> PAddr {
+        let n = pool.alloc_lines(1);
+        pool.store(n.add(N_KEY), key);
+        pool.store(n.add(N_KIND), KIND_LEAF);
+        n
+    }
+
+    /// The owning pool.
+    pub fn pool(&self) -> &PmemPool {
+        &self.pool
+    }
+
+    fn assert_user_key(key: u64) {
+        assert!(key < INF1, "user keys must be smaller than the sentinels");
+        assert!(key > 0, "key 0 is reserved");
+    }
+
+    fn is_internal(&self, n: PAddr) -> bool {
+        self.pool.load(n.add(N_KIND)) == KIND_INTERNAL
+    }
+
+    fn search(&self, key: u64) -> SearchRes {
+        let pool = &*self.pool;
+        let mut gp = PAddr::NULL;
+        let mut p = PAddr::NULL;
+        let mut gp_info = 0;
+        let mut p_info = 0;
+        let mut l = self.root;
+        while self.is_internal(l) {
+            gp = p;
+            p = l;
+            gp_info = p_info;
+            p_info = pool.load(p.add(N_INFO));
+            l = if key < pool.load(l.add(N_KEY)) {
+                PAddr::from_raw(pool.load(p.add(N_LEFT)))
+            } else {
+                PAddr::from_raw(pool.load(p.add(N_RIGHT)))
+            };
+        }
+        SearchRes { gp, p, l, gp_info, p_info }
+    }
+
+    fn prologue(&self, ctx: &ThreadCtx) {
+        let pool = &*self.pool;
+        ctx.set_rd(0);
+        pool.pbarrier(ctx.rd_addr(), 1, S_RD);
+        ctx.set_cp(1);
+        pool.pwb(ctx.cp_addr(), S_CP);
+        pool.psync();
+    }
+
+    // ------------------------------------------------------------------
+    // Insert (Algorithm 5)
+    // ------------------------------------------------------------------
+
+    /// Inserts `key`; returns `false` if already present.
+    pub fn insert(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        ctx.begin_op(S_CP);
+        self.insert_started(ctx, key)
+    }
+
+    /// [`Self::insert`] without the system's `CP_q := 0` pre-step.
+    pub fn insert_started(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        Self::assert_user_key(key);
+        let pool = &*self.pool;
+        // Line 1: the key leaf is allocated once, reused across attempts.
+        let new_leaf = Self::mk_leaf(pool, key);
+        self.prologue(ctx);
+        loop {
+            // Gather phase (lines 8–10)
+            let s = self.search(key);
+            // Helping phase (lines 11–13)
+            if is_tagged(s.p_info) {
+                help(pool, Desc::from_raw(s.p_info));
+                continue;
+            }
+            let desc = Desc::alloc(pool);
+            let l_key = pool.load(s.l.add(N_KEY));
+            if l_key == key {
+                // Duplicate: read-only outcome (lines 22–23, 27); WriteSet
+                // and NewSet stay empty (see module docs, deviation 1).
+                desc.init(
+                    pool,
+                    OP_INSERT,
+                    enc_bool(false),
+                    &[AffectEntry {
+                        info_addr: s.p.add(N_INFO),
+                        observed: s.p_info,
+                        untag_on_cleanup: true,
+                    }],
+                    &[],
+                    &[],
+                );
+                desc.set_result(pool, enc_bool(false));
+                desc.pbarrier(pool, S_DESC);
+                ctx.set_rd(desc.raw());
+                pool.pwb(ctx.rd_addr(), S_RD);
+                pool.psync();
+                return false;
+            }
+            // Lines 14–15: duplicate of l and the new internal node
+            let new_sibling = Self::mk_leaf(pool, l_key);
+            let internal = pool.alloc_lines(1);
+            let (left, right) =
+                if key < l_key { (new_leaf, new_sibling) } else { (new_sibling, new_leaf) };
+            pool.store(internal.add(N_KEY), key.max(l_key));
+            pool.store(internal.add(N_LEFT), left.raw());
+            pool.store(internal.add(N_RIGHT), right.raw());
+            pool.store(internal.add(N_INFO), desc.tagged()); // line 21
+            pool.store(internal.add(N_KIND), KIND_INTERNAL);
+            // Lines 16–18: which child of p held l
+            let side = if pool.load(s.p.add(N_LEFT)) == s.l.raw() { N_LEFT } else { N_RIGHT };
+            // Lines 19–20
+            desc.init(
+                pool,
+                OP_INSERT,
+                enc_bool(true),
+                &[AffectEntry {
+                    info_addr: s.p.add(N_INFO),
+                    observed: s.p_info,
+                    untag_on_cleanup: true,
+                }],
+                &[WriteEntry { field: s.p.add(side), old: s.l.raw(), new: internal.raw() }],
+                &[internal.add(N_INFO)],
+            );
+            // Line 24 (+ deviation 2: flush the key leaf as well)
+            pool.pwb(new_leaf, S_NEW);
+            pool.pwb(new_sibling, S_NEW);
+            pool.pwb(internal, S_NEW);
+            pool.pwb_range(desc.addr(), crate::descriptor::D_WORDS, S_DESC);
+            pool.pfence();
+            // Lines 25–26
+            ctx.set_rd(desc.raw());
+            pool.pwb(ctx.rd_addr(), S_RD);
+            pool.psync();
+            // Lines 28–29
+            help(pool, desc);
+            let r = desc.result(pool);
+            if r != BOTTOM {
+                return dec_bool(r);
+            }
+        }
+    }
+
+    /// `Insert.Recover` (Algorithm 1 lines 27–31).
+    pub fn recover_insert(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        match self.recover_update(ctx) {
+            Some(r) => r,
+            None => self.insert(ctx, key),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delete (Algorithm 6)
+    // ------------------------------------------------------------------
+
+    /// Deletes `key`; returns `false` if absent.
+    pub fn delete(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        ctx.begin_op(S_CP);
+        self.delete_started(ctx, key)
+    }
+
+    /// [`Self::delete`] without the system's `CP_q := 0` pre-step.
+    pub fn delete_started(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        Self::assert_user_key(key);
+        let pool = &*self.pool;
+        self.prologue(ctx);
+        loop {
+            // Gather phase (lines 46–48)
+            let s = self.search(key);
+            // Helping phase (lines 49–53)
+            if !s.gp.is_null() && is_tagged(s.gp_info) {
+                help(pool, Desc::from_raw(s.gp_info));
+                continue;
+            }
+            if is_tagged(s.p_info) {
+                help(pool, Desc::from_raw(s.p_info));
+                continue;
+            }
+            let desc = Desc::alloc(pool);
+            if pool.load(s.l.add(N_KEY)) != key {
+                // Absent: read-only outcome (lines 60–61, 65); WriteSet
+                // stays empty (deviation 1).
+                desc.init(
+                    pool,
+                    OP_DELETE,
+                    enc_bool(false),
+                    &[AffectEntry {
+                        info_addr: s.p.add(N_INFO),
+                        observed: s.p_info,
+                        untag_on_cleanup: true,
+                    }],
+                    &[],
+                    &[],
+                );
+                desc.set_result(pool, enc_bool(false));
+                desc.pbarrier(pool, S_DESC);
+                ctx.set_rd(desc.raw());
+                pool.pwb(ctx.rd_addr(), S_RD);
+                pool.psync();
+                return false;
+            }
+            // A present user key is at depth >= 2 (depth-1 leaves are the
+            // sentinels), so gp exists.
+            assert!(!s.gp.is_null(), "present key must have a grandparent");
+            // Lines 54–55: l's sibling
+            let other = if pool.load(s.p.add(N_LEFT)) == s.l.raw() {
+                pool.load(s.p.add(N_RIGHT))
+            } else {
+                pool.load(s.p.add(N_LEFT))
+            };
+            // Lines 56–58: which child of gp held p
+            let side = if pool.load(s.gp.add(N_LEFT)) == s.p.raw() { N_LEFT } else { N_RIGHT };
+            // Line 59; AffectSet in root-down order (assumption (b))
+            desc.init(
+                pool,
+                OP_DELETE,
+                enc_bool(true),
+                &[
+                    AffectEntry {
+                        info_addr: s.gp.add(N_INFO),
+                        observed: s.gp_info,
+                        untag_on_cleanup: true,
+                    },
+                    AffectEntry {
+                        info_addr: s.p.add(N_INFO),
+                        observed: s.p_info,
+                        untag_on_cleanup: false, // p leaves the tree
+                    },
+                ],
+                &[WriteEntry { field: s.gp.add(side), old: s.p.raw(), new: other }],
+                &[],
+            );
+            // Lines 62–64
+            desc.pbarrier(pool, S_DESC);
+            ctx.set_rd(desc.raw());
+            pool.pwb(ctx.rd_addr(), S_RD);
+            pool.psync();
+            // Lines 66–67
+            help(pool, desc);
+            let r = desc.result(pool);
+            if r != BOTTOM {
+                return dec_bool(r);
+            }
+        }
+    }
+
+    /// `Delete.Recover` (Algorithm 1 lines 27–31).
+    pub fn recover_delete(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        match self.recover_update(ctx) {
+            Some(r) => r,
+            None => self.delete(ctx, key),
+        }
+    }
+
+    fn recover_update(&self, ctx: &ThreadCtx) -> Option<bool> {
+        let pool = &*self.pool;
+        let rd = ctx.rd();
+        if ctx.cp() == 0 || rd == 0 {
+            return None;
+        }
+        let desc = Desc::from_raw(rd);
+        help(pool, desc);
+        let r = desc.result(pool);
+        if r != BOTTOM {
+            Some(dec_bool(r))
+        } else {
+            None
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Find
+    // ------------------------------------------------------------------
+
+    /// Is `key` present? Read-only; tags nothing.
+    pub fn find(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        Self::assert_user_key(key);
+        let pool = &*self.pool;
+        let desc = Desc::alloc(pool);
+        loop {
+            let s = self.search(key);
+            if is_tagged(s.p_info) {
+                help(pool, Desc::from_raw(s.p_info));
+                continue;
+            }
+            let result = pool.load(s.l.add(N_KEY)) == key;
+            desc.init(
+                pool,
+                OP_FIND,
+                enc_bool(result),
+                &[AffectEntry {
+                    info_addr: s.p.add(N_INFO),
+                    observed: s.p_info,
+                    untag_on_cleanup: true,
+                }],
+                &[],
+                &[],
+            );
+            desc.set_result(pool, enc_bool(result));
+            desc.pbarrier(pool, S_DESC);
+            ctx.set_rd(desc.raw());
+            pool.pwb(ctx.rd_addr(), S_RD);
+            pool.psync();
+            return result;
+        }
+    }
+
+    /// `Find.Recover`: read-only, so simply re-execute.
+    pub fn recover_find(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.find(ctx, key)
+    }
+
+    // ------------------------------------------------------------------
+    // Quiescent inspection helpers
+    // ------------------------------------------------------------------
+
+    /// In-order user keys (quiescent only).
+    pub fn keys(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.collect(self.root, &mut out);
+        out
+    }
+
+    fn collect(&self, n: PAddr, out: &mut Vec<u64>) {
+        if self.is_internal(n) {
+            self.collect(PAddr::from_raw(self.pool.load(n.add(N_LEFT))), out);
+            self.collect(PAddr::from_raw(self.pool.load(n.add(N_RIGHT))), out);
+        } else {
+            let k = self.pool.load(n.add(N_KEY));
+            if k < INF1 {
+                out.push(k);
+            }
+        }
+    }
+
+    /// Checks structural invariants (quiescent): the external-BST routing
+    /// property (left-subtree keys < node key ≤ right-subtree keys), every
+    /// internal node has two children, and no reachable node is tagged.
+    /// Returns the number of user keys. Panics on violation.
+    pub fn check_invariants(&self) -> usize {
+        let n = self.check_range(self.root, 0, INF2);
+        // in-order keys must come out strictly sorted
+        let ks = self.keys();
+        assert!(ks.windows(2).all(|w| w[0] < w[1]), "duplicate or unsorted keys");
+        assert_eq!(ks.len(), n);
+        n
+    }
+
+    fn check_range(&self, n: PAddr, lo: u64, hi: u64) -> usize {
+        assert!(!n.is_null(), "internal node with a missing child");
+        let pool = &*self.pool;
+        let k = pool.load(n.add(N_KEY));
+        if self.is_internal(n) {
+            let info = pool.load(n.add(N_INFO));
+            assert!(!is_tagged(info), "quiescent tree must hold no tagged node (key {k})");
+            assert!(k > lo && k <= hi, "routing key {k} outside ({lo}, {hi}]");
+            let l = self.check_range(PAddr::from_raw(pool.load(n.add(N_LEFT))), lo, k - 1);
+            let r = self.check_range(PAddr::from_raw(pool.load(n.add(N_RIGHT))), k.max(lo), hi);
+            l + r
+        } else {
+            assert!(k >= lo && k <= hi, "leaf key {k} outside [{lo}, {hi}]");
+            (k < INF1) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{PmemPool, PoolCfg};
+    use std::collections::BTreeSet;
+
+    fn setup() -> (Arc<PmemPool>, RecoverableBst, ThreadCtx) {
+        let pool = Arc::new(PmemPool::new(PoolCfg::model(16 << 20)));
+        let bst = RecoverableBst::new(pool.clone(), 1);
+        let ctx = ThreadCtx::new(pool.clone(), 0);
+        (pool, bst, ctx)
+    }
+
+    #[test]
+    fn empty_tree_invariants() {
+        let (_p, bst, _ctx) = setup();
+        assert_eq!(bst.check_invariants(), 0);
+        assert!(bst.keys().is_empty());
+    }
+
+    #[test]
+    fn insert_find_delete_basics() {
+        let (_p, bst, ctx) = setup();
+        assert!(!bst.find(&ctx, 10));
+        assert!(bst.insert(&ctx, 10));
+        assert!(bst.find(&ctx, 10));
+        assert!(!bst.insert(&ctx, 10));
+        assert!(bst.delete(&ctx, 10));
+        assert!(!bst.find(&ctx, 10));
+        assert!(!bst.delete(&ctx, 10));
+        assert_eq!(bst.check_invariants(), 0);
+    }
+
+    #[test]
+    fn inorder_keys_sorted() {
+        let (_p, bst, ctx) = setup();
+        for k in [50u64, 20, 80, 10, 30, 70, 90] {
+            assert!(bst.insert(&ctx, k));
+        }
+        assert_eq!(bst.keys(), vec![10, 20, 30, 50, 70, 80, 90]);
+        assert!(bst.delete(&ctx, 50));
+        assert!(bst.delete(&ctx, 10));
+        assert_eq!(bst.keys(), vec![20, 30, 70, 80, 90]);
+        bst.check_invariants();
+    }
+
+    #[test]
+    fn matches_reference_model_sequentially() {
+        let (_p, bst, ctx) = setup();
+        let mut model = BTreeSet::new();
+        let mut rng = 0xBEEFu64;
+        for _ in 0..2000 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (rng >> 33) % 60 + 1;
+            match (rng >> 20) % 3 {
+                0 => assert_eq!(bst.insert(&ctx, key), model.insert(key), "insert {key}"),
+                1 => assert_eq!(bst.delete(&ctx, key), model.remove(&key), "delete {key}"),
+                _ => assert_eq!(bst.find(&ctx, key), model.contains(&key), "find {key}"),
+            }
+        }
+        assert_eq!(bst.keys(), model.iter().copied().collect::<Vec<_>>());
+        bst.check_invariants();
+    }
+
+    #[test]
+    fn ascending_and_descending_fills() {
+        let (_p, bst, ctx) = setup();
+        for k in 1..=40u64 {
+            assert!(bst.insert(&ctx, k));
+        }
+        assert_eq!(bst.check_invariants(), 40);
+        for k in (1..=40u64).rev() {
+            assert!(bst.delete(&ctx, k));
+        }
+        assert_eq!(bst.check_invariants(), 0);
+    }
+
+    #[test]
+    fn delete_root_level_and_rebuild() {
+        let (_p, bst, ctx) = setup();
+        assert!(bst.insert(&ctx, 5));
+        assert!(bst.delete(&ctx, 5), "delete the only key");
+        assert_eq!(bst.check_invariants(), 0);
+        assert!(bst.insert(&ctx, 5), "reinsert after emptying");
+        assert_eq!(bst.keys(), vec![5]);
+    }
+
+    #[test]
+    fn concurrent_inserts_distinct_keys() {
+        let (p, bst, _ctx) = setup();
+        let mut handles = vec![];
+        for t in 0..4u64 {
+            let bst = bst.clone();
+            let ctx = ThreadCtx::new(p.clone(), t as usize);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    assert!(bst.insert(&ctx, t * 1000 + i + 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(bst.check_invariants(), 200);
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_preserve_invariants() {
+        let (p, bst, _ctx) = setup();
+        let mut handles = vec![];
+        for t in 0..4usize {
+            let bst = bst.clone();
+            let ctx = ThreadCtx::new(p.clone(), t);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                for _ in 0..500 {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let key = rng % 40 + 1;
+                    match (rng >> 32) % 3 {
+                        0 => {
+                            bst.insert(&ctx, key);
+                        }
+                        1 => {
+                            bst.delete(&ctx, key);
+                        }
+                        _ => {
+                            bst.find(&ctx, key);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        bst.check_invariants();
+    }
+
+    #[test]
+    fn crash_swept_insert_recovers_detectably() {
+        for crash_at in 0..3000 {
+            let pool = Arc::new(PmemPool::new(PoolCfg::model(16 << 20)));
+            let bst = RecoverableBst::new(pool.clone(), 1);
+            let ctx = ThreadCtx::new(pool.clone(), 0);
+            assert!(bst.insert(&ctx, 10)); // pre-populate so p/gp paths exist
+            ctx.begin_op(S_CP);
+            pool.crash_ctl().arm_after(crash_at);
+            let pre = pmem::run_crashable(|| bst.insert_started(&ctx, 5));
+            pool.crash(&mut pmem::PessimistAdversary);
+            match pre {
+                Some(r) => {
+                    assert!(r);
+                    assert_eq!(bst.keys(), vec![5, 10]);
+                    return;
+                }
+                None => {
+                    assert!(bst.recover_insert(&ctx, 5), "crash_at={crash_at}");
+                    assert_eq!(bst.keys(), vec![5, 10], "crash_at={crash_at}");
+                    bst.check_invariants();
+                }
+            }
+        }
+        panic!("sweep did not terminate");
+    }
+
+    #[test]
+    fn crash_swept_delete_recovers_detectably() {
+        for crash_at in 0..3000 {
+            let pool = Arc::new(PmemPool::new(PoolCfg::model(16 << 20)));
+            let bst = RecoverableBst::new(pool.clone(), 1);
+            let ctx = ThreadCtx::new(pool.clone(), 0);
+            assert!(bst.insert(&ctx, 10));
+            assert!(bst.insert(&ctx, 5));
+            ctx.begin_op(S_CP);
+            pool.crash_ctl().arm_after(crash_at);
+            let pre = pmem::run_crashable(|| bst.delete_started(&ctx, 5));
+            pool.crash(&mut pmem::PessimistAdversary);
+            match pre {
+                Some(r) => {
+                    assert!(r);
+                    assert_eq!(bst.keys(), vec![10]);
+                    return;
+                }
+                None => {
+                    assert!(bst.recover_delete(&ctx, 5), "crash_at={crash_at}");
+                    assert_eq!(bst.keys(), vec![10], "crash_at={crash_at}");
+                    bst.check_invariants();
+                }
+            }
+        }
+        panic!("sweep did not terminate");
+    }
+
+    #[test]
+    fn recovery_of_completed_op_returns_recorded_result() {
+        let (_p, bst, ctx) = setup();
+        assert!(bst.insert(&ctx, 9));
+        assert!(bst.recover_insert(&ctx, 9));
+        assert_eq!(bst.keys(), vec![9], "no double insert");
+    }
+}

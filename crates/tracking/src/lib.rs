@@ -1,0 +1,76 @@
+//! # tracking — detectable recovery of lock-free data structures
+//!
+//! A from-scratch Rust implementation of the **Tracking** approach of
+//! *Detectable Recovery of Lock-Free Data Structures* (Attiya, Ben-Baruch,
+//! Fatourou, Hendler, Kosmas — PPoPP 2022), over the simulated NVMM of the
+//! [`pmem`] crate.
+//!
+//! ## The approach in one paragraph
+//!
+//! Each operation `Op` carries an *operation descriptor* ([`descriptor::Desc`])
+//! recording everything needed to finish it: the **AffectSet** (the nodes Op
+//! will update/delete, as `(info-field, observed-value)` pairs), the
+//! **WriteSet** (field → old/new CAS triples), the **NewSet** (freshly
+//! allocated nodes, born tagged), and a `result` field initialized to ⊥.
+//! Execution proceeds in phases — *gather*, *helping*, *tagging*, *update*,
+//! *cleanup* — driven by the idempotent [`help::help`] engine (the paper's
+//! Algorithm 2). Tagging installs a pointer to the descriptor, with its
+//! least-significant bit set, into each affected node's `info` field ("a
+//! soft lock"); a failed tag backtracks and retries. Crucially, an `info`
+//! field acts as a *version stamp*: its value moves monotonically through
+//! fresh descriptor addresses and never reverts, so a successful tagging CAS
+//! against the gathered value certifies that the node is unchanged since the
+//! gather — which is what makes `help` idempotent and recovery sound.
+//!
+//! Detectability comes from two persistent per-thread words (provided by
+//! [`pmem::ThreadCtx`]): the check-point `CP_q` and the recovery-data
+//! reference `RD_q`, persisted (lines 1–5 and 19–21 of Algorithm 1) so that
+//! after a crash the recovery function can fetch the descriptor of the
+//! interrupted operation, call `help` on it, and either return the recorded
+//! result or safely re-invoke the operation.
+//!
+//! ## What is provided
+//!
+//! * [`list::RecoverableList`] — the detectably recoverable sorted linked
+//!   list of Section 4 (Algorithms 3–4), including the read-only
+//!   optimization for `find` and for already-present/absent keys.
+//! * [`bst::RecoverableBst`] — the detectably recoverable leaf-oriented
+//!   (external) binary search tree of Section 6 (Algorithms 5–6, Figure 7),
+//!   derived from the Ellen-Fatourou-Ruppert-van Breugel LF-BST.
+//! * [`exchanger::RecoverableExchanger`] — the detectably recoverable
+//!   exchanger of Section 6 (capture / collide / cancel as Tracking
+//!   operations).
+//! * [`queue::RecoverableQueue`] — a detectably recoverable MS-style FIFO
+//!   queue, an extra structure demonstrating the approach's generality.
+//! * [`stack::RecoverableStack`] — a detectably recoverable Treiber-style
+//!   LIFO stack (same engine, fourth shape).
+//! * Per-operation recovery functions (`recover_insert`, …) implementing
+//!   the paper's `Op.Recover` (Algorithm 1 lines 27–31).
+//!
+//! ## System contract
+//!
+//! The paper's system model persists `CP_q := 0` *before* an operation
+//! starts (its footnote 1: "system support is necessary for designing
+//! detectable algorithms"). The public operation methods perform that step
+//! themselves via [`pmem::ThreadCtx::begin_op`]; the `*_started` variants
+//! skip it for harnesses (like the crash tests) that play the system role
+//! explicitly and must know exactly which persistent events belong to the
+//! operation proper.
+
+#![warn(missing_docs)]
+
+pub mod bst;
+pub mod descriptor;
+pub mod exchanger;
+pub mod help;
+pub mod list;
+pub mod queue;
+pub mod result;
+pub mod sites;
+pub mod stack;
+
+pub use bst::RecoverableBst;
+pub use exchanger::RecoverableExchanger;
+pub use list::RecoverableList;
+pub use queue::RecoverableQueue;
+pub use stack::RecoverableStack;

@@ -1,0 +1,891 @@
+//! The detectably recoverable sorted linked list — Section 4 of the paper
+//! (Algorithms 3 and 4, types and initialization of Figure 2).
+//!
+//! The list is sorted by strictly increasing key with two sentinels, `head`
+//! (key [`KEY_MIN`]) and `tail` (key [`KEY_MAX`]); user keys lie strictly
+//! between. A node is one cache line: `⟨key, next, info⟩`.
+//!
+//! Characteristic details faithfully carried over from the pseudocode:
+//!
+//! * **Insert replaces its successor with a copy** (`newcurr`, Algorithm 3
+//!   lines 1/19): `pred→next` is CASed from `curr` to a fresh `newnd` whose
+//!   `next` is a fresh copy of `curr`. Because every value stored into a
+//!   `next` field is a never-before-seen node address, no `next` field ever
+//!   holds the same value twice — the paper's assumption (a), which makes
+//!   the WriteSet CAS of a *delete* (`pred→next: curr → curr→next`)
+//!   ABA-free as well.
+//! * **A deleted (or replaced) node keeps its descriptor tag forever**
+//!   (Figure 1c): its AffectSet entry has `untag_on_cleanup = false`, so any
+//!   thread that still reaches it helps the finished operation and retries,
+//!   never mutating a node that left the list.
+//! * **Read-only outcomes skip `help`** (the red lines of the pseudocode):
+//!   an insert of a present key, a delete of an absent key and every `find`
+//!   record their response directly in a descriptor, persist it together
+//!   with `RD_q`, and return — tagging nothing. Such operations linearize
+//!   at the point the single AffectSet node's `info` field was read.
+
+use std::sync::Arc;
+
+use pmem::{is_tagged, PAddr, PmemPool, ThreadCtx};
+
+use crate::descriptor::{AffectEntry, Desc, WriteEntry};
+use crate::help::help;
+use crate::result::{dec_bool, enc_bool, BOTTOM};
+use crate::sites::{S_CP, S_DESC, S_NEW, S_RD, S_TRAVERSE};
+
+/// Sentinel key of `head` (smaller than every user key).
+pub const KEY_MIN: u64 = 0;
+/// Sentinel key of `tail` (larger than every user key).
+pub const KEY_MAX: u64 = u64::MAX;
+
+/// Descriptor op-type tag for list inserts.
+pub const OP_INSERT: u8 = 1;
+/// Descriptor op-type tag for list deletes.
+pub const OP_DELETE: u8 = 2;
+/// Descriptor op-type tag for list finds.
+pub const OP_FIND: u8 = 3;
+
+// Node layout (one cache line): w0 = key, w1 = next, w2 = info.
+const N_KEY: u64 = 0;
+const N_NEXT: u64 = 1;
+const N_INFO: u64 = 2;
+
+/// Ablation knobs for the paper's design choices (both default to the
+/// paper's configuration). The benchmark harness measures what each choice
+/// buys (see DESIGN.md's ablation index).
+#[derive(Copy, Clone, Debug)]
+pub struct ListConfig {
+    /// Flush-and-fence after every shared read of the gather phase — the
+    /// naive Izraelevitz-style placement the paper's scheme avoids.
+    /// Default `false`.
+    pub traversal_flush: bool,
+    /// Apply the paper's read-only optimization (find / duplicate insert /
+    /// absent delete skip `help` entirely). Default `true`; when disabled,
+    /// those outcomes run the full tag–update–cleanup pipeline.
+    pub read_only_opt: bool,
+}
+
+impl Default for ListConfig {
+    fn default() -> Self {
+        ListConfig { traversal_flush: false, read_only_opt: true }
+    }
+}
+
+/// The detectably recoverable sorted linked list.
+///
+/// Cloneable handle; all state lives in the pool. Every method takes the
+/// calling thread's [`ThreadCtx`] (which carries the persistent `CP_q` and
+/// `RD_q` recovery variables).
+#[derive(Clone)]
+pub struct RecoverableList {
+    pool: Arc<PmemPool>,
+    head: PAddr,
+    cfg: ListConfig,
+}
+
+/// Result of the gather-phase `Search` (Algorithm 3 lines 35–44).
+struct SearchRes {
+    pred: PAddr,
+    curr: PAddr,
+    pred_info: u64,
+    curr_info: u64,
+}
+
+impl RecoverableList {
+    /// Creates a new empty list whose head pointer is stored in root cell
+    /// `root_idx`, or re-attaches to the list already rooted there (e.g.
+    /// after a simulated crash).
+    pub fn new(pool: Arc<PmemPool>, root_idx: usize) -> Self {
+        Self::with_config(pool, root_idx, ListConfig::default())
+    }
+
+    /// [`Self::new`] with explicit ablation knobs.
+    pub fn with_config(pool: Arc<PmemPool>, root_idx: usize, cfg: ListConfig) -> Self {
+        let root = pool.root(root_idx);
+        let existing = pool.load(root);
+        if existing != 0 {
+            return RecoverableList { pool, head: PAddr::from_raw(existing), cfg };
+        }
+        let head = pool.alloc_lines(1);
+        let tail = pool.alloc_lines(1);
+        pool.store(head.add(N_KEY), KEY_MIN);
+        pool.store(head.add(N_NEXT), tail.raw());
+        pool.store(head.add(N_INFO), 0);
+        pool.store(tail.add(N_KEY), KEY_MAX);
+        pool.store(tail.add(N_NEXT), 0);
+        pool.store(tail.add(N_INFO), 0);
+        pool.pwb(head, S_NEW);
+        pool.pwb(tail, S_NEW);
+        pool.pfence();
+        pool.store(root, head.raw());
+        pool.pbarrier(root, 1, S_NEW);
+        RecoverableList { pool, head, cfg }
+    }
+
+    /// The owning pool.
+    pub fn pool(&self) -> &PmemPool {
+        &self.pool
+    }
+
+    fn assert_user_key(key: u64) {
+        assert!(
+            key > KEY_MIN && key < KEY_MAX,
+            "user keys must lie strictly between the sentinels"
+        );
+    }
+
+    /// `Search(key)` — returns the last two nodes of the traversal and the
+    /// `info` values gathered on first access (Algorithm 3 lines 35–44).
+    /// `curr` is the first node with `key' >= key`; `pred` its predecessor.
+    fn search(&self, key: u64) -> SearchRes {
+        let pool = &*self.pool;
+        let mut pred = PAddr::NULL;
+        let mut pred_info = 0;
+        let mut curr = self.head;
+        let mut curr_info = pool.load(curr.add(N_INFO));
+        while pool.load(curr.add(N_KEY)) < key {
+            if self.cfg.traversal_flush {
+                // ablation: naive durability-transformation placement
+                pool.pwb(curr, S_TRAVERSE);
+                pool.pfence();
+            }
+            pred = curr;
+            pred_info = curr_info;
+            curr = PAddr::from_raw(pool.load(curr.add(N_NEXT)));
+            curr_info = pool.load(curr.add(N_INFO));
+        }
+        if self.cfg.traversal_flush {
+            pool.pwb(curr, S_TRAVERSE);
+            pool.pfence();
+        }
+        SearchRes { pred, curr, pred_info, curr_info }
+    }
+
+    /// The recoverable-operation prologue shared by insert and delete
+    /// (Algorithm 3 lines 4–7 / Algorithm 4 lines 46–49): persist
+    /// `RD_q := ⊥` strictly before `CP_q := 1`, so a post-crash
+    /// `CP_q = 1` certifies that `RD_q` belongs to *this* operation.
+    fn prologue(&self, ctx: &ThreadCtx) {
+        let pool = &*self.pool;
+        ctx.set_rd(0);
+        pool.pbarrier(ctx.rd_addr(), 1, S_RD);
+        ctx.set_cp(1);
+        pool.pwb(ctx.cp_addr(), S_CP);
+        pool.psync();
+    }
+
+    // ------------------------------------------------------------------
+    // Insert (Algorithm 3)
+    // ------------------------------------------------------------------
+
+    /// Inserts `key`; returns `false` if it was already present.
+    pub fn insert(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        ctx.begin_op(S_CP);
+        self.insert_started(ctx, key)
+    }
+
+    /// [`Self::insert`] without the system's `CP_q := 0` pre-step (for
+    /// harnesses that call [`ThreadCtx::begin_op`] themselves).
+    pub fn insert_started(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        Self::assert_user_key(key);
+        let pool = &*self.pool;
+        // Lines 1–2: the new nodes are allocated once and reused across
+        // attempts (they are only published by a successful tagging phase).
+        let newcurr = pool.alloc_lines(1);
+        let newnd = pool.alloc_lines(1);
+        self.prologue(ctx);
+        loop {
+            // Gather phase (lines 9–13)
+            let s = self.search(key);
+            // Helping phase (lines 14–18)
+            if is_tagged(s.pred_info) {
+                help(pool, Desc::from_raw(s.pred_info));
+                continue;
+            }
+            if is_tagged(s.curr_info) {
+                help(pool, Desc::from_raw(s.curr_info));
+                continue;
+            }
+            let desc = Desc::alloc(pool);
+            // Line 19: newcurr becomes a copy of curr (tagged with opInfo);
+            // the gathered curr_info validates these reads at tagging time.
+            pool.store(newcurr.add(N_KEY), pool.load(s.curr.add(N_KEY)));
+            pool.store(newcurr.add(N_NEXT), pool.load(s.curr.add(N_NEXT)));
+            pool.store(newcurr.add(N_INFO), desc.tagged());
+            // Line 20 + newnd body
+            pool.store(newnd.add(N_KEY), key);
+            pool.store(newnd.add(N_NEXT), newcurr.raw());
+            pool.store(newnd.add(N_INFO), desc.tagged());
+            let dup = pool.load(s.curr.add(N_KEY)) == key;
+            if dup {
+                // Lines 11–12, 21–23: read-only outcome; AffectSet = {curr}
+                desc.init(
+                    pool,
+                    OP_INSERT,
+                    enc_bool(false),
+                    &[AffectEntry {
+                        info_addr: s.curr.add(N_INFO),
+                        observed: s.curr_info,
+                        untag_on_cleanup: true,
+                    }],
+                    &[],
+                    &[],
+                );
+                if self.cfg.read_only_opt {
+                    desc.set_result(pool, enc_bool(false));
+                }
+            } else {
+                // Lines 13, 25–27
+                desc.init(
+                    pool,
+                    OP_INSERT,
+                    enc_bool(true),
+                    &[
+                        AffectEntry {
+                            info_addr: s.pred.add(N_INFO),
+                            observed: s.pred_info,
+                            untag_on_cleanup: true,
+                        },
+                        AffectEntry {
+                            info_addr: s.curr.add(N_INFO),
+                            observed: s.curr_info,
+                            // curr is replaced by its copy: tagged forever
+                            untag_on_cleanup: false,
+                        },
+                    ],
+                    &[WriteEntry {
+                        field: s.pred.add(N_NEXT),
+                        old: s.curr.raw(),
+                        new: newnd.raw(),
+                    }],
+                    &[newcurr.add(N_INFO), newnd.add(N_INFO)],
+                );
+            }
+            // Line 28: pbarrier(newcurr, newnd, *opInfo)
+            pool.pwb(newcurr, S_NEW);
+            pool.pwb(newnd, S_NEW);
+            pool.pwb_range(desc.addr(), crate::descriptor::D_WORDS, S_DESC);
+            pool.pfence();
+            // Lines 29–30
+            ctx.set_rd(desc.raw());
+            pool.pwb(ctx.rd_addr(), S_RD);
+            pool.psync();
+            // Line 31: read-only outcome returns without Help (unless the
+            // read-only optimization is ablated away)
+            if dup && self.cfg.read_only_opt {
+                return false;
+            }
+            // Lines 32–33
+            help(pool, desc);
+            let r = desc.result(pool);
+            if r != BOTTOM {
+                return dec_bool(r);
+            }
+            // Line 34: a new attempt uses a fresh descriptor (allocated at
+            // the top of the loop).
+        }
+    }
+
+    /// `Insert.Recover` (Algorithm 1 lines 27–31).
+    pub fn recover_insert(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        match self.recover_update(ctx) {
+            Some(r) => r,
+            None => self.insert(ctx, key),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delete (Algorithm 4)
+    // ------------------------------------------------------------------
+
+    /// Deletes `key`; returns `false` if it was absent.
+    pub fn delete(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        ctx.begin_op(S_CP);
+        self.delete_started(ctx, key)
+    }
+
+    /// [`Self::delete`] without the system's `CP_q := 0` pre-step.
+    pub fn delete_started(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        Self::assert_user_key(key);
+        let pool = &*self.pool;
+        self.prologue(ctx);
+        loop {
+            // Gather phase (lines 51–55)
+            let s = self.search(key);
+            // Helping phase (lines 56–62)
+            if is_tagged(s.pred_info) {
+                help(pool, Desc::from_raw(s.pred_info));
+                continue;
+            }
+            if is_tagged(s.curr_info) {
+                help(pool, Desc::from_raw(s.curr_info));
+                continue;
+            }
+            let desc = Desc::alloc(pool);
+            let absent = pool.load(s.curr.add(N_KEY)) != key;
+            if absent {
+                // Lines 53–54, 63–65
+                desc.init(
+                    pool,
+                    OP_DELETE,
+                    enc_bool(false),
+                    &[AffectEntry {
+                        info_addr: s.curr.add(N_INFO),
+                        observed: s.curr_info,
+                        untag_on_cleanup: true,
+                    }],
+                    &[],
+                    &[],
+                );
+                if self.cfg.read_only_opt {
+                    desc.set_result(pool, enc_bool(false));
+                }
+            } else {
+                // Lines 55, 66–68: unlink curr (its gathered successor
+                // becomes pred's next; the value is ABA-free because next
+                // fields never repeat — see module docs).
+                let succ = pool.load(s.curr.add(N_NEXT));
+                desc.init(
+                    pool,
+                    OP_DELETE,
+                    enc_bool(true),
+                    &[
+                        AffectEntry {
+                            info_addr: s.pred.add(N_INFO),
+                            observed: s.pred_info,
+                            untag_on_cleanup: true,
+                        },
+                        AffectEntry {
+                            info_addr: s.curr.add(N_INFO),
+                            observed: s.curr_info,
+                            untag_on_cleanup: false, // deleted: tagged forever
+                        },
+                    ],
+                    &[WriteEntry { field: s.pred.add(N_NEXT), old: s.curr.raw(), new: succ }],
+                    &[],
+                );
+            }
+            // Lines 69–71
+            desc.pbarrier(pool, S_DESC);
+            ctx.set_rd(desc.raw());
+            pool.pwb(ctx.rd_addr(), S_RD);
+            pool.psync();
+            // Line 72
+            if absent && self.cfg.read_only_opt {
+                return false;
+            }
+            // Lines 73–74
+            help(pool, desc);
+            let r = desc.result(pool);
+            if r != BOTTOM {
+                return dec_bool(r);
+            }
+        }
+    }
+
+    /// `Delete.Recover` (Algorithm 1 lines 27–31).
+    pub fn recover_delete(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        match self.recover_update(ctx) {
+            Some(r) => r,
+            None => self.delete(ctx, key),
+        }
+    }
+
+    /// Common recovery body: returns `Some(result)` if the interrupted
+    /// operation demonstrably took effect, `None` if it must be re-invoked.
+    fn recover_update(&self, ctx: &ThreadCtx) -> Option<bool> {
+        let pool = &*self.pool;
+        let rd = ctx.rd();
+        // Line 28: CP=0 means RD was not yet re-initialized for this op;
+        // RD=Null means no attempt was published. Either way: re-invoke.
+        if ctx.cp() == 0 || rd == 0 {
+            return None;
+        }
+        let desc = Desc::from_raw(rd);
+        // Line 29: finish (or confirm the failure of) the last attempt.
+        // help is idempotent, so this is safe even if the attempt completed.
+        help(pool, desc);
+        let r = desc.result(pool);
+        if r != BOTTOM {
+            Some(dec_bool(r))
+        } else {
+            None
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Find (Algorithm 4 lines 76–90)
+    // ------------------------------------------------------------------
+
+    /// Is `key` present? Read-only; never tags a node (the paper's
+    /// optimization for read-only operations — unless ablated via
+    /// [`ListConfig::read_only_opt`], in which case the full tag–result–
+    /// cleanup pipeline runs).
+    pub fn find(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        Self::assert_user_key(key);
+        if !self.cfg.read_only_opt {
+            return self.find_unoptimized(ctx, key);
+        }
+        let pool = &*self.pool;
+        // Line 76: one descriptor for the whole operation.
+        let desc = Desc::alloc(pool);
+        loop {
+            // Gather phase (lines 78–80)
+            let s = self.search(key);
+            // Helping phase (lines 81–84)
+            if is_tagged(s.curr_info) {
+                help(pool, Desc::from_raw(s.curr_info));
+                continue;
+            }
+            // Lines 85–90: the response depends only on the immutable key
+            // of curr; linearizes at the read of curr's info field above.
+            let result = pool.load(s.curr.add(N_KEY)) == key;
+            desc.init(
+                pool,
+                OP_FIND,
+                enc_bool(result),
+                &[AffectEntry {
+                    info_addr: s.curr.add(N_INFO),
+                    observed: s.curr_info,
+                    untag_on_cleanup: true,
+                }],
+                &[],
+                &[],
+            );
+            desc.set_result(pool, enc_bool(result));
+            desc.pbarrier(pool, S_DESC);
+            ctx.set_rd(desc.raw());
+            pool.pwb(ctx.rd_addr(), S_RD);
+            pool.psync();
+            return result;
+        }
+    }
+
+    /// `Find.Recover`: a find is read-only, so recovery simply re-executes
+    /// it — the re-execution linearizes after the crash, which is always
+    /// admissible for an operation that had not returned.
+    pub fn recover_find(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        self.find(ctx, key)
+    }
+
+    /// Find without the read-only optimization (ablation): the response is
+    /// produced by the full `help` pipeline — tag `curr`, write the
+    /// result, clean up — exactly what the paper's red code lines avoid.
+    fn find_unoptimized(&self, ctx: &ThreadCtx, key: u64) -> bool {
+        let pool = &*self.pool;
+        self.prologue(ctx);
+        loop {
+            let s = self.search(key);
+            if is_tagged(s.curr_info) {
+                help(pool, Desc::from_raw(s.curr_info));
+                continue;
+            }
+            let found = pool.load(s.curr.add(N_KEY)) == key;
+            // fresh descriptor per attempt: a backtracked descriptor must
+            // never be re-initialized (helpers may still hold references)
+            let desc = Desc::alloc(pool);
+            desc.init(
+                pool,
+                OP_FIND,
+                enc_bool(found),
+                &[AffectEntry {
+                    info_addr: s.curr.add(N_INFO),
+                    observed: s.curr_info,
+                    untag_on_cleanup: true,
+                }],
+                &[],
+                &[],
+            );
+            desc.pbarrier(pool, S_DESC);
+            ctx.set_rd(desc.raw());
+            pool.pwb(ctx.rd_addr(), S_RD);
+            pool.psync();
+            help(pool, desc);
+            let r = desc.result(pool);
+            if r != BOTTOM {
+                return dec_bool(r);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Quiescent inspection helpers (tests, examples, validation)
+    // ------------------------------------------------------------------
+
+    /// Collects the user keys in list order. Only meaningful while no
+    /// operation is in flight.
+    pub fn keys(&self) -> Vec<u64> {
+        let pool = &*self.pool;
+        let mut out = Vec::new();
+        let mut curr = PAddr::from_raw(pool.load(self.head.add(N_NEXT)));
+        loop {
+            let k = pool.load(curr.add(N_KEY));
+            if k == KEY_MAX {
+                return out;
+            }
+            out.push(k);
+            curr = PAddr::from_raw(pool.load(curr.add(N_NEXT)));
+        }
+    }
+
+    /// Checks structural invariants (quiescent): strictly sorted keys,
+    /// reachable tail, and no node left tagged. Returns the number of user
+    /// keys. Panics on violation.
+    pub fn check_invariants(&self) -> usize {
+        let pool = &*self.pool;
+        let mut count = 0;
+        let mut prev_key = KEY_MIN;
+        let mut curr = PAddr::from_raw(pool.load(self.head.add(N_NEXT)));
+        loop {
+            let k = pool.load(curr.add(N_KEY));
+            assert!(k > prev_key, "keys must be strictly increasing: {prev_key} !< {k}");
+            let info = pool.load(curr.add(N_INFO));
+            assert!(!is_tagged(info), "quiescent list must hold no tagged node (key {k})");
+            if k == KEY_MAX {
+                return count;
+            }
+            prev_key = k;
+            count += 1;
+            curr = PAddr::from_raw(pool.load(curr.add(N_NEXT)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{PoolCfg, PmemPool};
+    use std::collections::BTreeSet;
+
+    fn setup() -> (Arc<PmemPool>, RecoverableList, ThreadCtx) {
+        let pool = Arc::new(PmemPool::new(PoolCfg::model(8 << 20)));
+        let list = RecoverableList::new(pool.clone(), 0);
+        let ctx = ThreadCtx::new(pool.clone(), 0);
+        (pool, list, ctx)
+    }
+
+    #[test]
+    fn empty_list_invariants() {
+        let (_p, list, _ctx) = setup();
+        assert_eq!(list.check_invariants(), 0);
+        assert!(list.keys().is_empty());
+    }
+
+    #[test]
+    fn insert_find_delete_basics() {
+        let (_p, list, ctx) = setup();
+        assert!(!list.find(&ctx, 10));
+        assert!(list.insert(&ctx, 10));
+        assert!(list.find(&ctx, 10));
+        assert!(!list.insert(&ctx, 10), "duplicate insert fails");
+        assert!(list.delete(&ctx, 10));
+        assert!(!list.find(&ctx, 10));
+        assert!(!list.delete(&ctx, 10), "absent delete fails");
+        assert_eq!(list.check_invariants(), 0);
+    }
+
+    #[test]
+    fn keys_stay_sorted() {
+        let (_p, list, ctx) = setup();
+        for k in [5u64, 1, 9, 3, 7] {
+            assert!(list.insert(&ctx, k));
+        }
+        assert_eq!(list.keys(), vec![1, 3, 5, 7, 9]);
+        assert!(list.delete(&ctx, 5));
+        assert_eq!(list.keys(), vec![1, 3, 7, 9]);
+        assert_eq!(list.check_invariants(), 4);
+    }
+
+    #[test]
+    fn matches_reference_model_sequentially() {
+        let (_p, list, ctx) = setup();
+        let mut model = BTreeSet::new();
+        let mut rng = 0x12345u64;
+        for _ in 0..2000 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (rng >> 33) % 60 + 1;
+            match (rng >> 20) % 3 {
+                0 => assert_eq!(list.insert(&ctx, key), model.insert(key), "insert {key}"),
+                1 => assert_eq!(list.delete(&ctx, key), model.remove(&key), "delete {key}"),
+                _ => assert_eq!(list.find(&ctx, key), model.contains(&key), "find {key}"),
+            }
+        }
+        assert_eq!(list.keys(), model.iter().copied().collect::<Vec<_>>());
+        list.check_invariants();
+    }
+
+    #[test]
+    fn boundary_positions() {
+        let (_p, list, ctx) = setup();
+        assert!(list.insert(&ctx, 50));
+        assert!(list.insert(&ctx, 1), "smallest user key at the front");
+        assert!(list.insert(&ctx, u64::MAX - 1), "largest user key at the back");
+        assert_eq!(list.keys(), vec![1, 50, u64::MAX - 1]);
+        assert!(list.delete(&ctx, 1));
+        assert!(list.delete(&ctx, u64::MAX - 1));
+        assert_eq!(list.keys(), vec![50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "between the sentinels")]
+    fn sentinel_keys_rejected() {
+        let (_p, list, ctx) = setup();
+        list.insert(&ctx, KEY_MAX);
+    }
+
+    #[test]
+    fn reattach_finds_existing_list() {
+        let (p, list, ctx) = setup();
+        list.insert(&ctx, 42);
+        let list2 = RecoverableList::new(p, 0);
+        assert_eq!(list2.keys(), vec![42]);
+    }
+
+    #[test]
+    fn rd_points_to_last_op_descriptor() {
+        let (p, list, ctx) = setup();
+        list.insert(&ctx, 7);
+        let d = Desc::from_raw(ctx.rd());
+        assert_eq!(d.op_type(&p), OP_INSERT);
+        assert_eq!(d.result(&p), enc_bool(true));
+        list.delete(&ctx, 7);
+        let d = Desc::from_raw(ctx.rd());
+        assert_eq!(d.op_type(&p), OP_DELETE);
+        assert_eq!(d.result(&p), enc_bool(true));
+    }
+
+    #[test]
+    fn concurrent_inserts_distinct_keys() {
+        let (p, list, _ctx) = setup();
+        let mut handles = vec![];
+        for t in 0..4u64 {
+            let list = list.clone();
+            let ctx = ThreadCtx::new(p.clone(), t as usize);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    assert!(list.insert(&ctx, t * 1000 + i + 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(list.check_invariants(), 200);
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_preserve_invariants() {
+        let (p, list, _ctx) = setup();
+        let mut handles = vec![];
+        for t in 0..4usize {
+            let list = list.clone();
+            let ctx = ThreadCtx::new(p.clone(), t);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                for _ in 0..500 {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let key = rng % 40 + 1;
+                    match (rng >> 32) % 3 {
+                        0 => {
+                            list.insert(&ctx, key);
+                        }
+                        1 => {
+                            list.delete(&ctx, key);
+                        }
+                        _ => {
+                            list.find(&ctx, key);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        list.check_invariants();
+    }
+
+    #[test]
+    fn contending_inserts_same_key_exactly_one_wins() {
+        let (p, list, _ctx) = setup();
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(4));
+        let mut handles = vec![];
+        for t in 0..4usize {
+            let list = list.clone();
+            let ctx = ThreadCtx::new(p.clone(), t);
+            let barrier = barrier.clone();
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                list.insert(&ctx, 77)
+            }));
+        }
+        let wins: usize = handles.into_iter().filter(|_| true).map(|h| h.join().unwrap() as usize).sum();
+        assert_eq!(wins, 1, "exactly one concurrent insert of the same key succeeds");
+        assert_eq!(list.keys(), vec![77]);
+    }
+
+    #[test]
+    fn crash_swept_insert_recovers_detectably() {
+        // Crash an insert at every instrumented event; after recovery the
+        // response must agree with the list's state: recovered-true iff the
+        // key is present exactly once, and a re-invoked op must also succeed.
+        for crash_at in 0..2000 {
+            let pool = Arc::new(PmemPool::new(PoolCfg::model(8 << 20)));
+            let list = RecoverableList::new(pool.clone(), 0);
+            let ctx = ThreadCtx::new(pool.clone(), 0);
+            ctx.begin_op(S_CP);
+            pool.crash_ctl().arm_after(crash_at);
+            let pre = pmem::run_crashable(|| list.insert_started(&ctx, 5));
+            pool.crash(&mut pmem::PessimistAdversary);
+            match pre {
+                Some(r) => {
+                    // op completed before the crash point was reached: the
+                    // sweep is over
+                    assert!(r);
+                    assert_eq!(list.keys(), vec![5]);
+                    return;
+                }
+                None => {
+                    let r = list.recover_insert(&ctx, 5);
+                    assert!(r, "recovered insert of a fresh key must report success");
+                    assert_eq!(list.keys(), vec![5], "crash_at={crash_at}");
+                    list.check_invariants();
+                }
+            }
+        }
+        panic!("sweep did not terminate: operation needs more than 2000 events");
+    }
+
+    #[test]
+    fn crash_swept_delete_recovers_detectably() {
+        for crash_at in 0..2000 {
+            let pool = Arc::new(PmemPool::new(PoolCfg::model(8 << 20)));
+            let list = RecoverableList::new(pool.clone(), 0);
+            let ctx = ThreadCtx::new(pool.clone(), 0);
+            assert!(list.insert(&ctx, 5));
+            ctx.begin_op(S_CP);
+            pool.crash_ctl().arm_after(crash_at);
+            let pre = pmem::run_crashable(|| list.delete_started(&ctx, 5));
+            pool.crash(&mut pmem::PessimistAdversary);
+            match pre {
+                Some(r) => {
+                    assert!(r);
+                    assert!(list.keys().is_empty());
+                    return;
+                }
+                None => {
+                    let r = list.recover_delete(&ctx, 5);
+                    assert!(r, "recovered delete of a present key must report success");
+                    assert!(list.keys().is_empty(), "crash_at={crash_at}");
+                    list.check_invariants();
+                }
+            }
+        }
+        panic!("sweep did not terminate");
+    }
+
+    #[test]
+    fn recovery_of_completed_op_returns_recorded_result() {
+        let (_p, list, ctx) = setup();
+        assert!(list.insert(&ctx, 9));
+        // Crash struck after the return value was computed but before the
+        // caller consumed it: recover must reproduce `true`, not re-insert.
+        assert!(list.recover_insert(&ctx, 9));
+        assert_eq!(list.keys(), vec![9], "no double insert");
+    }
+
+    #[test]
+    fn ablation_configs_match_reference_model() {
+        let configs = [
+            ListConfig { traversal_flush: true, read_only_opt: true },
+            ListConfig { traversal_flush: false, read_only_opt: false },
+            ListConfig { traversal_flush: true, read_only_opt: false },
+        ];
+        for cfg in configs {
+            let pool = Arc::new(PmemPool::new(PoolCfg::model(16 << 20)));
+            let list = RecoverableList::with_config(pool.clone(), 0, cfg);
+            let ctx = ThreadCtx::new(pool, 0);
+            let mut model = BTreeSet::new();
+            let mut rng = 0x7777u64;
+            for _ in 0..800 {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let key = (rng >> 33) % 40 + 1;
+                match (rng >> 20) % 3 {
+                    0 => assert_eq!(list.insert(&ctx, key), model.insert(key), "{cfg:?}"),
+                    1 => assert_eq!(list.delete(&ctx, key), model.remove(&key), "{cfg:?}"),
+                    _ => assert_eq!(list.find(&ctx, key), model.contains(&key), "{cfg:?}"),
+                }
+            }
+            assert_eq!(list.keys(), model.iter().copied().collect::<Vec<_>>(), "{cfg:?}");
+            list.check_invariants();
+        }
+    }
+
+    #[test]
+    fn traversal_flush_ablation_flushes_per_visited_node() {
+        let pool = Arc::new(PmemPool::new(PoolCfg::model(16 << 20)));
+        let list = RecoverableList::with_config(
+            pool.clone(),
+            0,
+            ListConfig { traversal_flush: true, read_only_opt: true },
+        );
+        let ctx = ThreadCtx::new(pool.clone(), 0);
+        for k in 1..=20u64 {
+            list.insert(&ctx, k);
+        }
+        pool.stats_reset();
+        list.find(&ctx, 20); // traverses the whole list
+        let s = pool.stats();
+        assert!(
+            s.pwb_at(crate::sites::S_TRAVERSE) >= 20,
+            "naive placement must flush every visited node (got {})",
+            s.pwb_at(crate::sites::S_TRAVERSE)
+        );
+    }
+
+    #[test]
+    fn no_read_opt_ablation_tags_on_find() {
+        let pool = Arc::new(PmemPool::new(PoolCfg::model(16 << 20)));
+        let list = RecoverableList::with_config(
+            pool.clone(),
+            0,
+            ListConfig { traversal_flush: false, read_only_opt: false },
+        );
+        let ctx = ThreadCtx::new(pool.clone(), 0);
+        list.insert(&ctx, 5);
+        pool.stats_reset();
+        assert!(list.find(&ctx, 5));
+        let s = pool.stats();
+        assert!(
+            s.pwb_at(crate::sites::S_TAG) >= 1,
+            "without the optimization a find runs the tagging phase"
+        );
+        list.check_invariants(); // and cleans up after itself
+    }
+
+    #[test]
+    fn ablated_find_still_recovers() {
+        let pool = Arc::new(PmemPool::new(PoolCfg::model(16 << 20)));
+        let list = RecoverableList::with_config(
+            pool.clone(),
+            0,
+            ListConfig { traversal_flush: false, read_only_opt: false },
+        );
+        let ctx = ThreadCtx::new(pool.clone(), 0);
+        list.insert(&ctx, 5);
+        for crash_at in [3u64, 15, 40, 90] {
+            ctx.begin_op(S_CP);
+            pool.crash_ctl().arm_after(crash_at);
+            let pre = pmem::run_crashable(|| list.find(&ctx, 5));
+            pool.crash(&mut pmem::PessimistAdversary);
+            let r = match pre {
+                Some(r) => r,
+                None => list.recover_find(&ctx, 5),
+            };
+            assert!(r, "crash_at={crash_at}");
+            list.check_invariants();
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! A detectably recoverable FIFO queue derived with Tracking — an extra
+//! structure beyond the paper's three, exercising the generic engine on a
+//! Michael–Scott-style queue (the paper argues Tracking applies to "a large
+//! collection of concurrent data structures"; recoverable queues are its
+//! §7 point of comparison with Friedman et al.).
+//!
+//! Representation: a singly linked chain of `⟨value, next, info⟩` nodes.
+//! A persistent root cell holds the **head sentinel** pointer; a second,
+//! purely volatile hint accelerates locating the last node.
+//!
+//! * **Enqueue(v)** appends to the last node `L` (found by chasing `next`
+//!   from the tail hint): AffectSet = `{L}` (stays in the chain ⇒ untag at
+//!   cleanup), WriteSet = `{L.next: ⊥ → new}`, NewSet = `{new}`. Appending
+//!   is safe even if `L` has already been consumed: the head pointer can
+//!   only move *past* `L` after `L.next` is non-null, in which case the
+//!   append CAS fails and the operation retries further down the chain.
+//! * **Dequeue** consumes the successor `F` of the head sentinel `H` and
+//!   makes `F` the new sentinel: AffectSet = `{H}` (leaves the structure ⇒
+//!   tagged forever), WriteSet = `{head-cell: H → F}`, response =
+//!   `F.value`. Competing dequeues serialize on `H`'s tag; the head cell
+//!   CAS is ABA-free because sentinels advance through never-reused node
+//!   addresses.
+//! * **Empty dequeue** is a read-only outcome: gather `H` (untagged),
+//!   observe `H.next = ⊥`, and re-validate that `H` is still the sentinel —
+//!   head only moves forward, so the queue was empty at the observation.
+//!
+//! Recovery is the standard Op-Recover skeleton over `CP_q`/`RD_q`.
+
+use std::sync::Arc;
+
+use pmem::{is_tagged, PAddr, PmemPool, ThreadCtx};
+
+use crate::descriptor::{AffectEntry, Desc, WriteEntry};
+use crate::help::help;
+use crate::result::{dec_val, enc_val, BOTTOM, FALSE};
+use crate::sites::{S_CP, S_DESC, S_NEW, S_RD};
+
+/// Descriptor op-type tag for enqueues.
+pub const OP_ENQ: u8 = 10;
+/// Descriptor op-type tag for dequeues.
+pub const OP_DEQ: u8 = 11;
+
+// Node layout (one cache line): w0 value, w1 next, w2 info.
+const N_VALUE: u64 = 0;
+const N_NEXT: u64 = 1;
+const N_INFO: u64 = 2;
+
+/// Largest enqueueable value (room for the result encoding).
+pub const VALUE_MAX: u64 = u64::MAX - 4;
+
+/// The detectably recoverable FIFO queue.
+#[derive(Clone)]
+pub struct RecoverableQueue {
+    pool: Arc<PmemPool>,
+    /// Persistent cell holding the head-sentinel pointer.
+    head_cell: PAddr,
+    /// Volatile-use cell holding a tail hint (never relied upon).
+    tail_hint: PAddr,
+}
+
+impl RecoverableQueue {
+    /// Creates a queue using root cells `root_idx` (head) and
+    /// `root_idx + 1` (tail hint), or re-attaches.
+    pub fn new(pool: Arc<PmemPool>, root_idx: usize) -> Self {
+        let head_cell = pool.root(root_idx);
+        let tail_hint = pool.root(root_idx + 1);
+        if pool.load(head_cell) == 0 {
+            let sentinel = pool.alloc_lines(1);
+            pool.pwb(sentinel, S_NEW);
+            pool.pfence();
+            pool.store(head_cell, sentinel.raw());
+            pool.store(tail_hint, sentinel.raw());
+            pool.pbarrier(head_cell, 1, S_NEW);
+        }
+        RecoverableQueue { pool, head_cell, tail_hint }
+    }
+
+    /// The owning pool.
+    pub fn pool(&self) -> &PmemPool {
+        &self.pool
+    }
+
+    fn prologue(&self, ctx: &ThreadCtx) {
+        let pool = &*self.pool;
+        ctx.set_rd(0);
+        pool.pbarrier(ctx.rd_addr(), 1, S_RD);
+        ctx.set_cp(1);
+        pool.pwb(ctx.cp_addr(), S_CP);
+        pool.psync();
+    }
+
+    /// Chases `next` pointers from the tail hint to the last node, and the
+    /// last node's `info` gathered on first access.
+    fn find_last(&self) -> (PAddr, u64) {
+        let pool = &*self.pool;
+        let mut nd = PAddr::from_raw(pool.load(self.tail_hint));
+        if nd.is_null() {
+            nd = PAddr::from_raw(pool.load(self.head_cell));
+        }
+        loop {
+            let next = pool.load(nd.add(N_NEXT));
+            if next == 0 {
+                let info = pool.load(nd.add(N_INFO));
+                // re-check: still last after gathering the version stamp?
+                if pool.load(nd.add(N_NEXT)) == 0 {
+                    return (nd, info);
+                }
+            } else {
+                nd = PAddr::from_raw(next);
+            }
+        }
+    }
+
+    /// Appends `value` at the tail.
+    pub fn enqueue(&self, ctx: &ThreadCtx, value: u64) {
+        ctx.begin_op(S_CP);
+        self.enqueue_started(ctx, value)
+    }
+
+    /// [`Self::enqueue`] without the system's `CP_q := 0` pre-step.
+    pub fn enqueue_started(&self, ctx: &ThreadCtx, value: u64) {
+        assert!(value <= VALUE_MAX, "value too large to encode");
+        let pool = &*self.pool;
+        // The new node is allocated once and reused across attempts.
+        let new = pool.alloc_lines(1);
+        pool.store(new.add(N_VALUE), value);
+        self.prologue(ctx);
+        loop {
+            // Gather
+            let (last, last_info) = self.find_last();
+            // Helping
+            if is_tagged(last_info) {
+                help(pool, Desc::from_raw(last_info));
+                continue;
+            }
+            let desc = Desc::alloc(pool);
+            pool.store(new.add(N_INFO), desc.tagged());
+            desc.init(
+                pool,
+                OP_ENQ,
+                enc_val(value), // response of a successful enqueue: its value
+                &[AffectEntry {
+                    info_addr: last.add(N_INFO),
+                    observed: last_info,
+                    untag_on_cleanup: true,
+                }],
+                &[WriteEntry { field: last.add(N_NEXT), old: 0, new: new.raw() }],
+                &[new.add(N_INFO)],
+            );
+            pool.pwb(new, S_NEW);
+            pool.pwb_range(desc.addr(), crate::descriptor::D_WORDS, S_DESC);
+            pool.pfence();
+            ctx.set_rd(desc.raw());
+            pool.pwb(ctx.rd_addr(), S_RD);
+            pool.psync();
+            help(pool, desc);
+            if desc.result(pool) != BOTTOM {
+                // best-effort tail hint (volatile semantics: safe to lose)
+                pool.store(self.tail_hint, new.raw());
+                return;
+            }
+        }
+    }
+
+    /// `Enqueue.Recover`.
+    pub fn recover_enqueue(&self, ctx: &ThreadCtx, value: u64) {
+        let pool = &*self.pool;
+        let rd = ctx.rd();
+        if ctx.cp() == 0 || rd == 0 {
+            return self.enqueue(ctx, value);
+        }
+        let desc = Desc::from_raw(rd);
+        help(pool, desc);
+        if desc.result(pool) == BOTTOM {
+            self.enqueue(ctx, value)
+        }
+    }
+
+    /// Removes and returns the oldest value, or `None` when empty.
+    pub fn dequeue(&self, ctx: &ThreadCtx) -> Option<u64> {
+        ctx.begin_op(S_CP);
+        self.dequeue_started(ctx)
+    }
+
+    /// [`Self::dequeue`] without the system's `CP_q := 0` pre-step.
+    pub fn dequeue_started(&self, ctx: &ThreadCtx) -> Option<u64> {
+        let pool = &*self.pool;
+        self.prologue(ctx);
+        loop {
+            // Gather
+            let h = PAddr::from_raw(pool.load(self.head_cell));
+            let h_info = pool.load(h.add(N_INFO));
+            // Helping
+            if is_tagged(h_info) {
+                help(pool, Desc::from_raw(h_info));
+                continue;
+            }
+            let next = pool.load(h.add(N_NEXT));
+            let desc = Desc::alloc(pool);
+            if next == 0 {
+                // Read-only empty outcome; valid only if h is still the
+                // sentinel (head moves forward only, so the queue was empty
+                // at the observation of h.next).
+                if pool.load(self.head_cell) != h.raw() {
+                    continue;
+                }
+                desc.init(
+                    pool,
+                    OP_DEQ,
+                    FALSE,
+                    &[AffectEntry {
+                        info_addr: h.add(N_INFO),
+                        observed: h_info,
+                        untag_on_cleanup: true,
+                    }],
+                    &[],
+                    &[],
+                );
+                desc.set_result(pool, FALSE);
+                desc.pbarrier(pool, S_DESC);
+                ctx.set_rd(desc.raw());
+                pool.pwb(ctx.rd_addr(), S_RD);
+                pool.psync();
+                return None;
+            }
+            let f = PAddr::from_raw(next);
+            let value = pool.load(f.add(N_VALUE)); // immutable once published
+            desc.init(
+                pool,
+                OP_DEQ,
+                enc_val(value),
+                &[AffectEntry {
+                    info_addr: h.add(N_INFO),
+                    observed: h_info,
+                    untag_on_cleanup: false, // h leaves the structure
+                }],
+                &[WriteEntry { field: self.head_cell, old: h.raw(), new: f.raw() }],
+                &[],
+            );
+            desc.pbarrier(pool, S_DESC);
+            ctx.set_rd(desc.raw());
+            pool.pwb(ctx.rd_addr(), S_RD);
+            pool.psync();
+            help(pool, desc);
+            let r = desc.result(pool);
+            if r != BOTTOM {
+                return if r == FALSE { None } else { Some(dec_val(r)) };
+            }
+        }
+    }
+
+    /// `Dequeue.Recover`.
+    pub fn recover_dequeue(&self, ctx: &ThreadCtx) -> Option<u64> {
+        let pool = &*self.pool;
+        let rd = ctx.rd();
+        if ctx.cp() == 0 || rd == 0 {
+            return self.dequeue(ctx);
+        }
+        let desc = Desc::from_raw(rd);
+        help(pool, desc);
+        let r = desc.result(pool);
+        if r == BOTTOM {
+            self.dequeue(ctx)
+        } else if r == FALSE {
+            None
+        } else {
+            Some(dec_val(r))
+        }
+    }
+
+    /// Values from head to tail (quiescent only).
+    pub fn values(&self) -> Vec<u64> {
+        let pool = &*self.pool;
+        let mut out = Vec::new();
+        let mut nd = PAddr::from_raw(pool.load(self.head_cell));
+        loop {
+            let next = pool.load(nd.add(N_NEXT));
+            if next == 0 {
+                return out;
+            }
+            nd = PAddr::from_raw(next);
+            out.push(pool.load(nd.add(N_VALUE)));
+        }
+    }
+
+    /// Number of queued values (quiescent only).
+    pub fn len(&self) -> usize {
+        self.values().len()
+    }
+
+    /// Is the queue empty (quiescent only)?
+    pub fn is_empty(&self) -> bool {
+        self.pool.load(
+            PAddr::from_raw(self.pool.load(self.head_cell)).add(N_NEXT),
+        ) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{PoolCfg, PmemPool};
+
+    fn setup() -> (Arc<PmemPool>, RecoverableQueue, ThreadCtx) {
+        let pool = Arc::new(PmemPool::new(PoolCfg::model(16 << 20)));
+        let q = RecoverableQueue::new(pool.clone(), 4);
+        let ctx = ThreadCtx::new(pool.clone(), 0);
+        (pool, q, ctx)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let (_p, q, ctx) = setup();
+        assert!(q.is_empty());
+        assert_eq!(q.dequeue(&ctx), None);
+        for v in [3u64, 1, 4, 1, 5] {
+            q.enqueue(&ctx, v);
+        }
+        assert_eq!(q.values(), vec![3, 1, 4, 1, 5]);
+        assert_eq!(q.dequeue(&ctx), Some(3));
+        assert_eq!(q.dequeue(&ctx), Some(1));
+        q.enqueue(&ctx, 9);
+        assert_eq!(q.values(), vec![4, 1, 5, 9]);
+        for want in [4u64, 1, 5, 9] {
+            assert_eq!(q.dequeue(&ctx), Some(want));
+        }
+        assert_eq!(q.dequeue(&ctx), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_and_refill_repeatedly() {
+        let (_p, q, ctx) = setup();
+        for round in 0..5u64 {
+            for v in 0..20 {
+                q.enqueue(&ctx, round * 100 + v);
+            }
+            for v in 0..20 {
+                assert_eq!(q.dequeue(&ctx), Some(round * 100 + v));
+            }
+            assert_eq!(q.dequeue(&ctx), None, "round {round}");
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_lose_nothing() {
+        let (p, q, _ctx) = setup();
+        let produced: u64 = 2 * 300;
+        let mut handles = vec![];
+        for t in 0..2u64 {
+            let q = q.clone();
+            let ctx = ThreadCtx::new(p.clone(), t as usize);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..300u64 {
+                    q.enqueue(&ctx, t * 1000 + i);
+                }
+                Vec::new()
+            }));
+        }
+        for t in 2..4u64 {
+            let q = q.clone();
+            let ctx = ThreadCtx::new(p.clone(), t as usize);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while got.len() < 300 {
+                    if let Some(v) = q.dequeue(&ctx) {
+                        got.push(v);
+                    }
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        assert_eq!(all.len() as u64, produced);
+        all.sort_unstable();
+        let mut want: Vec<u64> =
+            (0..300u64).map(|i| i).chain((0..300u64).map(|i| 1000 + i)).collect();
+        want.sort_unstable();
+        assert_eq!(all, want, "every produced value consumed exactly once");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn per_producer_fifo_preserved() {
+        // one producer, one consumer: strict FIFO end to end
+        let (p, q, _ctx) = setup();
+        let prod = {
+            let q = q.clone();
+            let ctx = ThreadCtx::new(p.clone(), 0);
+            std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    q.enqueue(&ctx, i);
+                }
+            })
+        };
+        let cons = {
+            let q = q.clone();
+            let ctx = ThreadCtx::new(p.clone(), 1);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while got.len() < 500 {
+                    if let Some(v) = q.dequeue(&ctx) {
+                        got.push(v);
+                    }
+                }
+                got
+            })
+        };
+        prod.join().unwrap();
+        let got = cons.join().unwrap();
+        assert_eq!(got, (0..500u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn crash_swept_enqueue_recovers_exactly_once() {
+        for crash_at in 0..2000 {
+            let pool = Arc::new(PmemPool::new(PoolCfg::model(16 << 20)));
+            let q = RecoverableQueue::new(pool.clone(), 4);
+            let ctx = ThreadCtx::new(pool.clone(), 0);
+            q.enqueue(&ctx, 1);
+            ctx.begin_op(S_CP);
+            pool.crash_ctl().arm_after(crash_at);
+            let pre = pmem::run_crashable(|| q.enqueue_started(&ctx, 2));
+            pool.crash(&mut pmem::PessimistAdversary);
+            match pre {
+                Some(()) => {
+                    assert_eq!(q.values(), vec![1, 2]);
+                    return;
+                }
+                None => {
+                    q.recover_enqueue(&ctx, 2);
+                    assert_eq!(q.values(), vec![1, 2], "crash_at={crash_at}: exactly-once append");
+                }
+            }
+        }
+        panic!("sweep did not terminate");
+    }
+
+    #[test]
+    fn crash_swept_dequeue_recovers_exactly_once() {
+        for crash_at in 0..2000 {
+            let pool = Arc::new(PmemPool::new(PoolCfg::model(16 << 20)));
+            let q = RecoverableQueue::new(pool.clone(), 4);
+            let ctx = ThreadCtx::new(pool.clone(), 0);
+            q.enqueue(&ctx, 7);
+            q.enqueue(&ctx, 8);
+            ctx.begin_op(S_CP);
+            pool.crash_ctl().arm_after(crash_at);
+            let pre = pmem::run_crashable(|| q.dequeue_started(&ctx));
+            pool.crash(&mut pmem::PessimistAdversary);
+            match pre {
+                Some(r) => {
+                    assert_eq!(r, Some(7));
+                    assert_eq!(q.values(), vec![8]);
+                    return;
+                }
+                None => {
+                    let r = q.recover_dequeue(&ctx);
+                    assert_eq!(r, Some(7), "crash_at={crash_at}: exactly-once dequeue");
+                    assert_eq!(q.values(), vec![8], "crash_at={crash_at}");
+                }
+            }
+        }
+        panic!("sweep did not terminate");
+    }
+
+    #[test]
+    fn recovery_of_completed_dequeue_replays_response() {
+        let (_p, q, ctx) = setup();
+        q.enqueue(&ctx, 42);
+        assert_eq!(q.dequeue(&ctx), Some(42));
+        assert_eq!(q.recover_dequeue(&ctx), Some(42), "must replay, not re-dequeue");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn recovery_of_empty_dequeue_replays_none() {
+        let (_p, q, ctx) = setup();
+        assert_eq!(q.dequeue(&ctx), None);
+        assert_eq!(q.recover_dequeue(&ctx), None);
+    }
+}

@@ -1,0 +1,81 @@
+//! Encoding of operation responses inside descriptors.
+//!
+//! The paper's `result` field holds ⊥ until the operation takes effect and
+//! a response afterwards. We pack responses into one 64-bit word: `0` is ⊥,
+//! `1`/`2` are the booleans, and `v + 3` carries an arbitrary value `v`
+//! (used by the exchanger, whose response is the partner's value). Values
+//! are capped at `u64::MAX - 3` — far above any key or payload used here.
+
+/// ⊥ — the operation has not (yet) taken effect.
+pub const BOTTOM: u64 = 0;
+/// Boolean `false` response.
+pub const FALSE: u64 = 1;
+/// Boolean `true` response.
+pub const TRUE: u64 = 2;
+
+/// Encodes a boolean response.
+#[inline]
+pub fn enc_bool(b: bool) -> u64 {
+    if b {
+        TRUE
+    } else {
+        FALSE
+    }
+}
+
+/// Decodes a boolean response. Panics on ⊥ or a value response (a logic
+/// error in the caller).
+#[inline]
+pub fn dec_bool(r: u64) -> bool {
+    match r {
+        FALSE => false,
+        TRUE => true,
+        other => panic!("result {other} is not a boolean response"),
+    }
+}
+
+/// Encodes a value response.
+#[inline]
+pub fn enc_val(v: u64) -> u64 {
+    debug_assert!(v <= u64::MAX - 3, "value too large to encode");
+    v + 3
+}
+
+/// Decodes a value response. Panics on ⊥ or a boolean.
+#[inline]
+pub fn dec_val(r: u64) -> u64 {
+    assert!(r >= 3, "result {r} is not a value response");
+    r - 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_roundtrip() {
+        assert_eq!(dec_bool(enc_bool(true)), true);
+        assert_eq!(dec_bool(enc_bool(false)), false);
+        assert_ne!(enc_bool(false), BOTTOM);
+    }
+
+    #[test]
+    fn val_roundtrip() {
+        for v in [0u64, 1, 2, 3, 1 << 40] {
+            assert_eq!(dec_val(enc_val(v)), v);
+            assert_ne!(enc_val(v), BOTTOM);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bottom_is_not_a_bool() {
+        dec_bool(BOTTOM);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bool_is_not_a_val() {
+        dec_val(TRUE);
+    }
+}

@@ -1,0 +1,408 @@
+//! A detectably recoverable LIFO stack derived with Tracking — a
+//! Treiber-style stack driven by the generic engine (recoverable stacks
+//! are among the hand-crafted structures the paper's related work cites;
+//! here the same generic transformation yields one).
+//!
+//! Representation: a `top` root cell pointing to a chain of
+//! `⟨value, next, info⟩` nodes ending in a permanent **bottom sentinel**
+//! (so `top` always names a taggable node).
+//!
+//! * **Push(v)**: AffectSet = `{top-node}` (stays reachable as the new
+//!   node's successor ⇒ untag at cleanup), WriteSet = `{top: old → new}`,
+//!   NewSet = `{new}`.
+//! * **Pop**: AffectSet = `{top-node}` (leaves the structure ⇒ tagged
+//!   forever), WriteSet = `{top: node → node.next}`, response =
+//!   `node.value`. Popping the sentinel is the read-only empty case,
+//!   validated by re-reading `top` (which, unlike a queue head, can ABA
+//!   only through *new* node addresses — never back to an old one, since
+//!   nodes are not recycled).
+//!
+//! The `top` cell's CAS is ABA-free for the same arena reason as
+//! everywhere else in this repository: node addresses are never reused, so
+//! `top` never holds the same value twice... with one subtlety: `top` can
+//! return to the *sentinel* many times. That is harmless: the sentinel's
+//! AffectSet entry carries its gathered `info` version stamp, and every
+//! push/pop that touches the sentinel bumps it (cleanup leaves
+//! `untagged(desc)` behind), so a stale WriteSet expecting an old
+//! sentinel-epoch fails its *tagging* phase before any top CAS runs.
+
+use std::sync::Arc;
+
+use pmem::{is_tagged, PAddr, PmemPool, ThreadCtx};
+
+use crate::descriptor::{AffectEntry, Desc, WriteEntry};
+use crate::help::help;
+use crate::result::{dec_val, enc_val, BOTTOM, FALSE};
+use crate::sites::{S_CP, S_DESC, S_NEW, S_RD};
+
+/// Descriptor op-type tag for pushes.
+pub const OP_PUSH: u8 = 12;
+/// Descriptor op-type tag for pops.
+pub const OP_POP: u8 = 13;
+
+// Node layout (one cache line): w0 value, w1 next, w2 info, w3 is_sentinel.
+const N_VALUE: u64 = 0;
+const N_NEXT: u64 = 1;
+const N_INFO: u64 = 2;
+const N_SENTINEL: u64 = 3;
+
+/// Largest pushable value (room for the result encoding).
+pub const VALUE_MAX: u64 = u64::MAX - 4;
+
+/// The detectably recoverable LIFO stack.
+#[derive(Clone)]
+pub struct RecoverableStack {
+    pool: Arc<PmemPool>,
+    top_cell: PAddr,
+}
+
+impl RecoverableStack {
+    /// Creates a stack rooted in root cell `root_idx`, or re-attaches.
+    pub fn new(pool: Arc<PmemPool>, root_idx: usize) -> Self {
+        let top_cell = pool.root(root_idx);
+        if pool.load(top_cell) == 0 {
+            let bottom = pool.alloc_lines(1);
+            pool.store(bottom.add(N_SENTINEL), 1);
+            pool.pwb(bottom, S_NEW);
+            pool.pfence();
+            pool.store(top_cell, bottom.raw());
+            pool.pbarrier(top_cell, 1, S_NEW);
+        }
+        RecoverableStack { pool, top_cell }
+    }
+
+    /// The owning pool.
+    pub fn pool(&self) -> &PmemPool {
+        &self.pool
+    }
+
+    fn prologue(&self, ctx: &ThreadCtx) {
+        let pool = &*self.pool;
+        ctx.set_rd(0);
+        pool.pbarrier(ctx.rd_addr(), 1, S_RD);
+        ctx.set_cp(1);
+        pool.pwb(ctx.cp_addr(), S_CP);
+        pool.psync();
+    }
+
+    /// Pushes `value`.
+    pub fn push(&self, ctx: &ThreadCtx, value: u64) {
+        ctx.begin_op(S_CP);
+        self.push_started(ctx, value)
+    }
+
+    /// [`Self::push`] without the system's `CP_q := 0` pre-step.
+    pub fn push_started(&self, ctx: &ThreadCtx, value: u64) {
+        assert!(value <= VALUE_MAX, "value too large to encode");
+        let pool = &*self.pool;
+        let new = pool.alloc_lines(1);
+        pool.store(new.add(N_VALUE), value);
+        self.prologue(ctx);
+        loop {
+            // Gather: the current top node and its info version stamp.
+            let top_raw = pool.load(self.top_cell);
+            let top = PAddr::from_raw(top_raw);
+            let info = pool.load(top.add(N_INFO));
+            if is_tagged(info) {
+                help(pool, Desc::from_raw(info));
+                continue;
+            }
+            let desc = Desc::alloc(pool);
+            pool.store(new.add(N_NEXT), top_raw);
+            pool.store(new.add(N_INFO), desc.tagged());
+            desc.init(
+                pool,
+                OP_PUSH,
+                enc_val(value),
+                &[AffectEntry {
+                    info_addr: top.add(N_INFO),
+                    observed: info,
+                    untag_on_cleanup: true, // stays in the stack below `new`
+                }],
+                &[WriteEntry { field: self.top_cell, old: top_raw, new: new.raw() }],
+                &[new.add(N_INFO)],
+            );
+            pool.pwb(new, S_NEW);
+            pool.pwb_range(desc.addr(), crate::descriptor::D_WORDS, S_DESC);
+            pool.pfence();
+            ctx.set_rd(desc.raw());
+            pool.pwb(ctx.rd_addr(), S_RD);
+            pool.psync();
+            help(pool, desc);
+            if desc.result(pool) != BOTTOM {
+                return;
+            }
+        }
+    }
+
+    /// `Push.Recover`.
+    pub fn recover_push(&self, ctx: &ThreadCtx, value: u64) {
+        let pool = &*self.pool;
+        let rd = ctx.rd();
+        if ctx.cp() == 0 || rd == 0 {
+            return self.push(ctx, value);
+        }
+        let desc = Desc::from_raw(rd);
+        help(pool, desc);
+        if desc.result(pool) == BOTTOM {
+            self.push(ctx, value)
+        }
+    }
+
+    /// Pops the most recent value, or `None` when empty.
+    pub fn pop(&self, ctx: &ThreadCtx) -> Option<u64> {
+        ctx.begin_op(S_CP);
+        self.pop_started(ctx)
+    }
+
+    /// [`Self::pop`] without the system's `CP_q := 0` pre-step.
+    pub fn pop_started(&self, ctx: &ThreadCtx) -> Option<u64> {
+        let pool = &*self.pool;
+        self.prologue(ctx);
+        loop {
+            let top_raw = pool.load(self.top_cell);
+            let top = PAddr::from_raw(top_raw);
+            let info = pool.load(top.add(N_INFO));
+            if is_tagged(info) {
+                help(pool, Desc::from_raw(info));
+                continue;
+            }
+            let desc = Desc::alloc(pool);
+            if pool.load(top.add(N_SENTINEL)) == 1 {
+                // Read-only empty outcome, validated against the version
+                // stamp still being in place (top may have moved).
+                if pool.load(self.top_cell) != top_raw
+                    || pool.load(top.add(N_INFO)) != info
+                {
+                    continue;
+                }
+                desc.init(
+                    pool,
+                    OP_POP,
+                    FALSE,
+                    &[AffectEntry {
+                        info_addr: top.add(N_INFO),
+                        observed: info,
+                        untag_on_cleanup: true,
+                    }],
+                    &[],
+                    &[],
+                );
+                desc.set_result(pool, FALSE);
+                desc.pbarrier(pool, S_DESC);
+                ctx.set_rd(desc.raw());
+                pool.pwb(ctx.rd_addr(), S_RD);
+                pool.psync();
+                return None;
+            }
+            let value = pool.load(top.add(N_VALUE)); // immutable once published
+            let next = pool.load(top.add(N_NEXT));
+            desc.init(
+                pool,
+                OP_POP,
+                enc_val(value),
+                &[AffectEntry {
+                    info_addr: top.add(N_INFO),
+                    observed: info,
+                    untag_on_cleanup: false, // leaves the stack
+                }],
+                &[WriteEntry { field: self.top_cell, old: top_raw, new: next }],
+                &[],
+            );
+            desc.pbarrier(pool, S_DESC);
+            ctx.set_rd(desc.raw());
+            pool.pwb(ctx.rd_addr(), S_RD);
+            pool.psync();
+            help(pool, desc);
+            let r = desc.result(pool);
+            if r != BOTTOM {
+                return if r == FALSE { None } else { Some(dec_val(r)) };
+            }
+        }
+    }
+
+    /// `Pop.Recover`.
+    pub fn recover_pop(&self, ctx: &ThreadCtx) -> Option<u64> {
+        let pool = &*self.pool;
+        let rd = ctx.rd();
+        if ctx.cp() == 0 || rd == 0 {
+            return self.pop(ctx);
+        }
+        let desc = Desc::from_raw(rd);
+        help(pool, desc);
+        let r = desc.result(pool);
+        if r == BOTTOM {
+            self.pop(ctx)
+        } else if r == FALSE {
+            None
+        } else {
+            Some(dec_val(r))
+        }
+    }
+
+    /// Values from top to bottom (quiescent only).
+    pub fn values(&self) -> Vec<u64> {
+        let pool = &*self.pool;
+        let mut out = Vec::new();
+        let mut nd = PAddr::from_raw(pool.load(self.top_cell));
+        while pool.load(nd.add(N_SENTINEL)) != 1 {
+            out.push(pool.load(nd.add(N_VALUE)));
+            nd = PAddr::from_raw(pool.load(nd.add(N_NEXT)));
+        }
+        out
+    }
+
+    /// Number of stacked values (quiescent only).
+    pub fn len(&self) -> usize {
+        self.values().len()
+    }
+
+    /// Is the stack empty (quiescent only)?
+    pub fn is_empty(&self) -> bool {
+        let top = PAddr::from_raw(self.pool.load(self.top_cell));
+        self.pool.load(top.add(N_SENTINEL)) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{PoolCfg, PmemPool};
+
+    fn setup() -> (Arc<PmemPool>, RecoverableStack, ThreadCtx) {
+        let pool = Arc::new(PmemPool::new(PoolCfg::model(16 << 20)));
+        let s = RecoverableStack::new(pool.clone(), 6);
+        let ctx = ThreadCtx::new(pool.clone(), 0);
+        (pool, s, ctx)
+    }
+
+    #[test]
+    fn lifo_order() {
+        let (_p, s, ctx) = setup();
+        assert!(s.is_empty());
+        assert_eq!(s.pop(&ctx), None);
+        for v in [1u64, 2, 3] {
+            s.push(&ctx, v);
+        }
+        assert_eq!(s.values(), vec![3, 2, 1]);
+        assert_eq!(s.pop(&ctx), Some(3));
+        s.push(&ctx, 9);
+        assert_eq!(s.pop(&ctx), Some(9));
+        assert_eq!(s.pop(&ctx), Some(2));
+        assert_eq!(s.pop(&ctx), Some(1));
+        assert_eq!(s.pop(&ctx), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn empty_refill_cycles() {
+        let (_p, s, ctx) = setup();
+        for round in 0..5u64 {
+            for v in 0..10 {
+                s.push(&ctx, round * 100 + v);
+            }
+            for v in (0..10).rev() {
+                assert_eq!(s.pop(&ctx), Some(round * 100 + v));
+            }
+            assert_eq!(s.pop(&ctx), None, "round {round}");
+        }
+    }
+
+    #[test]
+    fn concurrent_push_pop_loses_nothing() {
+        let (p, s, _ctx) = setup();
+        let mut handles = vec![];
+        for t in 0..2u64 {
+            let s = s.clone();
+            let ctx = ThreadCtx::new(p.clone(), t as usize);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..300u64 {
+                    s.push(&ctx, t * 1000 + i);
+                }
+                Vec::new()
+            }));
+        }
+        for t in 2..4u64 {
+            let s = s.clone();
+            let ctx = ThreadCtx::new(p.clone(), t as usize);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while got.len() < 300 {
+                    if let Some(v) = s.pop(&ctx) {
+                        got.push(v);
+                    }
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        let mut want: Vec<u64> = (0..300).chain(1000..1300).collect();
+        want.sort_unstable();
+        assert_eq!(all, want, "every pushed value popped exactly once");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn crash_swept_push_recovers_exactly_once() {
+        for crash_at in 0..2000 {
+            let pool = Arc::new(PmemPool::new(PoolCfg::model(16 << 20)));
+            let s = RecoverableStack::new(pool.clone(), 6);
+            let ctx = ThreadCtx::new(pool.clone(), 0);
+            s.push(&ctx, 1);
+            ctx.begin_op(S_CP);
+            pool.crash_ctl().arm_after(crash_at);
+            let pre = pmem::run_crashable(|| s.push_started(&ctx, 2));
+            pool.crash(&mut pmem::PessimistAdversary);
+            match pre {
+                Some(()) => {
+                    assert_eq!(s.values(), vec![2, 1]);
+                    return;
+                }
+                None => {
+                    s.recover_push(&ctx, 2);
+                    assert_eq!(s.values(), vec![2, 1], "crash_at={crash_at}");
+                }
+            }
+        }
+        panic!("sweep did not terminate");
+    }
+
+    #[test]
+    fn crash_swept_pop_recovers_exactly_once() {
+        for crash_at in 0..2000 {
+            let pool = Arc::new(PmemPool::new(PoolCfg::model(16 << 20)));
+            let s = RecoverableStack::new(pool.clone(), 6);
+            let ctx = ThreadCtx::new(pool.clone(), 0);
+            s.push(&ctx, 7);
+            s.push(&ctx, 8);
+            ctx.begin_op(S_CP);
+            pool.crash_ctl().arm_after(crash_at);
+            let pre = pmem::run_crashable(|| s.pop_started(&ctx));
+            pool.crash(&mut pmem::PessimistAdversary);
+            match pre {
+                Some(r) => {
+                    assert_eq!(r, Some(8));
+                    assert_eq!(s.values(), vec![7]);
+                    return;
+                }
+                None => {
+                    assert_eq!(s.recover_pop(&ctx), Some(8), "crash_at={crash_at}");
+                    assert_eq!(s.values(), vec![7], "crash_at={crash_at}");
+                }
+            }
+        }
+        panic!("sweep did not terminate");
+    }
+
+    #[test]
+    fn recovery_replays_completed_responses() {
+        let (_p, s, ctx) = setup();
+        s.push(&ctx, 42);
+        assert_eq!(s.pop(&ctx), Some(42));
+        assert_eq!(s.recover_pop(&ctx), Some(42), "replay, not re-pop");
+        assert!(s.is_empty());
+        assert_eq!(s.pop(&ctx), None);
+        assert_eq!(s.recover_pop(&ctx), None);
+    }
+}

@@ -1,0 +1,1 @@
+//! Shared helpers for the example binaries live in the individual files.

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Mirrors the paper artifact's figures_plot.py: renders every CSV in
+results/ into a PNG per figure (requires matplotlib; install separately —
+the Rust workspace is dependency-free on purpose).
+
+Usage: python3 scripts/figures_plot.py [results_dir] [out_dir]
+"""
+import csv
+import pathlib
+import sys
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:
+    sys.exit("matplotlib not available: pip install matplotlib")
+
+results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+out = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else "results/plots")
+out.mkdir(parents=True, exist_ok=True)
+
+def rows(path):
+    with open(path) as f:
+        return list(csv.DictReader(f))
+
+def line_plot(path, series_key, x_key, y_key, ylabel):
+    data = {}
+    for r in rows(path):
+        try:
+            data.setdefault(r[series_key], []).append(
+                (float(r[x_key]), float(r[y_key]))
+            )
+        except (ValueError, KeyError):
+            continue  # summary/aggregate rows
+    if not data:
+        return False
+    plt.figure(figsize=(5, 3.2))
+    for name, pts in data.items():
+        pts.sort()
+        plt.plot([p[0] for p in pts], [p[1] for p in pts], marker="o", label=name)
+    plt.xlabel(x_key)
+    plt.ylabel(ylabel)
+    plt.title(path.stem, fontsize=9)
+    plt.legend(fontsize=6)
+    plt.tight_layout()
+    plt.savefig(out / (path.stem + ".png"), dpi=150)
+    plt.close()
+    return True
+
+plotted = 0
+for p in sorted(results.glob("*.csv")):
+    header = open(p).readline().strip().split(",")
+    if "threads" in header and "mops" in header:
+        key = "algo" if "algo" in header else "variant"
+        plotted += line_plot(p, key, "threads", "mops", "Mops/s")
+    elif "threads" in header and "psync_per_op" in header:
+        plotted += line_plot(p, "algo", "threads", "psync_per_op", "psync/op")
+    elif "threads" in header and "pwb_per_op" in header and "algo" in header:
+        plotted += line_plot(p, "algo", "threads", "pwb_per_op", "pwb/op")
+    elif "find_pct" in header:
+        plotted += line_plot(p, "algo", "find_pct", "mops", "Mops/s")
+    elif "range" in header and "mops" in header:
+        plotted += line_plot(p, "algo", "range", "mops", "Mops/s")
+
+print(f"rendered {plotted} figures into {out}")

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Mirrors the paper artifact's figures_run.sh: regenerates every figure's
+# data into results/. Pass harness flags through, e.g.
+#   ./scripts/figures_run.sh --duration-ms 1000 --threads 1,2,4,8
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build -p bench --release --bin figures
+# run the prebuilt binary directly so compilation never shares the CPU
+# with the timed windows (this container has one core)
+exec ./target/release/figures all "$@"

@@ -1,0 +1,103 @@
+//! Cross-crate exchanger tests: concurrent pairing audits and crashes
+//! during an in-flight exchange with a live partner.
+
+use std::sync::Arc;
+
+use pmem::{PmemPool, PoolCfg, SeededAdversary, SiteId, ThreadCtx};
+use tracking::RecoverableExchanger;
+
+fn setup() -> (Arc<PmemPool>, RecoverableExchanger) {
+    let pool = Arc::new(PmemPool::new(PoolCfg::model(128 << 20)));
+    let ex = RecoverableExchanger::new(pool.clone(), 0);
+    (pool, ex)
+}
+
+/// Repeated pairing rounds with an even crowd: every round must produce a
+/// perfect mutual matching with no value lost or duplicated.
+#[test]
+fn repeated_rounds_always_pair_perfectly() {
+    let (pool, ex) = setup();
+    for round in 0..10u64 {
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let ex = ex.clone();
+            let ctx = ThreadCtx::new(pool.clone(), t);
+            handles.push(std::thread::spawn(move || {
+                ex.exchange(&ctx, round * 100 + t as u64, 200_000_000)
+                    .expect("even crowd: everyone pairs")
+            }));
+        }
+        let got: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (0..4).map(|t| round * 100 + t).collect::<Vec<_>>(),
+            "round {round}: values lost or duplicated"
+        );
+        assert!(ex.is_free(), "round {round}: slot must end free");
+    }
+}
+
+/// Crash a two-party exchange at many different points (the global
+/// countdown may stop either party); after recovery of whichever side
+/// crashed, the pair of responses must be consistent: either a full mutual
+/// swap or a clean double-timeout — never a half-exchange.
+#[test]
+fn crashed_exchange_recovers_consistently() {
+    for crash_after in [10u64, 40, 80, 130, 200, 320, 500] {
+        let (pool, ex) = setup();
+        let waiter = ThreadCtx::new(pool.clone(), 0);
+        let collider = ThreadCtx::new(pool.clone(), 1);
+        waiter.begin_op(SiteId(0));
+        pool.crash_ctl().arm_after(crash_after);
+        let h = {
+            let ex = ex.clone();
+            let collider = collider.clone();
+            std::thread::spawn(move || {
+                pmem::run_crashable(|| ex.exchange(&collider, 777, 2_000_000))
+            })
+        };
+        let w_pre = pmem::run_crashable(|| ex.exchange_started(&waiter, 111, 100_000));
+        let c_pre = h.join().unwrap();
+        pool.crash_ctl().disarm();
+        let crashed = w_pre.is_none() || c_pre.is_none();
+        if crashed {
+            pool.crash(&mut SeededAdversary::new(crash_after | 1));
+        }
+        let w = match w_pre {
+            Some(v) => v,
+            None => ex.recover_exchange(&waiter, 111, 10),
+        };
+        let c = match c_pre {
+            Some(v) => v,
+            None => ex.recover_exchange(&collider, 777, 10),
+        };
+        assert!(
+            (w == Some(777) && c == Some(111)) || (w.is_none() && c.is_none()),
+            "crash_after={crash_after}: inconsistent exchange outcome (w={w:?}, c={c:?})"
+        );
+        assert!(ex.is_free(), "crash_after={crash_after}: slot must end free");
+    }
+}
+
+/// An odd participant must never fabricate a partner: with three threads
+/// and big budgets, exactly one thread times out (via cancel) and the other
+/// two pair mutually.
+#[test]
+fn odd_crowd_leaves_exactly_one_unpaired() {
+    let (pool, ex) = setup();
+    let mut handles = Vec::new();
+    for t in 0..3usize {
+        let ex = ex.clone();
+        let ctx = ThreadCtx::new(pool.clone(), t);
+        handles.push(std::thread::spawn(move || ex.exchange(&ctx, t as u64, 2_000_000)));
+    }
+    let got: Vec<Option<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let paired: Vec<usize> = (0..3).filter(|&t| got[t].is_some()).collect();
+    assert_eq!(paired.len(), 2, "exactly two of three pair up: {got:?}");
+    let (a, b) = (paired[0], paired[1]);
+    assert_eq!(got[a], Some(b as u64));
+    assert_eq!(got[b], Some(a as u64));
+    assert!(ex.is_free());
+}

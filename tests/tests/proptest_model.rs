@@ -1,0 +1,194 @@
+//! Property-based testing: arbitrary operation sequences (with and without
+//! injected crashes) must track a sequential reference model, for every
+//! implementation.
+
+use bench::AlgoKind;
+use integration_tests::{mk, ALL_ALGOS};
+use pmem::{SeededAdversary, SiteId, ThreadCtx};
+use proptest::prelude::*;
+
+#[derive(Copy, Clone, Debug)]
+enum Op {
+    Insert(u64),
+    Delete(u64),
+    Find(u64),
+}
+
+fn op_strategy(range: u64) -> impl Strategy<Value = Op> {
+    (0u8..3, 1..=range).prop_map(|(kind, key)| match kind {
+        0 => Op::Insert(key),
+        1 => Op::Delete(key),
+        _ => Op::Find(key),
+    })
+}
+
+/// Applies `ops` sequentially and compares every response with `BTreeSet`.
+fn check_sequential(kind: AlgoKind, ops: &[Op]) {
+    let (pool, algo) = mk(kind, 128 << 20, 2, 64);
+    let ctx = ThreadCtx::new(pool, 0);
+    let mut model = std::collections::BTreeSet::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Insert(k) => {
+                assert_eq!(algo.insert(&ctx, k), model.insert(k), "{kind:?} op {i}: insert {k}")
+            }
+            Op::Delete(k) => {
+                assert_eq!(algo.delete(&ctx, k), model.remove(&k), "{kind:?} op {i}: delete {k}")
+            }
+            Op::Find(k) => {
+                assert_eq!(algo.find(&ctx, k), model.contains(&k), "{kind:?} op {i}: find {k}")
+            }
+        }
+    }
+    assert_eq!(algo.len(), model.len(), "{kind:?}: final size");
+}
+
+/// Applies `ops` with a crash injected into each update at a pseudo-random
+/// point; responses come from recovery where the crash fired.
+fn check_crashy(kind: AlgoKind, ops: &[Op], seed: u64) {
+    let (pool, algo) = mk(kind, 256 << 20, 2, 32);
+    let ctx = ThreadCtx::new(pool.clone(), 0);
+    let mut model = std::collections::BTreeSet::new();
+    let mut s = seed | 1;
+    for (i, op) in ops.iter().enumerate() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let crash_after = (s >> 33) % 400;
+        let (key, is_insert) = match *op {
+            Op::Insert(k) => (k, true),
+            Op::Delete(k) => (k, false),
+            Op::Find(k) => {
+                assert_eq!(algo.find(&ctx, k), model.contains(&k), "{kind:?} op {i}");
+                continue;
+            }
+        };
+        ctx.begin_op(SiteId(0));
+        pool.crash_ctl().arm_after(crash_after);
+        let pre = pmem::run_crashable(|| {
+            if is_insert {
+                algo.insert_started(&ctx, key)
+            } else {
+                algo.delete_started(&ctx, key)
+            }
+        });
+        pool.crash_ctl().disarm();
+        let response = match pre {
+            Some(r) => r,
+            None => {
+                pool.crash(&mut SeededAdversary::new(s));
+                algo.recover_structure();
+                if is_insert {
+                    algo.recover_insert(&ctx, key)
+                } else {
+                    algo.recover_delete(&ctx, key)
+                }
+            }
+        };
+        let expected = if is_insert { model.insert(key) } else { model.remove(&key) };
+        assert_eq!(response, expected, "{kind:?} op {i}: key {key}");
+    }
+    assert_eq!(algo.len(), model.len(), "{kind:?}: final size");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tracking_list_matches_model(ops in prop::collection::vec(op_strategy(64), 1..120)) {
+        check_sequential(AlgoKind::Tracking, &ops);
+    }
+
+    #[test]
+    fn tracking_bst_matches_model(ops in prop::collection::vec(op_strategy(64), 1..120)) {
+        check_sequential(AlgoKind::TrackingBst, &ops);
+    }
+
+    #[test]
+    fn capsules_opt_matches_model(ops in prop::collection::vec(op_strategy(64), 1..120)) {
+        check_sequential(AlgoKind::CapsulesOpt, &ops);
+    }
+
+    #[test]
+    fn romulus_matches_model(ops in prop::collection::vec(op_strategy(64), 1..120)) {
+        check_sequential(AlgoKind::Romulus, &ops);
+    }
+
+    #[test]
+    fn redo_opt_matches_model(ops in prop::collection::vec(op_strategy(64), 1..120)) {
+        check_sequential(AlgoKind::RedoOpt, &ops);
+    }
+
+    #[test]
+    fn tracking_list_matches_model_under_crashes(
+        ops in prop::collection::vec(op_strategy(32), 1..60),
+        seed in any::<u64>(),
+    ) {
+        check_crashy(AlgoKind::Tracking, &ops, seed);
+    }
+
+    #[test]
+    fn tracking_bst_matches_model_under_crashes(
+        ops in prop::collection::vec(op_strategy(32), 1..60),
+        seed in any::<u64>(),
+    ) {
+        check_crashy(AlgoKind::TrackingBst, &ops, seed);
+    }
+
+    #[test]
+    fn capsules_opt_matches_model_under_crashes(
+        ops in prop::collection::vec(op_strategy(32), 1..60),
+        seed in any::<u64>(),
+    ) {
+        check_crashy(AlgoKind::CapsulesOpt, &ops, seed);
+    }
+
+    #[test]
+    fn romulus_matches_model_under_crashes(
+        ops in prop::collection::vec(op_strategy(32), 1..60),
+        seed in any::<u64>(),
+    ) {
+        check_crashy(AlgoKind::Romulus, &ops, seed);
+    }
+
+    #[test]
+    fn redo_opt_matches_model_under_crashes(
+        ops in prop::collection::vec(op_strategy(32), 1..60),
+        seed in any::<u64>(),
+    ) {
+        check_crashy(AlgoKind::RedoOpt, &ops, seed);
+    }
+}
+
+/// Deterministic cross-implementation agreement: every algorithm must give
+/// byte-identical responses on the same operation sequence.
+#[test]
+fn all_algorithms_agree_on_a_long_sequence() {
+    let mut s = 0x600D_F00Du64;
+    let ops: Vec<Op> = (0..500)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (s >> 33) % 48 + 1;
+            match (s >> 20) % 3 {
+                0 => Op::Insert(key),
+                1 => Op::Delete(key),
+                _ => Op::Find(key),
+            }
+        })
+        .collect();
+    let mut reference: Option<Vec<bool>> = None;
+    for kind in ALL_ALGOS {
+        let (pool, algo) = mk(kind, 256 << 20, 2, 64);
+        let ctx = ThreadCtx::new(pool, 0);
+        let responses: Vec<bool> = ops
+            .iter()
+            .map(|op| match *op {
+                Op::Insert(k) => algo.insert(&ctx, k),
+                Op::Delete(k) => algo.delete(&ctx, k),
+                Op::Find(k) => algo.find(&ctx, k),
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(responses),
+            Some(want) => assert_eq!(&responses, want, "{kind:?} diverged"),
+        }
+    }
+}
