@@ -1,15 +1,16 @@
-//! Criterion per-operation latency benches for every evaluated algorithm.
+//! Per-operation latency benches for every evaluated algorithm.
 //!
 //! These complement the figure harness: where `bin/figures` measures
 //! multi-thread throughput over time windows (the paper's methodology),
-//! these measure single-operation latency distributions on a prefilled
-//! structure — useful for spotting regressions in the hot paths.
+//! these measure single-operation latency on a prefilled structure — useful
+//! for spotting regressions in the hot paths. Hand-rolled timing loop (the
+//! workspace builds offline, so no Criterion): each benchmark runs a short
+//! warm-up, then a fixed measurement window, and reports mean ns/op.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bench::{build, AlgoKind};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pmem::{Backend, PmemPool, PoolCfg, ThreadCtx};
 
 const RANGE: u64 = 500;
@@ -20,18 +21,41 @@ fn prefilled(kind: AlgoKind) -> (Arc<PmemPool>, Arc<dyn bench::SetAlgo>, ThreadC
         backend: Backend::Clflush,
         shadow: false,
         max_threads: 8,
+        ..Default::default()
     }));
     let algo = build(kind, pool.clone(), 4, RANGE);
     let ctx = ThreadCtx::new(pool.clone(), 0);
     let mut rng = 0x5EEDu64;
     for _ in 0..RANGE / 2 {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         algo.insert(&ctx, (rng >> 33) % RANGE + 1);
     }
     (pool, algo, ctx)
 }
 
-fn bench_ops(c: &mut Criterion) {
+/// Warm-up then timed window; returns (iterations, mean ns/iteration).
+fn measure(mut f: impl FnMut()) -> (u64, f64) {
+    let warmup_until = Instant::now() + Duration::from_millis(150);
+    while Instant::now() < warmup_until {
+        f();
+    }
+    let start = Instant::now();
+    let deadline = start + Duration::from_millis(600);
+    let mut iters = 0u64;
+    while Instant::now() < deadline {
+        // batch iterations between clock reads
+        for _ in 0..64 {
+            f();
+        }
+        iters += 64;
+    }
+    (iters, start.elapsed().as_nanos() as f64 / iters as f64)
+}
+
+fn main() {
+    println!("{:<34} {:>12} {:>12}", "bench", "iters", "ns/op");
     for kind in [
         AlgoKind::Tracking,
         AlgoKind::TrackingBst,
@@ -41,32 +65,30 @@ fn bench_ops(c: &mut Criterion) {
         AlgoKind::RedoOpt,
         AlgoKind::OneFile,
     ] {
-        let mut g = c.benchmark_group(kind.name());
-        g.measurement_time(Duration::from_millis(600));
-        g.warm_up_time(Duration::from_millis(150));
-        g.sample_size(10);
         let (_pool, algo, ctx) = prefilled(kind);
         let mut key = 0u64;
-        g.bench_function("find", |b| {
-            b.iter(|| {
-                key = key % RANGE + 1;
-                std::hint::black_box(algo.find(&ctx, key))
-            })
+        let (iters, ns) = measure(|| {
+            key = key % RANGE + 1;
+            std::hint::black_box(algo.find(&ctx, key));
         });
-        g.bench_function("insert_delete", |b| {
+        println!(
+            "{:<34} {:>12} {:>12.1}",
+            format!("{}/find", kind.name()),
+            iters,
+            ns
+        );
+        let mut key = 0u64;
+        let (iters, ns) = measure(|| {
             // paired so the structure size stays stable across samples
-            b.iter_batched(
-                || key % RANGE + 1,
-                |k| {
-                    std::hint::black_box(algo.insert(&ctx, k));
-                    std::hint::black_box(algo.delete(&ctx, k));
-                },
-                BatchSize::SmallInput,
-            )
+            key = key % RANGE + 1;
+            std::hint::black_box(algo.insert(&ctx, key));
+            std::hint::black_box(algo.delete(&ctx, key));
         });
-        g.finish();
+        println!(
+            "{:<34} {:>12} {:>12.1}",
+            format!("{}/insert_delete", kind.name()),
+            iters,
+            ns / 2.0
+        );
     }
 }
-
-criterion_group!(benches, bench_ops);
-criterion_main!(benches);

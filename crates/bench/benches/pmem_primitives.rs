@@ -1,88 +1,124 @@
-//! Criterion microbenchmarks of the pmem substrate's primitives — the raw
+//! Microbenchmarks of the pmem substrate's primitives — the raw
 //! ingredients of the paper's cost analysis: how expensive is a `pwb` on a
 //! just-written (cache-hot, thread-private) line versus one that is
 //! repeatedly flushed and re-read (the invalidation round-trip behind the
 //! paper's "high-impact" category), and what a `psync` costs next to them.
+//! Hand-rolled timing loop (the workspace builds offline, so no Criterion).
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pmem::{Backend, PmemPool, PoolCfg, SiteId};
 
-fn bench_primitives(c: &mut Criterion) {
+/// Warm-up then timed window; returns (iterations, mean ns/iteration).
+fn measure(mut f: impl FnMut()) -> (u64, f64) {
+    let warmup_until = Instant::now() + Duration::from_millis(100);
+    while Instant::now() < warmup_until {
+        f();
+    }
+    let start = Instant::now();
+    let deadline = start + Duration::from_millis(500);
+    let mut iters = 0u64;
+    while Instant::now() < deadline {
+        for _ in 0..64 {
+            f();
+        }
+        iters += 64;
+    }
+    (iters, start.elapsed().as_nanos() as f64 / iters as f64)
+}
+
+fn report(name: &str, (iters, ns): (u64, f64)) {
+    println!("{:<22} {:>12} {:>12.1}", name, iters, ns);
+}
+
+fn main() {
     let pool = Arc::new(PmemPool::new(PoolCfg {
         capacity: 64 << 20,
         backend: Backend::Clflush,
         shadow: false,
         max_threads: 8,
+        ..Default::default()
     }));
     let site = SiteId(0);
 
-    let mut g = c.benchmark_group("pmem");
-    g.measurement_time(Duration::from_millis(500));
-    g.warm_up_time(Duration::from_millis(100));
-    g.sample_size(20);
+    println!("{:<22} {:>12} {:>12}", "bench", "iters", "ns/op");
 
     let a = pool.alloc_lines(1);
-    g.bench_function("load", |b| b.iter(|| std::hint::black_box(pool.load(a))));
-    g.bench_function("store", |b| {
+    report(
+        "load",
+        measure(|| {
+            std::hint::black_box(pool.load(a));
+        }),
+    );
+    {
         let mut v = 0u64;
-        b.iter(|| {
-            v += 1;
-            pool.store(a, v)
-        })
-    });
-    g.bench_function("cas_success", |b| {
+        report(
+            "store",
+            measure(|| {
+                v += 1;
+                pool.store(a, v);
+            }),
+        );
+    }
+    {
         let mut v = pool.load(a);
-        b.iter(|| {
-            let r = pool.cas(a, v, v + 1);
-            v = match r {
-                Ok(old) => old + 1,
-                Err(seen) => seen,
-            };
-        })
-    });
+        report(
+            "cas_success",
+            measure(|| {
+                let r = pool.cas(a, v, v + 1);
+                v = match r {
+                    Ok(old) => old + 1,
+                    Err(seen) => seen,
+                };
+            }),
+        );
+    }
     // pwb of a line we keep writing (write → flush → write …): the
     // invalidation round-trip.
-    g.bench_function("pwb_hot_line", |b| {
+    {
         let hot = pool.alloc_lines(1);
         let mut v = 0u64;
-        b.iter(|| {
-            v += 1;
-            pool.store(hot, v);
-            pool.pwb(hot, site);
-        })
-    });
+        report(
+            "pwb_hot_line",
+            measure(|| {
+                v += 1;
+                pool.store(hot, v);
+                pool.pwb(hot, site);
+            }),
+        );
+    }
     // pwb of cold lines (the "new node" pattern: written once, flushed
     // once, not revisited). A large window is cycled instead of allocating
     // per iteration — by the time a line comes around again it has long
     // left the cache, so each flush sees a cold line without ever
     // exhausting the arena.
-    const WINDOW: u64 = 1 << 16; // 64k lines = 4 MiB, far beyond L2
-    let window_base = pool.alloc_lines(WINDOW as usize);
-    g.bench_function("pwb_fresh_line", |b| {
+    {
+        const WINDOW: u64 = 1 << 16; // 64k lines = 4 MiB, far beyond L2
+        let window_base = pool.alloc_lines(WINDOW as usize);
         let mut i = 0u64;
-        b.iter(|| {
-            let n = window_base.add((i % WINDOW) * pmem::WORDS_PER_LINE as u64);
-            i += 1;
-            pool.store(n, i);
-            pool.pwb(n, site);
-        })
-    });
-    g.bench_function("psync_empty", |b| b.iter(|| pool.psync()));
-    g.bench_function("pwb_plus_psync", |b| {
+        report(
+            "pwb_fresh_line",
+            measure(|| {
+                let n = window_base.add((i % WINDOW) * pmem::WORDS_PER_LINE as u64);
+                i += 1;
+                pool.store(n, i);
+                pool.pwb(n, site);
+            }),
+        );
+    }
+    report("psync_empty", measure(|| pool.psync()));
+    {
         let hot = pool.alloc_lines(1);
         let mut v = 0u64;
-        b.iter(|| {
-            v += 1;
-            pool.store(hot, v);
-            pool.pwb(hot, site);
-            pool.psync();
-        })
-    });
-    g.finish();
+        report(
+            "pwb_plus_psync",
+            measure(|| {
+                v += 1;
+                pool.store(hot, v);
+                pool.pwb(hot, site);
+                pool.psync();
+            }),
+        );
+    }
 }
-
-criterion_group!(benches, bench_primitives);
-criterion_main!(benches);

@@ -331,16 +331,24 @@ pub fn build(
 ) -> Arc<dyn SetAlgo> {
     match kind {
         AlgoKind::Tracking => Arc::new(TrackingAdapter(tracking::RecoverableList::new(pool, 0))),
-        AlgoKind::TrackingNaive => Arc::new(TrackingAdapter(tracking::RecoverableList::with_config(
-            pool,
-            0,
-            tracking::list::ListConfig { traversal_flush: true, read_only_opt: true },
-        ))),
+        AlgoKind::TrackingNaive => {
+            Arc::new(TrackingAdapter(tracking::RecoverableList::with_config(
+                pool,
+                0,
+                tracking::list::ListConfig {
+                    traversal_flush: true,
+                    read_only_opt: true,
+                },
+            )))
+        }
         AlgoKind::TrackingNoReadOpt => {
             Arc::new(TrackingAdapter(tracking::RecoverableList::with_config(
                 pool,
                 0,
-                tracking::list::ListConfig { traversal_flush: false, read_only_opt: false },
+                tracking::list::ListConfig {
+                    traversal_flush: false,
+                    read_only_opt: false,
+                },
             )))
         }
         AlgoKind::TrackingBst => {

@@ -1,7 +1,7 @@
 //! CLI regenerating the paper's figures.
 //!
 //! ```text
-//! figures [all|fig3|fig4|fig5|fig6|ablation|range|mix|uc|categorize] [options]
+//! figures [all|fig3|fig4|fig5|fig6|ablation|range|mix|uc|categorize|attribution] [options]
 //!   --threads 1,2,4,8      thread counts (default 1,2,4,8)
 //!   --duration-ms 300      timed window per data point
 //!   --range 500            key range
@@ -51,6 +51,7 @@ fn main() {
                 cfg = FigCfg::smoke();
                 cfg.out_dir = out;
             }
+            "--attribution" => what = "attribution".to_string(),
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag {flag}");
                 std::process::exit(2);
@@ -77,13 +78,33 @@ fn main() {
             } else {
                 (Mix::UPDATE_INTENSIVE, "fig4")
             };
-            let m = if mix.find_pct >= 50 { "read-intensive" } else { "update-intensive" };
-            emit(figures::fig_throughput(&cfg, mix, &format!("{f}a_throughput_{m}")));
+            let m = if mix.find_pct >= 50 {
+                "read-intensive"
+            } else {
+                "update-intensive"
+            };
+            emit(figures::fig_throughput(
+                &cfg,
+                mix,
+                &format!("{f}a_throughput_{m}"),
+            ));
             emit(figures::fig_psyncs(&cfg, mix, &format!("{f}b_psyncs_{m}")));
-            emit(figures::fig_no_psync(&cfg, mix, &format!("{f}c_no_psync_{m}")));
+            emit(figures::fig_no_psync(
+                &cfg,
+                mix,
+                &format!("{f}c_no_psync_{m}"),
+            ));
             emit(figures::fig_pwbs(&cfg, mix, &format!("{f}d_pwbs_{m}")));
-            emit(figures::fig_pwb_categories(&cfg, mix, &format!("{f}e_pwb_categories_{m}")));
-            emit(figures::fig_category_sweep(&cfg, mix, &format!("{f}f_category_sweep_{m}")));
+            emit(figures::fig_pwb_categories(
+                &cfg,
+                mix,
+                &format!("{f}e_pwb_categories_{m}"),
+            ));
+            emit(figures::fig_category_sweep(
+                &cfg,
+                mix,
+                &format!("{f}f_category_sweep_{m}"),
+            ));
         }
         "fig5" => emit(figures::fig_x_loss(
             &cfg,
@@ -97,13 +118,21 @@ fn main() {
             AlgoKind::CapsulesOpt,
             "fig6_x_loss_capsules_opt",
         )),
-        "ablation" => emit(figures::fig_ablation(&cfg, "ablation_tracking_design_choices")),
+        "ablation" => emit(figures::fig_ablation(
+            &cfg,
+            "ablation_tracking_design_choices",
+        )),
         "range" => emit(figures::fig_range_sweep(&cfg, "appendix_range_sweep")),
         "mix" => emit(figures::fig_mix_sweep(&cfg, "appendix_mix_sweep")),
         "uc" => emit(figures::fig_uc_compare(&cfg, "appendix_uc_compare")),
+        "attribution" => emit(figures::fig_attribution(&cfg, "appendix_site_attribution")),
         "categorize" => {
             for kind in [AlgoKind::Tracking, AlgoKind::CapsulesOpt] {
-                println!("\n== {} sites ({} threads) ==", kind.name(), cfg.categorize_threads);
+                println!(
+                    "\n== {} sites ({} threads) ==",
+                    kind.name(),
+                    cfg.categorize_threads
+                );
                 for s in figures::categorize(&cfg, Mix::UPDATE_INTENSIVE, kind) {
                     println!(
                         "  {:<16} impact {:>5.1}%  category {}",
@@ -116,7 +145,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown figure '{other}' (use all|fig3|fig4|fig5|fig6|ablation|range|mix|uc|categorize)"
+                "unknown figure '{other}' (use all|fig3|fig4|fig5|fig6|ablation|range|mix|uc|categorize|attribution)"
             );
             std::process::exit(2);
         }

@@ -24,7 +24,10 @@ struct Histogram {
 
 impl Histogram {
     fn new() -> Histogram {
-        Histogram { buckets: vec![0; 256], count: 0 }
+        Histogram {
+            buckets: vec![0; 256],
+            count: 0,
+        }
     }
 
     fn bucket_of(ns: u64) -> usize {
@@ -98,6 +101,7 @@ fn main() {
             backend: Backend::Clflush,
             shadow: false,
             max_threads: 8,
+            ..Default::default()
         }));
         let algo = build(kind, pool.clone(), 4, range);
         let ctx = ThreadCtx::new(pool.clone(), 0);
@@ -114,7 +118,11 @@ fn main() {
         }
         let mut hists = [Histogram::new(), Histogram::new(), Histogram::new()];
         // Capsules is ~20x slower; keep wall time comparable.
-        let n = if kind == AlgoKind::Capsules { ops / 10 } else { ops };
+        let n = if kind == AlgoKind::Capsules {
+            ops / 10
+        } else {
+            ops
+        };
         for _ in 0..n {
             if pool.remaining_lines() < 4096 {
                 break;

@@ -125,6 +125,7 @@ pub fn run(cfg: &RunCfg) -> RunResult {
         backend: cfg.backend,
         shadow: false,
         max_threads: cfg.threads.max(1).next_power_of_two().max(8),
+        ..Default::default()
     }));
     let algo = build(cfg.kind, pool.clone(), cfg.threads, cfg.key_range);
     prefill(&pool, &*algo, cfg);

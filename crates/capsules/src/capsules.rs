@@ -84,6 +84,7 @@ pub struct CapsulesList {
 impl CapsulesList {
     /// Creates a list rooted in root cell `root_idx` (or re-attaches).
     pub fn new(pool: Arc<PmemPool>, root_idx: usize, policy: PersistPolicy) -> Self {
+        pool.register_site_names(&crate::sites::SITES);
         let root = pool.root(root_idx);
         let existing = pool.load(root);
         if existing != 0 {
@@ -116,7 +117,13 @@ impl CapsulesList {
         pool.pfence();
         pool.store(root, sb.raw());
         pool.pbarrier(root, 1, C_NEWNODE);
-        CapsulesList { pool, head, rec_base, notify: Arc::new(notify), policy }
+        CapsulesList {
+            pool,
+            head,
+            rec_base,
+            notify: Arc::new(notify),
+            policy,
+        }
     }
 
     /// The owning pool.
@@ -193,7 +200,15 @@ impl CapsulesList {
             pool.pwb(rec, C_CAPSULE);
             pool.pfence();
             // --- CAS capsule ---
-            if rcas(pool, &self.notify, ctx, s.pred.add(N_NEXT), s.pred_next, node.raw(), seq) {
+            if rcas(
+                pool,
+                &self.notify,
+                ctx,
+                s.pred.add(N_NEXT),
+                s.pred_next,
+                node.raw(),
+                seq,
+            ) {
                 pool.pwb(s.pred.add(N_NEXT), C_CAS);
                 pool.pfence();
                 return self.finish(ctx, OP_INSERT, true);
@@ -231,7 +246,15 @@ impl CapsulesList {
             pool.pwb(rec, C_CAPSULE);
             pool.pfence();
             // --- CAS capsule ---
-            if rcas(pool, &self.notify, ctx, s.curr.add(N_NEXT), s.curr_next, marked, seq) {
+            if rcas(
+                pool,
+                &self.notify,
+                ctx,
+                s.curr.add(N_NEXT),
+                s.curr_next,
+                marked,
+                seq,
+            ) {
                 pool.pwb(s.curr.add(N_NEXT), C_CAS);
                 pool.pfence();
                 let r = self.finish(ctx, OP_DELETE, true);
@@ -341,7 +364,10 @@ impl CapsulesList {
     /// Checks sortedness of the live keys (quiescent). Returns the count.
     pub fn check_invariants(&self) -> usize {
         let ks = self.keys();
-        assert!(ks.windows(2).all(|w| w[0] < w[1]), "keys must be strictly sorted");
+        assert!(
+            ks.windows(2).all(|w| w[0] < w[1]),
+            "keys must be strictly sorted"
+        );
         ks.len()
     }
 }
@@ -349,7 +375,7 @@ impl CapsulesList {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmem::{PoolCfg, PmemPool};
+    use pmem::{PmemPool, PoolCfg};
     use std::collections::BTreeSet;
 
     fn setup(policy: PersistPolicy) -> (Arc<PmemPool>, CapsulesList, ThreadCtx) {
@@ -380,7 +406,9 @@ mod tests {
         let mut model = BTreeSet::new();
         let mut rng = 0xC0FFEEu64;
         for _ in 0..2000 {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (rng >> 33) % 60 + 1;
             match (rng >> 20) % 3 {
                 0 => assert_eq!(list.insert(&ctx, key), model.insert(key), "insert {key}"),
@@ -460,7 +488,10 @@ mod tests {
                 list.insert(&ctx, 77)
             }));
         }
-        let wins: usize = handles.into_iter().map(|h| h.join().unwrap() as usize).sum();
+        let wins: usize = handles
+            .into_iter()
+            .map(|h| h.join().unwrap() as usize)
+            .sum();
         assert_eq!(wins, 1);
         assert_eq!(list.keys(), vec![77]);
     }
@@ -520,7 +551,10 @@ mod tests {
     fn recovery_of_completed_op_returns_recorded_result() {
         let (_p, list, ctx) = setup(PersistPolicy::Opt);
         assert!(list.insert(&ctx, 9));
-        assert!(list.recover_insert(&ctx, 9), "DONE record replays the response");
+        assert!(
+            list.recover_insert(&ctx, 9),
+            "DONE record replays the response"
+        );
         assert_eq!(list.keys(), vec![9], "no double insert");
     }
 }

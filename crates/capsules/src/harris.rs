@@ -142,7 +142,12 @@ pub fn search(pool: &PmemPool, head: PAddr, key: u64, persist: SearchPersist) ->
                     pool.pwb(curr.add(N_NEXT), C_NEIGHBORHOOD);
                     pool.pfence();
                 }
-                return HarrisSearch { pred, pred_next, curr, curr_next };
+                return HarrisSearch {
+                    pred,
+                    pred_next,
+                    curr,
+                    curr_next,
+                };
             }
             pred = curr;
             pred_next = curr_next;
@@ -171,7 +176,7 @@ pub fn keys(pool: &PmemPool, head: PAddr) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmem::{PoolCfg, PmemPool};
+    use pmem::{PmemPool, PoolCfg};
 
     #[test]
     fn empty_list_search_hits_tail() {
@@ -209,7 +214,11 @@ mod tests {
         assert!(keys(&p, head).is_empty(), "marked key is logically gone");
         let s2 = search(&p, head, 5, SearchPersist::None);
         assert_eq!(p.load(s2.curr.add(N_KEY)), KEY_MAX, "a unlinked");
-        assert_eq!(addr_of(p.load(head.add(N_NEXT))), s2.curr, "physically unlinked");
+        assert_eq!(
+            addr_of(p.load(head.add(N_NEXT))),
+            s2.curr,
+            "physically unlinked"
+        );
     }
 
     #[test]

@@ -80,7 +80,10 @@ pub struct NotifyArray {
 impl NotifyArray {
     /// Allocates a notification array for `threads` threads.
     pub fn alloc(pool: &PmemPool, threads: usize) -> Self {
-        NotifyArray { base: pool.alloc_lines(threads), threads }
+        NotifyArray {
+            base: pool.alloc_lines(threads),
+            threads,
+        }
     }
 
     /// Re-attaches to an array previously allocated at `base`.
@@ -144,7 +147,7 @@ pub fn rcas(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmem::{PoolCfg, PmemPool};
+    use pmem::{PmemPool, PoolCfg};
     use std::sync::Arc;
 
     fn setup() -> (Arc<PmemPool>, NotifyArray, ThreadCtx, ThreadCtx) {
@@ -191,7 +194,10 @@ mod tests {
         let a_val = p.load(loc);
         assert!(rcas(&p, &arr, &b, loc, a_val, 0x200, 1));
         assert_ne!(stamp_tid(p.load(loc)), 0, "a's stamp is gone");
-        assert!(arr.cas_succeeded(&p, &a, loc, 5), "notification proves success");
+        assert!(
+            arr.cas_succeeded(&p, &a, loc, 5),
+            "notification proves success"
+        );
     }
 
     #[test]

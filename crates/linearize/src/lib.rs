@@ -70,14 +70,22 @@ pub struct History<S: Spec> {
 impl<S: Spec> History<S> {
     /// An empty history.
     pub fn new() -> Self {
-        History { entries: Vec::new(), clock: 0 }
+        History {
+            entries: Vec::new(),
+            clock: 0,
+        }
     }
 
     /// Records an invocation (single-threaded recording API).
     pub fn invoke(&mut self, _thread: usize, op: S::Op) -> Token {
         let inv = self.clock;
         self.clock += 1;
-        self.entries.push(Entry { op, ret: None, inv, res: u64::MAX });
+        self.entries.push(Entry {
+            op,
+            ret: None,
+            inv,
+            res: u64::MAX,
+        });
         Token(self.entries.len() - 1)
     }
 
@@ -95,7 +103,12 @@ impl<S: Spec> History<S> {
     /// recording: threads stamp `inv`/`res` with a shared [`Clock`]).
     pub fn record(&mut self, op: S::Op, ret: S::Ret, inv: u64, res: u64) {
         assert!(inv < res, "invocation must precede response");
-        self.entries.push(Entry { op, ret: Some(ret), inv, res });
+        self.entries.push(Entry {
+            op,
+            ret: Some(ret),
+            inv,
+            res,
+        });
     }
 
     /// Number of recorded operations.

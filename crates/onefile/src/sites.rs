@@ -24,5 +24,9 @@ pub const SITES: [(SiteId, &str); 5] = [
 
 /// Human-readable name of a OneFile site (or `"?"`).
 pub fn site_name(s: SiteId) -> &'static str {
-    SITES.iter().find(|(id, _)| *id == s).map(|(_, n)| *n).unwrap_or("?")
+    SITES
+        .iter()
+        .find(|(id, _)| *id == s)
+        .map(|(_, n)| *n)
+        .unwrap_or("?")
 }

@@ -109,7 +109,10 @@ impl TxView<'_> {
             fh
         } else {
             let n = self.read(ALLOC_NEXT);
-            assert!((n + 2) as usize <= self.list.size_words, "OneFile region exhausted");
+            assert!(
+                (n + 2) as usize <= self.list.size_words,
+                "OneFile region exhausted"
+            );
             self.write(ALLOC_NEXT, n + 2);
             n
         }
@@ -165,6 +168,7 @@ impl OneFileList {
     /// Creates a set for up to `threads` threads and roughly `max_keys`
     /// live keys, rooted in root cell `root_idx` (or re-attaches).
     pub fn new(pool: Arc<PmemPool>, root_idx: usize, threads: usize, max_keys: usize) -> Self {
+        pool.register_site_names(&crate::sites::SITES);
         assert!(threads <= pool.max_threads());
         let root = pool.root(root_idx);
         let existing = pool.load(root);
@@ -248,7 +252,11 @@ impl OneFileList {
         }
         let log = PAddr::from_raw(curtx_val & VAL_MASK);
         let hdr = pool.load(log);
-        debug_assert_eq!(hdr & 0xFF_FFFF, s, "log header names a different transaction");
+        debug_assert_eq!(
+            hdr & 0xFF_FFFF,
+            s,
+            "log header names a different transaction"
+        );
         let n = hdr >> 32;
         for i in 0..n {
             let off = pool.load(log.add(1 + 2 * i));
@@ -291,7 +299,10 @@ impl OneFileList {
     }
 
     fn update_started(&self, ctx: &ThreadCtx, op: u64, key: u64) -> bool {
-        assert!(key > 0 && key <= KEY_LIMIT, "key outside announce packing range");
+        assert!(
+            key > 0 && key <= KEY_LIMIT,
+            "key outside announce packing range"
+        );
         let pool = &*self.pool;
         let tid = ctx.tid();
         assert!(tid < self.threads);
@@ -322,7 +333,10 @@ impl OneFileList {
             }
             // Build the combined transaction s+1 against the settled state.
             let s = cur >> VAL_BITS;
-            let mut view = TxView { list: self, writes: Vec::with_capacity(16) };
+            let mut view = TxView {
+                list: self,
+                writes: Vec::with_capacity(16),
+            };
             for t in 0..self.threads {
                 let (op, key, aseq) = ann_unpack(pool.load(self.ann(t)));
                 if op == A_NONE || aseq <= view.read(OPRES_BASE + t as u64) >> 1 {
@@ -455,7 +469,10 @@ impl OneFileList {
     /// Checks sortedness (quiescent); returns the key count.
     pub fn check_invariants(&self) -> usize {
         let ks = self.keys();
-        assert!(ks.windows(2).all(|w| w[0] < w[1]), "keys must be strictly sorted");
+        assert!(
+            ks.windows(2).all(|w| w[0] < w[1]),
+            "keys must be strictly sorted"
+        );
         ks.len()
     }
 }
@@ -492,7 +509,9 @@ mod tests {
         let mut model = BTreeSet::new();
         let mut rng = 0x0F1CEu64;
         for _ in 0..1500 {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (rng >> 33) % 60 + 1;
             match (rng >> 20) % 3 {
                 0 => assert_eq!(l.insert(&ctx, key), model.insert(key), "insert {key}"),
@@ -516,7 +535,10 @@ mod tests {
         }
         assert_eq!(l.check_invariants(), 0);
         let used = l.committed(ALLOC_NEXT);
-        assert!(used < OPRES_BASE + 8 + 4 + 2 * 60, "free list not recycling: {used}");
+        assert!(
+            used < OPRES_BASE + 8 + 4 + 2 * 60,
+            "free list not recycling: {used}"
+        );
     }
 
     #[test]
@@ -567,7 +589,10 @@ mod tests {
                 l.insert(&ctx, 77)
             }));
         }
-        let wins: usize = handles.into_iter().map(|h| h.join().unwrap() as usize).sum();
+        let wins: usize = handles
+            .into_iter()
+            .map(|h| h.join().unwrap() as usize)
+            .sum();
         assert_eq!(wins, 1);
         assert_eq!(l.keys(), vec![77]);
     }

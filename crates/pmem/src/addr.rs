@@ -43,6 +43,7 @@ impl PAddr {
 
     /// Address `n` words past this one.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, n: u64) -> PAddr {
         PAddr(self.0 + n)
     }

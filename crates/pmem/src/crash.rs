@@ -68,6 +68,14 @@ impl CrashCtl {
         self.enabled.load(Ordering::SeqCst) && self.broadcast.load(Ordering::SeqCst)
     }
 
+    /// Is crash injection currently armed (countdown or broadcast)? After a
+    /// countdown crash fires the control block disarms itself, so this
+    /// returns `false` until the next [`CrashCtl::arm_after`]/
+    /// [`CrashCtl::raise`].
+    pub fn armed(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+
     /// Called by the pool on every instrumented event. Panics with
     /// [`CrashPoint`] when an armed crash fires.
     #[inline]
@@ -85,10 +93,19 @@ impl CrashCtl {
         }
         let prev = self.countdown.fetch_sub(1, Ordering::SeqCst);
         if prev == 0 {
+            // Auto-disarm before unwinding: once the crash has fired, every
+            // later tick — the unwind path itself, other threads draining,
+            // and whatever runs next on this pool — must take the cheap
+            // fast path again instead of decrementing forever.
+            self.enabled.store(false, Ordering::SeqCst);
             std::panic::panic_any(CrashPoint);
         }
-        // prev < 0: countdown already exhausted by another thread or never
-        // armed; fall through (disarm is the caller's job after the crash).
+        if prev < 0 {
+            // Countdown already exhausted (the firing thread disarmed, or a
+            // racing thread drained it first) or never armed: stop paying
+            // the slow path on every subsequent event.
+            self.enabled.store(false, Ordering::SeqCst);
+        }
     }
 }
 
@@ -114,9 +131,10 @@ fn install_quiet_hook() {
 /// Safe to call concurrently from many threads.
 pub fn run_crashable<R>(f: impl FnOnce() -> R) -> Option<R> {
     // The closures used in crash tests capture `&PmemPool` etc.; unwinding
-    // is safe because the pool's internal locks are parking_lot guards that
-    // release on unwind and its data is atomics (no torn invariants beyond
-    // what the crash model deliberately examines).
+    // is safe because the pool's internal locks are taken with
+    // poison-tolerant guards that stay usable after an unwind and its data
+    // is atomics (no torn invariants beyond what the crash model
+    // deliberately examines).
     install_quiet_hook();
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(v) => Some(v),
@@ -179,6 +197,73 @@ mod tests {
         c.disarm();
         assert!(!c.raised());
         c.tick(); // no panic after disarm
+    }
+
+    #[test]
+    fn fired_countdown_auto_disarms() {
+        // Regression: the control block used to stay enabled (hot) after the
+        // crash fired, sending every later tick through the slow path and
+        // decrementing the countdown forever. A fired sweep must leave the
+        // block disarmed so subsequent ticks take the fast path.
+        let c = CrashCtl::new();
+        c.arm_after(2);
+        assert!(c.armed());
+        let r = run_crashable(|| loop {
+            c.tick();
+        });
+        assert_eq!(r, None);
+        assert!(!c.armed(), "firing must auto-disarm");
+        // No explicit disarm(): ticks must be free (and must not panic).
+        for _ in 0..10_000 {
+            c.tick();
+        }
+        assert_eq!(
+            c.countdown.load(Ordering::SeqCst),
+            -1,
+            "fast path must not decrement"
+        );
+    }
+
+    #[test]
+    fn exhausted_countdown_disarms_racing_threads() {
+        // Several threads tick concurrently; exactly one fires, the rest see
+        // a negative countdown and must switch the block off rather than
+        // keep draining it.
+        let c = std::sync::Arc::new(CrashCtl::new());
+        c.arm_after(40);
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                run_crashable(|| {
+                    for _ in 0..10_000 {
+                        c.tick();
+                    }
+                })
+                .is_none()
+            }));
+        }
+        let fired = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&f| f)
+            .count();
+        assert_eq!(fired, 1, "exactly one thread takes the injected crash");
+        assert!(!c.armed());
+        c.tick(); // fast path, no panic
+    }
+
+    #[test]
+    fn rearm_after_fired_sweep_works() {
+        let c = CrashCtl::new();
+        c.arm_after(0);
+        assert_eq!(run_crashable(|| c.tick()), None);
+        assert!(!c.armed());
+        c.arm_after(1);
+        assert!(c.armed());
+        c.tick(); // survives one event
+        assert_eq!(run_crashable(|| c.tick()), None);
+        assert!(!c.armed());
     }
 
     #[test]

@@ -60,16 +60,22 @@
 
 pub mod addr;
 pub mod crash;
+pub mod lint;
 pub mod persist;
 pub mod pool;
 pub mod shadow;
 pub mod stats;
 pub mod thread;
+pub mod trace;
 
 pub use addr::{is_tagged, tagged, untagged, PAddr, WORDS_PER_LINE};
 pub use crash::{run_crashable, CrashCtl, CrashPoint};
+pub use lint::{Diagnostic, LintKind, LintReport};
 pub use persist::{Backend, SiteId, MAX_SITES};
 pub use pool::{PmemPool, PoolCfg, NUM_ROOTS};
-pub use shadow::{CrashAdversary, CrashChoice, OptimistAdversary, PessimistAdversary, SeededAdversary};
+pub use shadow::{
+    CrashAdversary, CrashChoice, OptimistAdversary, PessimistAdversary, SeededAdversary,
+};
 pub use stats::StatsSnapshot;
 pub use thread::{ThreadCtx, MAX_THREADS};
+pub use trace::{Event, EventKind, TraceSnapshot, NO_SITE};

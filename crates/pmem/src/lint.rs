@@ -1,0 +1,573 @@
+//! `FlushLint`: a dynamic checker for persistence-instruction placement.
+//!
+//! The paper's methodology treats every `pwb` code line as a cost knob —
+//! misplaced flushes are either wasted work (flushing a line that is
+//! already clean) or missing durability (a store whose line is never
+//! written back, which a crash under [`crate::PessimistAdversary`] loses).
+//! The lint tracks, per cache line, the same three-way distinction the
+//! shadow crash model resolves at crash time — *dirty* (stored since the
+//! last covering `pwb`), *flushed* (written back, awaiting a fence) and
+//! *clean* (committed by `pfence`/`psync`) — and flags:
+//!
+//! * **redundant `pwb`s**: a flush of a line the lint positively knows is
+//!   clean (double flush, or re-flush after a fence with no intervening
+//!   store). Lines the lint has never seen are *not* flagged — without a
+//!   prior event there is no evidence the flush is wasted.
+//! * **unflushed dirty lines**: lines still dirty when a report is taken or
+//!   when a simulated crash resolves — exactly the writes a
+//!   [`crate::PessimistAdversary`] crash would surface as lost — reported
+//!   with the originating store's site, thread and sequence number.
+//! * **fence-ordering violations**: a successful CAS that publishes a
+//!   pointer to a line that was stored but not `pwb`'d-and-fenced before
+//!   the CAS. Under explicit epoch persistency the published pointer can
+//!   become durable while the pointee's content is lost; the paper's
+//!   algorithms all `pbarrier` new nodes and descriptors before publishing
+//!   them, and this check catches code that forgets to.
+//!
+//! The lint is event-driven and needs no shadow memory, so it works in
+//! both Model and Perf pools; enable it via [`crate::PoolCfg::lint`] or
+//! [`crate::PmemPool::set_lint_enabled`] and pull findings with
+//! [`crate::PmemPool::lint_report`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::persist::{SiteId, MAX_SITES};
+use crate::trace::NO_SITE;
+
+/// The kind of a lint finding.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LintKind {
+    /// A `pwb` of a line known to be clean: wasted flush traffic.
+    RedundantPwb,
+    /// A line still dirty at report/crash time: its stores are lost by a
+    /// pessimist crash.
+    UnflushedDirty,
+    /// A successful CAS published a pointer to a line whose latest store
+    /// was not flushed and fenced first.
+    UnfencedPublish,
+}
+
+impl LintKind {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LintKind::RedundantPwb => "redundant-pwb",
+            LintKind::UnflushedDirty => "unflushed-dirty",
+            LintKind::UnfencedPublish => "unfenced-publish",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Copy, Clone, Debug)]
+pub struct Diagnostic {
+    /// What was found.
+    pub kind: LintKind,
+    /// The cache line concerned.
+    pub line: usize,
+    /// The attributed call site: the `pwb`'s site for
+    /// [`LintKind::RedundantPwb`], the originating *store*'s site for
+    /// [`LintKind::UnflushedDirty`] and [`LintKind::UnfencedPublish`]
+    /// ([`NO_SITE`] when the store was issued without attribution).
+    pub site: u8,
+    /// Trace index of the thread that triggered the finding.
+    pub tid: usize,
+    /// Global event sequence number at detection time.
+    pub seq: u64,
+}
+
+/// A pulled copy of the lint's findings and per-site flush counters.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    /// Findings, ascending by [`Diagnostic::seq`]. Includes one
+    /// [`LintKind::UnflushedDirty`] entry per line still dirty when the
+    /// report was taken.
+    pub diags: Vec<Diagnostic>,
+    /// Per-site count of `pwb`s that wrote back a dirty line (useful work).
+    pub pwb_dirty: [u64; MAX_SITES],
+    /// Per-site count of redundant `pwb`s (line known clean).
+    pub pwb_redundant: [u64; MAX_SITES],
+    /// Per-site count of `pwb`s of lines the lint had no history for.
+    pub pwb_unknown: [u64; MAX_SITES],
+}
+
+impl LintReport {
+    /// No findings at all?
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Number of findings of `kind`.
+    pub fn count(&self, kind: LintKind) -> usize {
+        self.diags.iter().filter(|d| d.kind == kind).count()
+    }
+
+    /// Findings of `kind`.
+    pub fn of_kind(&self, kind: LintKind) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter().filter(move |d| d.kind == kind)
+    }
+
+    /// Fraction of `pwb`s at `site` that flushed a dirty line, among those
+    /// whose line state was known (1.0 when none were known — no evidence
+    /// of waste).
+    pub fn dirty_ratio(&self, site: SiteId) -> f64 {
+        let i = site.0 as usize;
+        let known = self.pwb_dirty[i] + self.pwb_redundant[i];
+        if known == 0 {
+            1.0
+        } else {
+            self.pwb_dirty[i] as f64 / known as f64
+        }
+    }
+
+    /// Human-readable rendering; `name_of` maps sites to registered names
+    /// (see [`crate::PmemPool::site_name`]).
+    pub fn render(&self, name_of: impl Fn(u8) -> Option<&'static str>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.diags.is_empty() {
+            out.push_str("flush-lint: clean\n");
+            return out;
+        }
+        for d in &self.diags {
+            let site = match (d.site, name_of(d.site)) {
+                (NO_SITE, _) => "<unattributed>".to_string(),
+                (id, Some(name)) => format!("site {id} ({name})"),
+                (id, None) => format!("site {id}"),
+            };
+            let _ = writeln!(
+                out,
+                "flush-lint: {:<16} line {:<6} {} [tid {} seq {}]",
+                d.kind.label(),
+                d.line,
+                site,
+                d.tid,
+                d.seq
+            );
+        }
+        out
+    }
+}
+
+/// Line states the lint distinguishes (absence from the map = unknown).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Status {
+    /// Stored since the last covering `pwb`; lost by a pessimist crash.
+    Dirty,
+    /// Written back; durable only after the next fence.
+    Flushed,
+    /// Written back and fenced; a further `pwb` without a store is wasted.
+    Clean,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct LineState {
+    status: Status,
+    /// Fence seen since the covering `pwb` (meaningful when `Flushed`).
+    fenced: bool,
+    /// Originating store of the latest dirty epoch (first store since the
+    /// line was last clean), for attribution.
+    store_site: u8,
+    store_tid: usize,
+    store_seq: u64,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    // Poison-tolerant: injected CrashPoint panics unwind through callers
+    // while no lint lock is held, but a foreign panic must not wedge the
+    // checker.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Soft cap on tracked lines; beyond it, `Clean` entries are evicted (they
+/// only serve redundant-flush detection, the cheapest information to lose).
+const MAX_TRACKED_LINES: usize = 1 << 20;
+
+/// The live checker owned by a pool (see module docs).
+pub(crate) struct FlushLint {
+    enabled: AtomicBool,
+    lines: Mutex<HashMap<usize, LineState>>,
+    /// Lines currently in `Flushed` state (drained by fences), so a fence
+    /// costs O(flushes since the last fence), not O(all tracked lines).
+    flushed: Mutex<Vec<usize>>,
+    diags: Mutex<Vec<Diagnostic>>,
+    pwb_dirty: [AtomicU64; MAX_SITES],
+    pwb_redundant: [AtomicU64; MAX_SITES],
+    pwb_unknown: [AtomicU64; MAX_SITES],
+}
+
+impl FlushLint {
+    pub(crate) fn new(enabled: bool) -> Self {
+        FlushLint {
+            enabled: AtomicBool::new(enabled),
+            lines: Mutex::new(HashMap::new()),
+            flushed: Mutex::new(Vec::new()),
+            diags: Mutex::new(Vec::new()),
+            pwb_dirty: std::array::from_fn(|_| AtomicU64::new(0)),
+            pwb_redundant: std::array::from_fn(|_| AtomicU64::new(0)),
+            pwb_unknown: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::SeqCst);
+    }
+
+    /// Current dirty state of `line` (for trace events).
+    pub(crate) fn line_dirty(&self, line: usize) -> bool {
+        matches!(lock(&self.lines).get(&line), Some(s) if s.status == Status::Dirty)
+    }
+
+    /// A store (or successful CAS) wrote `line`. Returns the dirty state
+    /// after the event (always `true`).
+    pub(crate) fn on_write(&self, line: usize, site: u8, tid: usize, seq: u64) -> bool {
+        let mut lines = lock(&self.lines);
+        if lines.len() >= MAX_TRACKED_LINES {
+            lines.retain(|_, s| s.status != Status::Clean);
+        }
+        let e = lines.entry(line).or_insert(LineState {
+            status: Status::Clean,
+            fenced: true,
+            store_site: site,
+            store_tid: tid,
+            store_seq: seq,
+        });
+        if e.status != Status::Dirty {
+            // a fresh dirty epoch: this store is the one a lost line would
+            // be attributed to
+            e.store_site = site;
+            e.store_tid = tid;
+            e.store_seq = seq;
+        }
+        e.status = Status::Dirty;
+        e.fenced = false;
+        true
+    }
+
+    /// A `pwb` of `line` was issued at `site`. Returns whether the line was
+    /// dirty before the flush (a `false` marks the flush as redundant or of
+    /// unknown use).
+    pub(crate) fn on_pwb(&self, line: usize, site: SiteId, tid: usize, seq: u64) -> bool {
+        let count = self.enabled();
+        let mut lines = lock(&self.lines);
+        match lines.get_mut(&line) {
+            Some(e) if e.status == Status::Dirty => {
+                e.status = Status::Flushed;
+                e.fenced = false;
+                drop(lines);
+                lock(&self.flushed).push(line);
+                if count {
+                    self.pwb_dirty[site.idx()].fetch_add(1, Ordering::Relaxed);
+                }
+                true
+            }
+            Some(e) => {
+                // Flushed (double flush) or Clean (re-flush after a fence):
+                // the line's content is already on its way to persistence.
+                debug_assert!(matches!(e.status, Status::Flushed | Status::Clean));
+                drop(lines);
+                if count {
+                    self.pwb_redundant[site.idx()].fetch_add(1, Ordering::Relaxed);
+                    lock(&self.diags).push(Diagnostic {
+                        kind: LintKind::RedundantPwb,
+                        line,
+                        site: site.0,
+                        tid,
+                        seq,
+                    });
+                }
+                false
+            }
+            None => {
+                // Never seen: can't prove the flush wasted; start tracking.
+                lines.insert(
+                    line,
+                    LineState {
+                        status: Status::Flushed,
+                        fenced: false,
+                        store_site: NO_SITE,
+                        store_tid: tid,
+                        store_seq: seq,
+                    },
+                );
+                drop(lines);
+                lock(&self.flushed).push(line);
+                if count {
+                    self.pwb_unknown[site.idx()].fetch_add(1, Ordering::Relaxed);
+                }
+                false
+            }
+        }
+    }
+
+    /// A `pfence`/`psync` completed: every flushed line is now committed.
+    pub(crate) fn on_fence(&self) {
+        let pending: Vec<usize> = std::mem::take(&mut *lock(&self.flushed));
+        if pending.is_empty() {
+            return;
+        }
+        let mut lines = lock(&self.lines);
+        for line in pending {
+            if let Some(e) = lines.get_mut(&line) {
+                if e.status == Status::Flushed {
+                    e.status = Status::Clean;
+                    e.fenced = true;
+                }
+            }
+        }
+    }
+
+    /// A successful CAS stored `new` into some word; if `new` decodes to a
+    /// pool pointer whose target line is not flushed-and-fenced, the CAS
+    /// published unpersisted content. `target_line` is the decoded line
+    /// (the pool validates the pointer shape before calling).
+    pub(crate) fn on_publish(&self, target_line: usize, tid: usize, seq: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let lines = lock(&self.lines);
+        let Some(e) = lines.get(&target_line) else {
+            return;
+        };
+        let at_risk = e.status == Status::Dirty || (e.status == Status::Flushed && !e.fenced);
+        if at_risk {
+            let site = e.store_site;
+            drop(lines);
+            lock(&self.diags).push(Diagnostic {
+                kind: LintKind::UnfencedPublish,
+                line: target_line,
+                site,
+                tid,
+                seq,
+            });
+        }
+    }
+
+    /// A simulated crash resolved: every line still dirty is recorded as a
+    /// permanent finding (the losses the adversary could surface), and all
+    /// tracked state resets — post-crash, volatile and persisted views
+    /// agree everywhere.
+    pub(crate) fn on_crash(&self, seq: u64) {
+        let mut lines = lock(&self.lines);
+        if self.enabled() {
+            let mut diags = lock(&self.diags);
+            let mut dirty: Vec<(&usize, &LineState)> = lines
+                .iter()
+                .filter(|(_, s)| s.status == Status::Dirty)
+                .collect();
+            dirty.sort_by_key(|(line, _)| **line);
+            for (line, s) in dirty {
+                diags.push(Diagnostic {
+                    kind: LintKind::UnflushedDirty,
+                    line: *line,
+                    site: s.store_site,
+                    tid: s.store_tid,
+                    seq,
+                });
+            }
+        }
+        lines.clear();
+        lock(&self.flushed).clear();
+    }
+
+    /// Builds a report: recorded findings plus one ephemeral
+    /// [`LintKind::UnflushedDirty`] entry per currently-dirty line.
+    pub(crate) fn report(&self) -> LintReport {
+        let mut diags = lock(&self.diags).clone();
+        if self.enabled() {
+            let lines = lock(&self.lines);
+            let mut dirty: Vec<(&usize, &LineState)> = lines
+                .iter()
+                .filter(|(_, s)| s.status == Status::Dirty)
+                .collect();
+            dirty.sort_by_key(|(line, _)| **line);
+            for (line, s) in dirty {
+                diags.push(Diagnostic {
+                    kind: LintKind::UnflushedDirty,
+                    line: *line,
+                    site: s.store_site,
+                    tid: s.store_tid,
+                    seq: s.store_seq,
+                });
+            }
+        }
+        LintReport {
+            diags,
+            pwb_dirty: std::array::from_fn(|i| self.pwb_dirty[i].load(Ordering::Relaxed)),
+            pwb_redundant: std::array::from_fn(|i| self.pwb_redundant[i].load(Ordering::Relaxed)),
+            pwb_unknown: std::array::from_fn(|i| self.pwb_unknown[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Forgets all findings, counters and line states.
+    pub(crate) fn clear(&self) {
+        lock(&self.lines).clear();
+        lock(&self.flushed).clear();
+        lock(&self.diags).clear();
+        for i in 0..MAX_SITES {
+            self.pwb_dirty[i].store(0, Ordering::Relaxed);
+            self.pwb_redundant[i].store(0, Ordering::Relaxed);
+            self.pwb_unknown[i].store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint() -> FlushLint {
+        FlushLint::new(true)
+    }
+
+    #[test]
+    fn store_pwb_fence_cycle_is_clean() {
+        let l = lint();
+        l.on_write(5, 2, 0, 0);
+        assert!(l.line_dirty(5));
+        assert!(
+            l.on_pwb(5, SiteId(2), 0, 1),
+            "flush of a dirty line is useful"
+        );
+        assert!(!l.line_dirty(5));
+        l.on_fence();
+        let r = l.report();
+        assert!(r.is_clean(), "{:?}", r.diags);
+        assert_eq!(r.pwb_dirty[2], 1);
+        assert_eq!(r.dirty_ratio(SiteId(2)), 1.0);
+    }
+
+    #[test]
+    fn double_flush_is_redundant() {
+        let l = lint();
+        l.on_write(5, NO_SITE, 0, 0);
+        l.on_pwb(5, SiteId(4), 0, 1);
+        assert!(!l.on_pwb(5, SiteId(4), 0, 2), "second flush covers nothing");
+        let r = l.report();
+        assert_eq!(r.count(LintKind::RedundantPwb), 1);
+        let d = r.of_kind(LintKind::RedundantPwb).next().unwrap();
+        assert_eq!((d.line, d.site), (5, 4));
+        assert_eq!(r.pwb_redundant[4], 1);
+    }
+
+    #[test]
+    fn reflush_after_fence_is_redundant() {
+        let l = lint();
+        l.on_write(7, NO_SITE, 0, 0);
+        l.on_pwb(7, SiteId(1), 0, 1);
+        l.on_fence();
+        l.on_pwb(7, SiteId(9), 0, 2);
+        let r = l.report();
+        assert_eq!(r.count(LintKind::RedundantPwb), 1);
+        assert_eq!(r.of_kind(LintKind::RedundantPwb).next().unwrap().site, 9);
+    }
+
+    #[test]
+    fn unknown_line_flush_not_flagged() {
+        let l = lint();
+        l.on_pwb(3, SiteId(0), 0, 0);
+        let r = l.report();
+        assert!(r.is_clean());
+        assert_eq!(r.pwb_unknown[0], 1);
+        // ... but a second flush of it now is
+        l.on_pwb(3, SiteId(0), 0, 1);
+        assert_eq!(l.report().count(LintKind::RedundantPwb), 1);
+    }
+
+    #[test]
+    fn store_after_flush_redirties() {
+        let l = lint();
+        l.on_write(2, NO_SITE, 0, 0);
+        l.on_pwb(2, SiteId(0), 0, 1);
+        l.on_write(2, NO_SITE, 0, 2);
+        assert!(
+            l.on_pwb(2, SiteId(0), 0, 3),
+            "line was re-dirtied, flush useful"
+        );
+        assert!(l.report().is_clean());
+    }
+
+    #[test]
+    fn dirty_line_reported_with_originating_store() {
+        let l = lint();
+        l.on_write(11, 7, 3, 42);
+        l.on_write(11, 8, 4, 43); // same dirty epoch: first store wins
+        let r = l.report();
+        assert_eq!(r.count(LintKind::UnflushedDirty), 1);
+        let d = r.of_kind(LintKind::UnflushedDirty).next().unwrap();
+        assert_eq!((d.line, d.site, d.tid, d.seq), (11, 7, 3, 42));
+    }
+
+    #[test]
+    fn crash_makes_dirty_findings_permanent_and_resets() {
+        let l = lint();
+        l.on_write(11, 7, 0, 0);
+        l.on_crash(99);
+        assert_eq!(l.report().count(LintKind::UnflushedDirty), 1);
+        assert!(!l.line_dirty(11), "crash resets line state");
+        // second report does not double-count
+        assert_eq!(l.report().count(LintKind::UnflushedDirty), 1);
+    }
+
+    #[test]
+    fn publish_of_dirty_line_flags() {
+        let l = lint();
+        l.on_write(20, 3, 0, 0);
+        l.on_publish(20, 1, 5);
+        let r = l.report();
+        assert_eq!(r.count(LintKind::UnfencedPublish), 1);
+        let d = r.of_kind(LintKind::UnfencedPublish).next().unwrap();
+        assert_eq!((d.line, d.site, d.tid), (20, 3, 1));
+    }
+
+    #[test]
+    fn publish_of_flushed_unfenced_line_flags() {
+        let l = lint();
+        l.on_write(20, 3, 0, 0);
+        l.on_pwb(20, SiteId(3), 0, 1);
+        l.on_publish(20, 0, 2); // pwb'd but no fence yet
+        assert_eq!(l.report().count(LintKind::UnfencedPublish), 1);
+    }
+
+    #[test]
+    fn publish_of_fenced_line_is_clean() {
+        let l = lint();
+        l.on_write(20, 3, 0, 0);
+        l.on_pwb(20, SiteId(3), 0, 1);
+        l.on_fence();
+        l.on_publish(20, 0, 2);
+        assert!(l.report().is_clean());
+    }
+
+    #[test]
+    fn disabled_lint_tracks_state_but_records_nothing() {
+        let l = FlushLint::new(false);
+        l.on_write(5, NO_SITE, 0, 0);
+        l.on_pwb(5, SiteId(0), 0, 1);
+        l.on_pwb(5, SiteId(0), 0, 2); // would be redundant
+        assert!(!l.line_dirty(5));
+        let r = l.report();
+        assert!(r.is_clean());
+        assert_eq!(r.pwb_redundant[0], 0);
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let l = lint();
+        l.on_write(5, NO_SITE, 0, 0);
+        l.on_pwb(5, SiteId(0), 0, 1);
+        l.on_pwb(5, SiteId(0), 0, 2);
+        l.clear();
+        let r = l.report();
+        assert!(r.is_clean());
+        assert_eq!(r.pwb_dirty[0], 0);
+        assert_eq!(r.pwb_redundant[0], 0);
+    }
+}

@@ -1,13 +1,16 @@
 //! The persistent-memory pool: allocation, word primitives, persistence
 //! instructions, and simulated crashes.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 use crate::addr::{PAddr, WORDS_PER_LINE};
 use crate::crash::CrashCtl;
-use crate::persist::{self, Backend, SiteId, SiteMask};
+use crate::lint::{FlushLint, LintReport};
+use crate::persist::{self, Backend, SiteId, SiteMask, MAX_SITES};
 use crate::shadow::{CrashAdversary, ShadowMem};
 use crate::stats::{Stats, StatsSnapshot};
+use crate::trace::{trace_tid, EventKind, Trace, TraceSnapshot, NO_SITE};
 
 /// Number of root-directory cells (each on its own cache line).
 pub const NUM_ROOTS: usize = 16;
@@ -25,6 +28,15 @@ pub struct PoolCfg {
     pub shadow: bool,
     /// Number of per-thread recovery slots (`CP_q`/`RD_q` lines) to reserve.
     pub max_threads: usize,
+    /// Start with the persistence-event trace enabled (see [`crate::trace`]).
+    /// Can be toggled later with [`PmemPool::set_trace_enabled`].
+    pub trace: bool,
+    /// Start with the flush lint enabled (see [`crate::lint`]). Can be
+    /// toggled later with [`PmemPool::set_lint_enabled`].
+    pub lint: bool,
+    /// Per-thread event-ring capacity for the trace (oldest events are
+    /// dropped beyond this; see [`TraceSnapshot::dropped`]).
+    pub trace_capacity: usize,
 }
 
 impl Default for PoolCfg {
@@ -34,6 +46,9 @@ impl Default for PoolCfg {
             backend: Backend::Clflush,
             shadow: false,
             max_threads: crate::thread::MAX_THREADS,
+            trace: false,
+            lint: false,
+            trace_capacity: 4096,
         }
     }
 }
@@ -93,6 +108,13 @@ pub struct PmemPool {
     crash_ctl: CrashCtl,
     recovery_base: usize, // first word of the per-thread recovery table
     max_threads: usize,
+    trace: Trace,
+    lint: FlushLint,
+    /// Cached `trace.enabled() || lint.enabled()`: primitives check this one
+    /// relaxed flag and only branch into the cold observation path when some
+    /// observer is actually on.
+    obs_on: AtomicBool,
+    site_names: Mutex<[Option<&'static str>; MAX_SITES]>,
 }
 
 impl PmemPool {
@@ -100,9 +122,9 @@ impl PmemPool {
     /// [`NUM_ROOTS`] root lines, then `cfg.max_threads` recovery lines,
     /// then the allocatable heap.
     pub fn new(cfg: PoolCfg) -> Self {
-        let nwords = (cfg.capacity / 8).next_multiple_of(WORDS_PER_LINE).max(
-            (1 + NUM_ROOTS + cfg.max_threads + 16) * WORDS_PER_LINE,
-        );
+        let nwords = (cfg.capacity / 8)
+            .next_multiple_of(WORDS_PER_LINE)
+            .max((1 + NUM_ROOTS + cfg.max_threads + 16) * WORDS_PER_LINE);
         let words = alloc_zeroed_atomics(nwords);
         let recovery_base = (1 + NUM_ROOTS) * WORDS_PER_LINE;
         let heap_base = recovery_base + cfg.max_threads * WORDS_PER_LINE;
@@ -110,12 +132,20 @@ impl PmemPool {
             words,
             next: AtomicUsize::new(heap_base),
             backend: cfg.backend,
-            shadow: if cfg.shadow { Some(ShadowMem::new(nwords)) } else { None },
+            shadow: if cfg.shadow {
+                Some(ShadowMem::new(nwords))
+            } else {
+                None
+            },
             stats: Stats::new(),
             mask: SiteMask::all_on(),
             crash_ctl: CrashCtl::new(),
             recovery_base,
             max_threads: cfg.max_threads,
+            trace: Trace::new(cfg.trace_capacity, cfg.trace),
+            lint: FlushLint::new(cfg.lint),
+            obs_on: AtomicBool::new(cfg.trace || cfg.lint),
+            site_names: Mutex::new([None; MAX_SITES]),
         }
     }
 
@@ -129,7 +159,11 @@ impl PmemPool {
     /// Address of thread `tid`'s recovery line (`CP_q` at word 0, `RD_q` at
     /// word 1; the rest of the line is padding against false sharing).
     pub fn recovery_line(&self, tid: usize) -> PAddr {
-        assert!(tid < self.max_threads, "tid {tid} >= max_threads {}", self.max_threads);
+        assert!(
+            tid < self.max_threads,
+            "tid {tid} >= max_threads {}",
+            self.max_threads
+        );
         PAddr((self.recovery_base + tid * WORDS_PER_LINE) as u64)
     }
 
@@ -194,15 +228,34 @@ impl PmemPool {
     #[inline]
     pub fn load(&self, a: PAddr) -> u64 {
         self.crash_ctl.tick();
-        self.words[a.word()].load(Ordering::Acquire)
+        let v = self.words[a.word()].load(Ordering::Acquire);
+        if self.observing() {
+            self.observe_load(a);
+        }
+        v
     }
 
     /// Atomic write of a word (release). Under TSO (x86) writes become
     /// visible in program order, matching the paper's model.
     #[inline]
     pub fn store(&self, a: PAddr, v: u64) {
+        self.store_raw(a, v, NO_SITE);
+    }
+
+    /// [`Self::store`] attributed to a call site, so trace events and lint
+    /// findings about the written line name the code that dirtied it.
+    #[inline]
+    pub fn store_at(&self, a: PAddr, v: u64, site: SiteId) {
+        self.store_raw(a, v, site.0);
+    }
+
+    #[inline]
+    fn store_raw(&self, a: PAddr, v: u64, site: u8) {
         self.crash_ctl.tick();
         self.words[a.word()].store(v, Ordering::Release);
+        if self.observing() {
+            self.observe_write(a, EventKind::Store, site);
+        }
     }
 
     /// Atomic compare-and-swap. Returns `Ok(old)` on success and `Err(seen)`
@@ -211,10 +264,23 @@ impl PmemPool {
     /// `psync` cost is negligible in CAS-heavy code (Section 5).
     #[inline]
     pub fn cas(&self, a: PAddr, old: u64, new: u64) -> Result<u64, u64> {
+        self.cas_raw(a, old, new, NO_SITE)
+    }
+
+    /// [`Self::cas`] attributed to a call site (see [`Self::store_at`]).
+    #[inline]
+    pub fn cas_at(&self, a: PAddr, old: u64, new: u64, site: SiteId) -> Result<u64, u64> {
+        self.cas_raw(a, old, new, site.0)
+    }
+
+    #[inline]
+    fn cas_raw(&self, a: PAddr, old: u64, new: u64, site: u8) -> Result<u64, u64> {
         self.crash_ctl.tick();
-        self.words[a.word()]
-            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
-            .map_err(|seen| seen)
+        let r = self.words[a.word()].compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst);
+        if self.observing() {
+            self.observe_cas(a, new, r.is_ok(), site);
+        }
+        r
     }
 
     // ------------------------------------------------------------------
@@ -243,6 +309,9 @@ impl PmemPool {
         if let Some(sh) = &self.shadow {
             sh.pwb(&self.words, a.line());
         }
+        if self.observing() {
+            self.observe_pwb(a, site);
+        }
     }
 
     /// `pwb` over a `nwords`-long object: one flush per covered line.
@@ -266,6 +335,9 @@ impl PmemPool {
         self.crash_ctl.tick();
         self.stats.count_pfence();
         self.fence_backend();
+        if self.observing() {
+            self.observe_fence(EventKind::Pfence);
+        }
     }
 
     /// `psync`: waits until all preceding `pwb`s have reached persistent
@@ -278,6 +350,9 @@ impl PmemPool {
         self.crash_ctl.tick();
         self.stats.count_psync();
         self.fence_backend();
+        if self.observing() {
+            self.observe_fence(EventKind::Psync);
+        }
     }
 
     #[inline]
@@ -342,6 +417,179 @@ impl PmemPool {
     }
 
     // ------------------------------------------------------------------
+    // Observation: persistence-event trace + flush lint
+    // ------------------------------------------------------------------
+
+    /// Is any observer (trace or lint) on? One relaxed load on the hot path.
+    #[inline]
+    fn observing(&self) -> bool {
+        self.obs_on.load(Ordering::Relaxed)
+    }
+
+    fn refresh_obs(&self) {
+        self.obs_on.store(
+            self.trace.enabled() || self.lint.enabled(),
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Enables/disables the persistence-event trace (see [`crate::trace`]).
+    pub fn set_trace_enabled(&self, on: bool) {
+        self.trace.set_enabled(on);
+        self.refresh_obs();
+    }
+
+    /// Is the trace currently recording?
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.enabled()
+    }
+
+    /// Copies out the retained trace window, merged across threads in
+    /// global sequence order.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.trace.snapshot()
+    }
+
+    /// Discards all retained trace events and resets the drop counter.
+    pub fn trace_clear(&self) {
+        self.trace.clear();
+    }
+
+    /// Enables/disables the flush lint (see [`crate::lint`]).
+    pub fn set_lint_enabled(&self, on: bool) {
+        self.lint.set_enabled(on);
+        self.refresh_obs();
+    }
+
+    /// Is the lint currently recording findings?
+    pub fn lint_enabled(&self) -> bool {
+        self.lint.enabled()
+    }
+
+    /// Copies out the lint's findings and per-site flush counters,
+    /// including one ephemeral [`crate::LintKind::UnflushedDirty`] entry per
+    /// line that is dirty right now.
+    pub fn lint_report(&self) -> LintReport {
+        self.lint.report()
+    }
+
+    /// Forgets all lint findings, counters and tracked line state.
+    pub fn lint_clear(&self) {
+        self.lint.clear();
+    }
+
+    /// Registers human-readable names for call sites, used by
+    /// [`Self::site_name`] and by report rendering. Algorithm crates call
+    /// this from their constructors with their `sites` table; later
+    /// registrations overwrite earlier ones per site.
+    pub fn register_site_names(&self, names: &[(SiteId, &'static str)]) {
+        let mut tbl = self
+            .site_names
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for (site, name) in names {
+            tbl[site.idx()] = Some(name);
+        }
+    }
+
+    /// The registered name of `site`, if any.
+    pub fn site_name(&self, site: SiteId) -> Option<&'static str> {
+        self.site_names
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)[site.idx()]
+    }
+
+    /// Renders the current lint report with registered site names.
+    pub fn lint_report_text(&self) -> String {
+        self.lint_report().render(|s| {
+            if s as usize >= MAX_SITES {
+                None
+            } else {
+                self.site_name(SiteId(s))
+            }
+        })
+    }
+
+    #[cold]
+    fn observe_load(&self, a: PAddr) {
+        if self.trace.enabled() {
+            let seq = self.trace.next_seq();
+            let dirty = self.lint.line_dirty(a.line());
+            self.trace
+                .record(seq, EventKind::Load, NO_SITE, a.raw(), dirty);
+        }
+    }
+
+    #[cold]
+    fn observe_write(&self, a: PAddr, kind: EventKind, site: u8) {
+        let seq = self.trace.next_seq();
+        let dirty = self.lint.on_write(a.line(), site, trace_tid(), seq);
+        if self.trace.enabled() {
+            self.trace.record(seq, kind, site, a.raw(), dirty);
+        }
+    }
+
+    #[cold]
+    fn observe_cas(&self, a: PAddr, new: u64, success: bool, site: u8) {
+        let tid = trace_tid();
+        let seq = self.trace.next_seq();
+        let dirty = if success {
+            self.lint.on_write(a.line(), site, tid, seq)
+        } else {
+            self.lint.line_dirty(a.line())
+        };
+        if self.trace.enabled() {
+            let kind = if success {
+                EventKind::Cas
+            } else {
+                EventKind::CasFail
+            };
+            self.trace.record(seq, kind, site, a.raw(), dirty);
+        }
+        if success {
+            if let Some(target_line) = self.publish_target(new) {
+                self.lint.on_publish(target_line, tid, seq);
+            }
+        }
+    }
+
+    /// Decodes a CAS'd value as a published pool pointer, if it looks like
+    /// one: untagged, nonzero, line-aligned, inside the allocated heap. A
+    /// heuristic — a plain integer can alias a line address — but the lint
+    /// only flags targets it has independent evidence are unpersisted.
+    fn publish_target(&self, new: u64) -> Option<usize> {
+        let w = crate::addr::untagged(new) as usize;
+        let heap_base = self.recovery_base + self.max_threads * WORDS_PER_LINE;
+        if w == 0 || !w.is_multiple_of(WORDS_PER_LINE) || w < heap_base {
+            return None;
+        }
+        if w >= self.next.load(Ordering::Relaxed) {
+            return None;
+        }
+        Some(w / WORDS_PER_LINE)
+    }
+
+    #[cold]
+    fn observe_pwb(&self, a: PAddr, site: SiteId) {
+        let tid = trace_tid();
+        let seq = self.trace.next_seq();
+        let was_dirty = self.lint.on_pwb(a.line(), site, tid, seq);
+        if self.trace.enabled() {
+            self.trace
+                .record(seq, EventKind::Pwb, site.0, a.raw(), was_dirty);
+        }
+    }
+
+    #[cold]
+    fn observe_fence(&self, kind: EventKind) {
+        let seq = self.trace.next_seq();
+        self.lint.on_fence();
+        if self.trace.enabled() {
+            self.trace.record(seq, kind, NO_SITE, 0, false);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Crash model
     // ------------------------------------------------------------------
 
@@ -365,6 +613,10 @@ impl PmemPool {
         // volatile and persisted views.
         let nlines = self.next.load(Ordering::Relaxed).div_ceil(WORDS_PER_LINE);
         sh.crash(&self.words, adversary, nlines);
+        // Lines still dirty at the crash are exactly the losses the
+        // adversary could pick; record them as permanent findings and reset
+        // the lint's view (volatile == persisted after resolution).
+        self.lint.on_crash(self.trace.next_seq());
     }
 
     /// Reads the *persisted* image of a word (Model mode test introspection).
@@ -416,7 +668,7 @@ mod tests {
     #[test]
     fn alloc_exhaustion_returns_none() {
         let p = PmemPool::new(PoolCfg::model(0)); // minimum-size pool
-        // eat everything
+                                                  // eat everything
         while p.try_alloc_lines(1).is_some() {}
         assert!(p.try_alloc_lines(1).is_none());
         assert_eq!(p.remaining_lines(), 0);
@@ -549,7 +801,10 @@ mod tests {
     fn delay_backend_injects_latency() {
         let p = PmemPool::new(PoolCfg {
             capacity: 1 << 20,
-            backend: Backend::Delay { pwb_ns: 200_000, psync_ns: 0 },
+            backend: Backend::Delay {
+                pwb_ns: 200_000,
+                psync_ns: 0,
+            },
             shadow: false,
             ..Default::default()
         });
@@ -560,13 +815,176 @@ mod tests {
     }
 
     #[test]
+    fn trace_records_pool_events_in_order() {
+        let p = PmemPool::new(PoolCfg {
+            trace: true,
+            ..PoolCfg::model(1 << 20)
+        });
+        let a = p.alloc_lines(1);
+        p.store_at(a, 7, SiteId(4));
+        p.pwb(a, SiteId(4));
+        p.psync();
+        p.load(a);
+        let snap = p.trace_snapshot();
+        let kinds: Vec<crate::EventKind> = snap.events.iter().map(|e| e.kind).collect();
+        use crate::EventKind::*;
+        assert_eq!(kinds, vec![Store, Pwb, Psync, Load]);
+        assert_eq!(snap.events[0].site, 4);
+        assert!(snap.events[0].dirty, "store dirties its line");
+        assert!(snap.events[1].dirty, "pwb found the line dirty");
+        assert!(!snap.events[3].dirty, "after psync the line is clean");
+        assert_eq!(snap.events[0].line, a.line());
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn trace_disabled_records_nothing() {
+        let p = model_pool();
+        let a = p.alloc_lines(1);
+        p.store(a, 1);
+        p.pwb(a, SiteId(0));
+        assert!(p.trace_snapshot().events.is_empty());
+        p.set_trace_enabled(true);
+        p.store(a, 2);
+        assert_eq!(p.trace_snapshot().events.len(), 1);
+    }
+
+    #[test]
+    fn lint_flags_seeded_redundant_pwb_at_its_site() {
+        let p = PmemPool::new(PoolCfg {
+            lint: true,
+            ..PoolCfg::model(1 << 20)
+        });
+        let a = p.alloc_lines(1);
+        p.store(a, 1);
+        p.pwb(a, SiteId(2)); // useful
+        p.pwb(a, SiteId(9)); // redundant: nothing stored in between
+        p.psync();
+        let r = p.lint_report();
+        assert_eq!(r.count(crate::LintKind::RedundantPwb), 1);
+        let d = r.of_kind(crate::LintKind::RedundantPwb).next().unwrap();
+        assert_eq!(d.site, 9, "flagged at the redundant flush's site");
+        assert_eq!(d.line, a.line());
+        assert_eq!(r.pwb_dirty[2], 1);
+        assert_eq!(r.pwb_redundant[9], 1);
+    }
+
+    #[test]
+    fn lint_flags_seeded_missing_pwb_at_store_site() {
+        let p = PmemPool::new(PoolCfg {
+            lint: true,
+            ..PoolCfg::model(1 << 20)
+        });
+        let a = p.alloc_lines(2);
+        let b = a.add(WORDS_PER_LINE as u64);
+        p.store_at(a, 1, SiteId(3));
+        p.store_at(b, 2, SiteId(7)); // never flushed
+        p.pwb(a, SiteId(3));
+        p.psync();
+        let r = p.lint_report();
+        assert_eq!(r.count(crate::LintKind::UnflushedDirty), 1);
+        let d = r.of_kind(crate::LintKind::UnflushedDirty).next().unwrap();
+        assert_eq!(
+            d.site, 7,
+            "attributed to the store that dirtied the lost line"
+        );
+        assert_eq!(d.line, b.line());
+        // ... and a pessimist crash indeed loses exactly that line
+        p.crash(&mut PessimistAdversary);
+        assert_eq!(p.load(a), 1);
+        assert_eq!(p.load(b), 0);
+    }
+
+    #[test]
+    fn lint_flags_publish_of_unflushed_node() {
+        let p = PmemPool::new(PoolCfg {
+            lint: true,
+            ..PoolCfg::model(1 << 20)
+        });
+        let node = p.alloc_lines(1);
+        let link = p.alloc_lines(1);
+        p.store_at(node, 42, SiteId(1)); // node content, never pbarrier'd
+        p.cas(link, 0, node.raw()).unwrap(); // publish the pointer
+        let r = p.lint_report();
+        assert_eq!(r.count(crate::LintKind::UnfencedPublish), 1);
+        let d = r.of_kind(crate::LintKind::UnfencedPublish).next().unwrap();
+        assert_eq!(d.line, node.line());
+        assert_eq!(d.site, 1, "attributed to the store that dirtied the node");
+    }
+
+    #[test]
+    fn lint_clean_publish_after_pbarrier() {
+        let p = PmemPool::new(PoolCfg {
+            lint: true,
+            ..PoolCfg::model(1 << 20)
+        });
+        let node = p.alloc_lines(1);
+        let link = p.alloc_lines(1);
+        p.store_at(node, 42, SiteId(1));
+        p.pbarrier(node, 1, SiteId(1)); // flush + fence before publishing
+        p.cas(link, 0, node.raw()).unwrap();
+        p.pwb(link, SiteId(2));
+        p.psync();
+        let r = p.lint_report();
+        assert!(
+            r.count(crate::LintKind::UnfencedPublish) == 0
+                && r.count(crate::LintKind::RedundantPwb) == 0,
+            "{:?}",
+            r.diags
+        );
+    }
+
+    #[test]
+    fn lint_crash_records_losses_permanently() {
+        let p = PmemPool::new(PoolCfg {
+            lint: true,
+            ..PoolCfg::model(1 << 20)
+        });
+        let a = p.alloc_lines(1);
+        p.store_at(a, 5, SiteId(6));
+        p.crash(&mut PessimistAdversary);
+        let r = p.lint_report();
+        assert_eq!(r.count(crate::LintKind::UnflushedDirty), 1);
+        assert_eq!(
+            r.of_kind(crate::LintKind::UnflushedDirty)
+                .next()
+                .unwrap()
+                .site,
+            6
+        );
+        // post-crash the views agree; a fresh cycle reports nothing new
+        p.store(a, 9);
+        p.pwb(a, SiteId(0));
+        p.psync();
+        assert_eq!(p.lint_report().diags.len(), 1);
+    }
+
+    #[test]
+    fn site_names_register_and_render() {
+        let p = model_pool();
+        p.register_site_names(&[(SiteId(2), "new-node"), (SiteId(3), "result")]);
+        assert_eq!(p.site_name(SiteId(2)), Some("new-node"));
+        assert_eq!(p.site_name(SiteId(0)), None);
+        p.set_lint_enabled(true);
+        let a = p.alloc_lines(1);
+        p.store(a, 1);
+        p.pwb(a, SiteId(2));
+        p.pwb(a, SiteId(2));
+        let text = p.lint_report_text();
+        assert!(text.contains("redundant-pwb"), "{text}");
+        assert!(text.contains("site 2 (new-node)"), "{text}");
+    }
+
+    #[test]
     fn concurrent_allocation_is_disjoint() {
         let p = std::sync::Arc::new(model_pool());
         let mut handles = vec![];
         for _ in 0..4 {
             let p = p.clone();
             handles.push(std::thread::spawn(move || {
-                (0..100).map(|_| p.alloc_lines(1).word()).collect::<Vec<_>>()
+                (0..100)
+                    .map(|_| p.alloc_lines(1).word())
+                    .collect::<Vec<_>>()
             }));
         }
         let mut all: Vec<usize> = handles

@@ -30,10 +30,16 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::addr::WORDS_PER_LINE;
+
+/// Locks ignoring poisoning: nothing panics while the pending map is held
+/// (crash injection ticks happen before shadow calls), and even if a foreign
+/// panic poisoned it the map stays internally consistent.
+fn lock_pending(m: &Mutex<HashMap<usize, LineSnap>>) -> MutexGuard<'_, HashMap<usize, LineSnap>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How a crash resolves one cache line.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -131,14 +137,13 @@ impl ShadowMem {
     /// Records a `pwb` of `line`: snapshots the current volatile content.
     pub(crate) fn pwb(&self, volatile: &[AtomicU64], line: usize) {
         let base = line * WORDS_PER_LINE;
-        let snap: LineSnap =
-            std::array::from_fn(|i| volatile[base + i].load(Ordering::Acquire));
-        self.pending.lock().insert(line, snap);
+        let snap: LineSnap = std::array::from_fn(|i| volatile[base + i].load(Ordering::Acquire));
+        lock_pending(&self.pending).insert(line, snap);
     }
 
     /// Commits every pending snapshot to the persisted image (`psync`).
     pub(crate) fn psync(&self) {
-        let mut pend = self.pending.lock();
+        let mut pend = lock_pending(&self.pending);
         for (line, snap) in pend.drain() {
             let base = line * WORDS_PER_LINE;
             for (i, w) in snap.iter().enumerate() {
@@ -163,7 +168,7 @@ impl ShadowMem {
         adversary: &mut dyn CrashAdversary,
         nlines: usize,
     ) {
-        let mut pend = self.pending.lock();
+        let mut pend = lock_pending(&self.pending);
         for line in 0..nlines {
             let base = line * WORDS_PER_LINE;
             let pending = pend.remove(&line);
@@ -196,7 +201,10 @@ mod tests {
     use super::*;
 
     fn mk(nwords: usize) -> (Box<[AtomicU64]>, ShadowMem) {
-        (crate::pool::alloc_zeroed_atomics(nwords), ShadowMem::new(nwords))
+        (
+            crate::pool::alloc_zeroed_atomics(nwords),
+            ShadowMem::new(nwords),
+        )
     }
 
     #[test]

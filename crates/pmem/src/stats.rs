@@ -91,6 +91,17 @@ impl StatsSnapshot {
     pub fn pwb_at(&self, s: SiteId) -> u64 {
         self.pwb_per_site[s.idx()]
     }
+
+    /// The sites that executed at least one `pwb`, with their counts, in
+    /// site order — the rows of a per-site attribution table.
+    pub fn site_rows(&self) -> Vec<(SiteId, u64)> {
+        self.pwb_per_site
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (SiteId(i as u8), n))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -37,7 +37,12 @@ impl ThreadCtx {
     /// Binds thread `tid` to `pool`.
     pub fn new(pool: Arc<PmemPool>, tid: usize) -> Self {
         let line = pool.recovery_line(tid);
-        ThreadCtx { pool, tid, cp: line, rd: line.add(1) }
+        ThreadCtx {
+            pool,
+            tid,
+            cp: line,
+            rd: line.add(1),
+        }
     }
 
     /// The owning pool.

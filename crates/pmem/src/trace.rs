@@ -1,0 +1,282 @@
+//! Persistence-event tracing: a per-thread bounded ring of instrumented
+//! pool events.
+//!
+//! Every instrumented primitive of [`crate::PmemPool`] — `load`, `store`,
+//! `cas`, `pwb`, `pfence`, `psync` — can be recorded as an [`Event`]
+//! carrying the event kind, the originating thread, the affected word and
+//! cache line, the attributed [`SiteId`] (where the caller supplied one),
+//! and the line's dirty state as tracked by [`crate::lint::FlushLint`]'s
+//! line-state machine. Recording is off by default and costs a single
+//! relaxed flag load per primitive when disabled; when enabled, each thread
+//! appends to its own bounded ring (oldest events are dropped, with a drop
+//! counter), so tracing a long run keeps a window of recent history rather
+//! than growing without bound.
+//!
+//! The trace is the raw material for two consumers:
+//!
+//! * **debugging** recovery protocols: after a failing crash sweep, the
+//!   last events before the injected [`crate::CrashPoint`] show exactly
+//!   which stores were still unflushed and which `pwb`s had not been
+//!   fenced;
+//! * **cost attribution** (`bench::figures::fig_attribution`): events per
+//!   site × dirty ratio × redundancy, the table behind the paper's
+//!   low/medium/high `pwb` categorization.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::persist::SiteId;
+
+/// Sentinel "no call site" value used for events whose primitive carries no
+/// [`SiteId`] (plain `load`/`store`/`cas` and fences).
+pub const NO_SITE: u8 = u8::MAX;
+
+/// Number of per-thread rings a trace multiplexes over (threads hash into
+/// rings by their process-wide trace index).
+const N_RINGS: usize = 64;
+
+/// Process-wide small integer identifying the calling thread in trace
+/// events. Assigned on first use, stable for the thread's lifetime.
+pub(crate) fn trace_tid() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static TID: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    TID.with(|t| {
+        let v = t.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+            v
+        }
+    })
+}
+
+/// The kind of instrumented event.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Atomic word read.
+    Load,
+    /// Atomic word write.
+    Store,
+    /// Successful compare-and-swap (wrote the word).
+    Cas,
+    /// Failed compare-and-swap (no write happened).
+    CasFail,
+    /// Cache-line write-back.
+    Pwb,
+    /// Ordering fence.
+    Pfence,
+    /// Durability fence.
+    Psync,
+}
+
+impl EventKind {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Load => "load",
+            EventKind::Store => "store",
+            EventKind::Cas => "cas",
+            EventKind::CasFail => "cas-fail",
+            EventKind::Pwb => "pwb",
+            EventKind::Pfence => "pfence",
+            EventKind::Psync => "psync",
+        }
+    }
+}
+
+/// One recorded pool event.
+#[derive(Copy, Clone, Debug)]
+pub struct Event {
+    /// Global sequence number (total order over all threads of the pool).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Process-wide trace index of the thread that issued the event.
+    pub tid: usize,
+    /// Attributed call site, or [`NO_SITE`].
+    pub site: u8,
+    /// Raw word address ([`crate::PAddr::raw`]); 0 for fences.
+    pub addr: u64,
+    /// Cache line of `addr` (0 for fences).
+    pub line: usize,
+    /// Dirty state of the affected line. For `store`/`cas` this is the
+    /// state *after* the event (always dirty); for `pwb` it is the state
+    /// *before* the flush (`false` marks a redundant flush); for `load` the
+    /// current state; `false` for fences.
+    pub dirty: bool,
+}
+
+/// A point-in-time copy of the trace: every retained event, merged across
+/// thread rings in global sequence order.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSnapshot {
+    /// Retained events, ascending by [`Event::seq`].
+    pub events: Vec<Event>,
+    /// Events discarded because a thread ring was full.
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// Number of retained events of `kind`.
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Retained events attributed to `site`.
+    pub fn at_site(&self, site: SiteId) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.site == site.0)
+    }
+}
+
+struct Ring {
+    events: VecDeque<Event>,
+}
+
+fn lock_ring(m: &Mutex<Ring>) -> MutexGuard<'_, Ring> {
+    // Nothing panics while a ring is held; tolerate foreign poisoning so a
+    // crash-injection unwind elsewhere never wedges the trace.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The live trace owned by a pool (see module docs).
+pub(crate) struct Trace {
+    enabled: AtomicBool,
+    capacity: usize,
+    seq: AtomicU64,
+    rings: Box<[Mutex<Ring>]>,
+    dropped: AtomicU64,
+}
+
+impl Trace {
+    pub(crate) fn new(capacity: usize, enabled: bool) -> Self {
+        Trace {
+            enabled: AtomicBool::new(enabled),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            rings: (0..N_RINGS)
+                .map(|_| {
+                    Mutex::new(Ring {
+                        events: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::SeqCst);
+    }
+
+    /// Allocates the next global sequence number (also used by the lint for
+    /// diagnostics, so diagnostics interleave correctly with events).
+    #[inline]
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Appends an event to the calling thread's ring (bounded).
+    pub(crate) fn record(&self, seq: u64, kind: EventKind, site: u8, addr: u64, dirty: bool) {
+        let tid = trace_tid();
+        let mut ring = lock_ring(&self.rings[tid % N_RINGS]);
+        if ring.events.len() >= self.capacity {
+            ring.events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        let line = (addr as usize) / crate::addr::WORDS_PER_LINE;
+        ring.events.push_back(Event {
+            seq,
+            kind,
+            tid,
+            site,
+            addr,
+            line,
+            dirty,
+        });
+    }
+
+    pub(crate) fn snapshot(&self) -> TraceSnapshot {
+        let mut events: Vec<Event> = Vec::new();
+        for ring in self.rings.iter() {
+            events.extend(lock_ring(ring).events.iter().copied());
+        }
+        events.sort_by_key(|e| e.seq);
+        TraceSnapshot {
+            events,
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn clear(&self) {
+        for ring in self.rings.iter() {
+            lock_ring(ring).events.clear();
+        }
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let t = Trace::new(4, true);
+        for i in 0..10u64 {
+            let seq = t.next_seq();
+            t.record(seq, EventKind::Store, NO_SITE, i * 8, true);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 4, "ring keeps only the newest events");
+        assert_eq!(snap.dropped, 6);
+        // the newest four survive, in order
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn snapshot_merges_in_sequence_order() {
+        let t = Trace::new(64, true);
+        for kind in [EventKind::Load, EventKind::Pwb, EventKind::Psync] {
+            let seq = t.next_seq();
+            t.record(seq, kind, 3, 16, false);
+        }
+        let snap = t.snapshot();
+        assert!(snap.events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(snap.count(EventKind::Pwb), 1);
+        assert_eq!(snap.at_site(SiteId(3)).count(), 3);
+    }
+
+    #[test]
+    fn clear_resets_events_and_drops() {
+        let t = Trace::new(1, true);
+        for _ in 0..3 {
+            let seq = t.next_seq();
+            t.record(seq, EventKind::Store, NO_SITE, 8, true);
+        }
+        t.clear();
+        let snap = t.snapshot();
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn event_records_line_of_addr() {
+        let t = Trace::new(8, true);
+        let seq = t.next_seq();
+        t.record(seq, EventKind::Pwb, 2, 17, true);
+        let snap = t.snapshot();
+        assert_eq!(snap.events[0].line, 17 / crate::addr::WORDS_PER_LINE);
+        assert_eq!(snap.events[0].addr, 17);
+    }
+}

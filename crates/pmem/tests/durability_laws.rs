@@ -1,4 +1,4 @@
-//! Property-based tests of the shadow crash model's durability laws.
+//! Randomized tests of the shadow crash model's durability laws.
 //!
 //! The laws being checked (for arbitrary interleavings of writes, `pwb`s,
 //! `pfence`s, `psync`s and a final crash):
@@ -11,9 +11,12 @@
 //! 3. **Line granularity**: resolution never tears below the tracked
 //!    granularity — a surviving value for word `w` was `w`'s value at some
 //!    pwb/psync/crash boundary.
+//!
+//! Sequences are drawn from a seeded xorshift64* generator (the workspace
+//! builds offline, so no proptest): every case is reproducible from the
+//! printed seed.
 
-use pmem::{PessimistAdversary, PmemPool, PoolCfg, SeededAdversary, SiteId};
-use proptest::prelude::*;
+use pmem::{PAddr, PessimistAdversary, PmemPool, PoolCfg, SeededAdversary, SiteId};
 
 #[derive(Copy, Clone, Debug)]
 enum Step {
@@ -23,19 +26,50 @@ enum Step {
     Pfence,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0u8..32, 1u8..255).prop_map(|(word, val)| Step::Write { word, val }),
-        (0u8..32).prop_map(|word| Step::Pwb { word }),
-        Just(Step::Psync),
-        Just(Step::Pfence),
-    ]
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+/// Draws a random step sequence of length `0..60` (mirrors the old
+/// proptest strategy: writes twice as likely as the other steps).
+fn gen_steps(rng: &mut Rng) -> Vec<Step> {
+    let len = (rng.next() % 60) as usize;
+    (0..len)
+        .map(|_| {
+            let r = rng.next();
+            match r % 4 {
+                0 | 1 => Step::Write {
+                    word: (r >> 8) as u8 % 32,
+                    val: ((r >> 16) as u8).max(1),
+                },
+                2 => Step::Pwb {
+                    word: (r >> 8) as u8 % 32,
+                },
+                _ => {
+                    if r & 0x100 == 0 {
+                        Step::Psync
+                    } else {
+                        Step::Pfence
+                    }
+                }
+            }
+        })
+        .collect()
 }
 
 /// Replays `steps` on a model pool, returning (pool, base address, the
 /// per-word set of values ever written, the per-word durable-for-sure
 /// value).
-fn replay(steps: &[Step]) -> (PmemPool, pmem::PAddr, Vec<Vec<u64>>, Vec<Option<u64>>) {
+fn replay(steps: &[Step]) -> (PmemPool, PAddr, Vec<Vec<u64>>, Vec<Option<u64>>) {
     let pool = PmemPool::new(PoolCfg::model(1 << 20));
     let base = pool.alloc_lines(4); // 32 words
     let mut written: Vec<Vec<u64>> = vec![vec![0]; 32];
@@ -78,64 +112,79 @@ fn replay(steps: &[Step]) -> (PmemPool, pmem::PAddr, Vec<Vec<u64>>, Vec<Option<u
     (pool, base, written, durable)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+const CASES: u64 = 64;
 
-    #[test]
-    fn synced_writes_survive_the_pessimist(steps in prop::collection::vec(step_strategy(), 0..60)) {
+#[test]
+fn synced_writes_survive_the_pessimist() {
+    let mut rng = Rng(0xD00B_1E01);
+    for case in 0..CASES {
+        let seed = rng.0;
+        let steps = gen_steps(&mut rng);
         let (pool, base, _written, durable) = replay(&steps);
         pool.crash(&mut PessimistAdversary);
         for (w, d) in durable.iter().enumerate() {
             // The pessimist keeps exactly the durable image.
-            prop_assert_eq!(
+            assert_eq!(
                 pool.load(base.add(w as u64)),
                 d.unwrap(),
-                "word {} lost its synced value", w
+                "case {case} (seed {seed:#x}): word {w} lost its synced value"
             );
         }
     }
+}
 
-    #[test]
-    fn crashes_never_invent_values(
-        steps in prop::collection::vec(step_strategy(), 0..60),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn crashes_never_invent_values() {
+    let mut rng = Rng(0xD00B_1E02);
+    for case in 0..CASES {
+        let seed = rng.0;
+        let steps = gen_steps(&mut rng);
         let (pool, base, written, _durable) = replay(&steps);
-        pool.crash(&mut SeededAdversary::new(seed | 1));
+        pool.crash(&mut SeededAdversary::new(rng.next() | 1));
         for (w, vals) in written.iter().enumerate() {
             let got = pool.load(base.add(w as u64));
-            prop_assert!(
+            assert!(
                 vals.contains(&got),
-                "word {} holds {} which was never written (history {:?})", w, got, vals
+                "case {case} (seed {seed:#x}): word {w} holds {got} which was never written \
+                 (history {vals:?})"
             );
         }
     }
+}
 
-    #[test]
-    fn volatile_view_equals_persisted_view_after_crash(
-        steps in prop::collection::vec(step_strategy(), 0..60),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn volatile_view_equals_persisted_view_after_crash() {
+    let mut rng = Rng(0xD00B_1E03);
+    for case in 0..CASES {
+        let seed = rng.0;
+        let steps = gen_steps(&mut rng);
         let (pool, base, _written, _durable) = replay(&steps);
-        pool.crash(&mut SeededAdversary::new(seed | 1));
+        pool.crash(&mut SeededAdversary::new(rng.next() | 1));
         for w in 0..32u64 {
-            prop_assert_eq!(
+            assert_eq!(
                 pool.load(base.add(w)),
                 pool.persisted_load(base.add(w)),
-                "post-crash volatile and persisted views diverge at word {}", w
+                "case {case} (seed {seed:#x}): post-crash volatile and persisted views diverge \
+                 at word {w}"
             );
         }
     }
+}
 
-    #[test]
-    fn double_crash_is_idempotent_under_pessimist(
-        steps in prop::collection::vec(step_strategy(), 0..60),
-    ) {
+#[test]
+fn double_crash_is_idempotent_under_pessimist() {
+    let mut rng = Rng(0xD00B_1E04);
+    for case in 0..CASES {
+        let seed = rng.0;
+        let steps = gen_steps(&mut rng);
         let (pool, base, _w, _d) = replay(&steps);
         pool.crash(&mut PessimistAdversary);
         let first: Vec<u64> = (0..32).map(|w| pool.load(base.add(w))).collect();
         pool.crash(&mut PessimistAdversary);
         let second: Vec<u64> = (0..32).map(|w| pool.load(base.add(w))).collect();
-        prop_assert_eq!(first, second, "a second crash changed settled state");
+        assert_eq!(
+            first, second,
+            "case {case} (seed {seed:#x}): a second crash changed settled state"
+        );
     }
 }

@@ -13,10 +13,18 @@ pub const X_ROOT: SiteId = SiteId(2);
 pub const X_RD: SiteId = SiteId(3);
 
 /// All redo sites with human-readable names.
-pub const SITES: [(SiteId, &str); 4] =
-    [(X_ANNOUNCE, "announce"), (X_STATE, "state-copy"), (X_ROOT, "root"), (X_RD, "rd")];
+pub const SITES: [(SiteId, &str); 4] = [
+    (X_ANNOUNCE, "announce"),
+    (X_STATE, "state-copy"),
+    (X_ROOT, "root"),
+    (X_RD, "rd"),
+];
 
 /// Human-readable name of a redo site (or `"?"`).
 pub fn site_name(s: SiteId) -> &'static str {
-    SITES.iter().find(|(id, _)| *id == s).map(|(_, n)| *n).unwrap_or("?")
+    SITES
+        .iter()
+        .find(|(id, _)| *id == s)
+        .map(|(_, n)| *n)
+        .unwrap_or("?")
 }

@@ -90,6 +90,7 @@ impl RedoSet {
     /// Creates a set for up to `threads` threads and `cap` live keys,
     /// rooted in root cell `root_idx` (or re-attaches).
     pub fn new(pool: Arc<PmemPool>, root_idx: usize, threads: usize, cap: usize) -> Self {
+        pool.register_site_names(&crate::sites::SITES);
         assert!(threads <= pool.max_threads());
         let root = pool.root(root_idx);
         let existing = pool.load(root);
@@ -121,7 +122,14 @@ impl RedoSet {
         pool.pfence();
         pool.store(root, sb.raw());
         pool.pbarrier(root, 1, X_ROOT);
-        RedoSet { pool, root_word: sb, ann_base, threads, cap, state_words }
+        RedoSet {
+            pool,
+            root_word: sb,
+            ann_base,
+            threads,
+            cap,
+            state_words,
+        }
     }
 
     /// The owning pool.
@@ -134,7 +142,10 @@ impl RedoSet {
     }
 
     fn cur_state(&self) -> StateRef {
-        StateRef { base: PAddr::from_raw(self.pool.load(self.root_word)), threads: self.threads }
+        StateRef {
+            base: PAddr::from_raw(self.pool.load(self.root_word)),
+            threads: self.threads,
+        }
     }
 
     /// Inserts `key`; returns `false` if already present.
@@ -160,7 +171,10 @@ impl RedoSet {
     }
 
     fn update_started(&self, ctx: &ThreadCtx, op: u64, key: u64) -> bool {
-        assert!(key > 0 && key <= KEY_LIMIT, "key outside announce packing range");
+        assert!(
+            key > 0 && key <= KEY_LIMIT,
+            "key outside announce packing range"
+        );
         let pool = &*self.pool;
         let tid = ctx.tid();
         assert!(tid < self.threads);
@@ -186,7 +200,10 @@ impl RedoSet {
         let pool = &*self.pool;
         loop {
             let st_raw = pool.load(self.root_word);
-            let st = StateRef { base: PAddr::from_raw(st_raw), threads: self.threads };
+            let st = StateRef {
+                base: PAddr::from_raw(st_raw),
+                threads: self.threads,
+            };
             if st.applied_seq(pool, tid) == seq {
                 // Make sure the state we are answering from is durable
                 // before the response escapes.
@@ -199,7 +216,10 @@ impl RedoSet {
             for w in 0..self.state_words as u64 {
                 pool.store(new.add(w), pool.load(st.base.add(w)));
             }
-            let new_ref = StateRef { base: new, threads: self.threads };
+            let new_ref = StateRef {
+                base: new,
+                threads: self.threads,
+            };
             for t in 0..self.threads {
                 let (op, key, aseq) = unpack(pool.load(self.ann(t)));
                 if op == A_NONE || aseq <= new_ref.applied_seq(pool, t) {
@@ -314,7 +334,10 @@ impl RedoSet {
     /// Checks sortedness (quiescent); returns the key count.
     pub fn check_invariants(&self) -> usize {
         let ks = self.keys();
-        assert!(ks.windows(2).all(|w| w[0] < w[1]), "state keys must be strictly sorted");
+        assert!(
+            ks.windows(2).all(|w| w[0] < w[1]),
+            "state keys must be strictly sorted"
+        );
         ks.len()
     }
 }
@@ -322,7 +345,7 @@ impl RedoSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmem::{PoolCfg, PessimistAdversary};
+    use pmem::{PessimistAdversary, PoolCfg};
     use std::collections::BTreeSet;
 
     fn setup() -> (Arc<PmemPool>, RedoSet, ThreadCtx) {
@@ -351,7 +374,9 @@ mod tests {
         let mut model = BTreeSet::new();
         let mut rng = 0xABCDu64;
         for _ in 0..1500 {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (rng >> 33) % 60 + 1;
             match (rng >> 20) % 3 {
                 0 => assert_eq!(set.insert(&ctx, key), model.insert(key), "insert {key}"),
@@ -423,7 +448,10 @@ mod tests {
                 set.insert(&ctx, 77)
             }));
         }
-        let wins: usize = handles.into_iter().map(|h| h.join().unwrap() as usize).sum();
+        let wins: usize = handles
+            .into_iter()
+            .map(|h| h.join().unwrap() as usize)
+            .sum();
         assert_eq!(wins, 1);
         assert_eq!(set.keys(), vec![77]);
     }

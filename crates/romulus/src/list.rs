@@ -42,6 +42,7 @@ impl RomulusList {
     /// Creates (or re-attaches to) a list inside a fresh TM rooted at
     /// `root_idx`, with capacity for roughly `max_keys` live keys.
     pub fn new(pool: Arc<PmemPool>, root_idx: usize, max_keys: usize) -> Self {
+        pool.register_site_names(&crate::sites::SITES);
         let threads = pool.max_threads();
         let heap_base = OPRES_BASE + threads as u64;
         // head + tail + max_keys nodes, 2 words each, plus headroom
@@ -261,7 +262,10 @@ impl RomulusList {
     /// Checks sortedness (quiescent); returns the key count.
     pub fn check_invariants(&self) -> usize {
         let ks = self.keys();
-        assert!(ks.windows(2).all(|w| w[0] < w[1]), "keys must be strictly sorted");
+        assert!(
+            ks.windows(2).all(|w| w[0] < w[1]),
+            "keys must be strictly sorted"
+        );
         ks.len()
     }
 }
@@ -269,7 +273,7 @@ impl RomulusList {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmem::{PoolCfg, PmemPool, PessimistAdversary};
+    use pmem::{PessimistAdversary, PmemPool, PoolCfg};
     use std::collections::BTreeSet;
 
     fn setup() -> (Arc<PmemPool>, RomulusList, ThreadCtx) {
@@ -298,7 +302,9 @@ mod tests {
         let mut model = BTreeSet::new();
         let mut rng = 0xFACEu64;
         for _ in 0..2000 {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (rng >> 33) % 60 + 1;
             match (rng >> 20) % 3 {
                 0 => assert_eq!(list.insert(&ctx, key), model.insert(key), "insert {key}"),
@@ -324,7 +330,10 @@ mod tests {
         // Allocation watermark must not have grown by 5x: the free list
         // recycles.
         let used = list.tm.read_tx(|r| Some(r.read(ALLOC_NEXT)));
-        assert!(used < OPRES_BASE + 128 as u64 + 2 * 60, "free list not recycling: {used}");
+        assert!(
+            used < OPRES_BASE + 128_u64 + 2 * 60,
+            "free list not recycling: {used}"
+        );
     }
 
     #[test]

@@ -12,10 +12,18 @@ pub const R_BACK: SiteId = SiteId(2);
 pub const R_RD: SiteId = SiteId(3);
 
 /// All Romulus sites with human-readable names.
-pub const SITES: [(SiteId, &str); 4] =
-    [(R_STATE, "tx-state"), (R_MAIN, "main-region"), (R_BACK, "back-region"), (R_RD, "rd")];
+pub const SITES: [(SiteId, &str); 4] = [
+    (R_STATE, "tx-state"),
+    (R_MAIN, "main-region"),
+    (R_BACK, "back-region"),
+    (R_RD, "rd"),
+];
 
 /// Human-readable name of a Romulus site (or `"?"`).
 pub fn site_name(s: SiteId) -> &'static str {
-    SITES.iter().find(|(id, _)| *id == s).map(|(_, n)| *n).unwrap_or("?")
+    SITES
+        .iter()
+        .find(|(id, _)| *id == s)
+        .map(|(_, n)| *n)
+        .unwrap_or("?")
 }

@@ -1,9 +1,8 @@
 //! The twin-region persistent transactional memory (see crate docs).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
 use pmem::{PAddr, PmemPool, WORDS_PER_LINE};
 
 use crate::sites::{R_BACK, R_MAIN, R_STATE};
@@ -119,14 +118,19 @@ impl RomulusTm {
     /// Runs a write transaction. `f` reads and writes the region through
     /// the [`WriteTx`]; on return the transaction is durably committed.
     pub fn write_tx<R>(&self, f: impl FnOnce(&mut WriteTx<'_>) -> R) -> R {
-        let guard = self.writer.lock();
+        // An injected CrashPoint can unwind through the guard; the next
+        // writer (post-recovery) must still acquire, so poisoning is ignored.
+        let guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         let pool = &*self.pool;
         // Enter MUTATING before the first write reaches main.
         pool.store(self.state, ST_MUTATING);
         pool.pwb(self.state, R_STATE);
         pool.pfence();
         self.version.fetch_add(1, Ordering::Release); // odd: writer active
-        let mut tx = WriteTx { tm: self, log: Vec::with_capacity(16) };
+        let mut tx = WriteTx {
+            tm: self,
+            log: Vec::with_capacity(16),
+        };
         let r = f(&mut tx);
         let log = tx.log;
         // Persist the dirtied main lines (deduplicated per line).
@@ -231,7 +235,7 @@ impl ReadTx<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmem::{PoolCfg, PessimistAdversary};
+    use pmem::{PessimistAdversary, PoolCfg};
 
     fn mk(size: usize) -> (Arc<PmemPool>, Arc<RomulusTm>) {
         let pool = Arc::new(PmemPool::new(PoolCfg::model(8 << 20)));
@@ -306,8 +310,7 @@ mod tests {
             });
             p.crash(&mut PessimistAdversary);
             tm.recover();
-            let vals =
-                tm.read_tx(|r| Some((r.read(0), r.read(8), r.read(16))));
+            let vals = tm.read_tx(|r| Some((r.read(0), r.read(8), r.read(16))));
             assert!(
                 vals == (1, 2, 3) || vals == (10, 20, 30),
                 "crash_at={crash_at}: torn transaction state {vals:?}"

@@ -81,10 +81,14 @@ impl RecoverableBst {
     /// Creates an empty tree rooted in root cell `root_idx`, or re-attaches
     /// to the tree already rooted there.
     pub fn new(pool: Arc<PmemPool>, root_idx: usize) -> Self {
+        pool.register_site_names(&crate::sites::SITES);
         let root_cell = pool.root(root_idx);
         let existing = pool.load(root_cell);
         if existing != 0 {
-            return RecoverableBst { pool, root: PAddr::from_raw(existing) };
+            return RecoverableBst {
+                pool,
+                root: PAddr::from_raw(existing),
+            };
         }
         let root = pool.alloc_lines(1);
         let leaf1 = Self::mk_leaf(&pool, INF1);
@@ -142,7 +146,13 @@ impl RecoverableBst {
                 PAddr::from_raw(pool.load(p.add(N_RIGHT)))
             };
         }
-        SearchRes { gp, p, l, gp_info, p_info }
+        SearchRes {
+            gp,
+            p,
+            l,
+            gp_info,
+            p_info,
+        }
     }
 
     fn prologue(&self, ctx: &ThreadCtx) {
@@ -206,15 +216,22 @@ impl RecoverableBst {
             // Lines 14–15: duplicate of l and the new internal node
             let new_sibling = Self::mk_leaf(pool, l_key);
             let internal = pool.alloc_lines(1);
-            let (left, right) =
-                if key < l_key { (new_leaf, new_sibling) } else { (new_sibling, new_leaf) };
+            let (left, right) = if key < l_key {
+                (new_leaf, new_sibling)
+            } else {
+                (new_sibling, new_leaf)
+            };
             pool.store(internal.add(N_KEY), key.max(l_key));
             pool.store(internal.add(N_LEFT), left.raw());
             pool.store(internal.add(N_RIGHT), right.raw());
             pool.store(internal.add(N_INFO), desc.tagged()); // line 21
             pool.store(internal.add(N_KIND), KIND_INTERNAL);
             // Lines 16–18: which child of p held l
-            let side = if pool.load(s.p.add(N_LEFT)) == s.l.raw() { N_LEFT } else { N_RIGHT };
+            let side = if pool.load(s.p.add(N_LEFT)) == s.l.raw() {
+                N_LEFT
+            } else {
+                N_RIGHT
+            };
             // Lines 19–20
             desc.init(
                 pool,
@@ -225,7 +242,11 @@ impl RecoverableBst {
                     observed: s.p_info,
                     untag_on_cleanup: true,
                 }],
-                &[WriteEntry { field: s.p.add(side), old: s.l.raw(), new: internal.raw() }],
+                &[WriteEntry {
+                    field: s.p.add(side),
+                    old: s.l.raw(),
+                    new: internal.raw(),
+                }],
                 &[internal.add(N_INFO)],
             );
             // Line 24 (+ deviation 2: flush the key leaf as well)
@@ -315,7 +336,11 @@ impl RecoverableBst {
                 pool.load(s.p.add(N_LEFT))
             };
             // Lines 56–58: which child of gp held p
-            let side = if pool.load(s.gp.add(N_LEFT)) == s.p.raw() { N_LEFT } else { N_RIGHT };
+            let side = if pool.load(s.gp.add(N_LEFT)) == s.p.raw() {
+                N_LEFT
+            } else {
+                N_RIGHT
+            };
             // Line 59; AffectSet in root-down order (assumption (b))
             desc.init(
                 pool,
@@ -333,7 +358,11 @@ impl RecoverableBst {
                         untag_on_cleanup: false, // p leaves the tree
                     },
                 ],
-                &[WriteEntry { field: s.gp.add(side), old: s.p.raw(), new: other }],
+                &[WriteEntry {
+                    field: s.gp.add(side),
+                    old: s.p.raw(),
+                    new: other,
+                }],
                 &[],
             );
             // Lines 62–64
@@ -447,7 +476,10 @@ impl RecoverableBst {
         let n = self.check_range(self.root, 0, INF2);
         // in-order keys must come out strictly sorted
         let ks = self.keys();
-        assert!(ks.windows(2).all(|w| w[0] < w[1]), "duplicate or unsorted keys");
+        assert!(
+            ks.windows(2).all(|w| w[0] < w[1]),
+            "duplicate or unsorted keys"
+        );
         assert_eq!(ks.len(), n);
         n
     }
@@ -458,7 +490,10 @@ impl RecoverableBst {
         let k = pool.load(n.add(N_KEY));
         if self.is_internal(n) {
             let info = pool.load(n.add(N_INFO));
-            assert!(!is_tagged(info), "quiescent tree must hold no tagged node (key {k})");
+            assert!(
+                !is_tagged(info),
+                "quiescent tree must hold no tagged node (key {k})"
+            );
             assert!(k > lo && k <= hi, "routing key {k} outside ({lo}, {hi}]");
             let l = self.check_range(PAddr::from_raw(pool.load(n.add(N_LEFT))), lo, k - 1);
             let r = self.check_range(PAddr::from_raw(pool.load(n.add(N_RIGHT))), k.max(lo), hi);
@@ -522,7 +557,9 @@ mod tests {
         let mut model = BTreeSet::new();
         let mut rng = 0xBEEFu64;
         for _ in 0..2000 {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (rng >> 33) % 60 + 1;
             match (rng >> 20) % 3 {
                 0 => assert_eq!(bst.insert(&ctx, key), model.insert(key), "insert {key}"),

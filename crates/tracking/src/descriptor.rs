@@ -86,14 +86,18 @@ impl Desc {
     /// Allocates a fresh (zeroed) descriptor. `result` is ⊥ (= 0) by
     /// construction.
     pub fn alloc(pool: &PmemPool) -> Desc {
-        Desc { addr: pool.alloc_lines(D_LINES) }
+        Desc {
+            addr: pool.alloc_lines(D_LINES),
+        }
     }
 
     /// Wraps a raw descriptor reference read from `RD_q` or an `info` field
     /// (any tag bit is cleared).
     #[inline]
     pub fn from_raw(raw: u64) -> Desc {
-        Desc { addr: PAddr(pmem::untagged(raw)) }
+        Desc {
+            addr: PAddr(pmem::untagged(raw)),
+        }
     }
 
     /// Untagged base address.
@@ -262,10 +266,22 @@ mod tests {
             7,
             crate::result::TRUE,
             &[
-                AffectEntry { info_addr: n1.add(2), observed: 11, untag_on_cleanup: true },
-                AffectEntry { info_addr: n2.add(2), observed: 13, untag_on_cleanup: false },
+                AffectEntry {
+                    info_addr: n1.add(2),
+                    observed: 11,
+                    untag_on_cleanup: true,
+                },
+                AffectEntry {
+                    info_addr: n2.add(2),
+                    observed: 13,
+                    untag_on_cleanup: false,
+                },
             ],
-            &[WriteEntry { field: n1.add(1), old: 5, new: 6 }],
+            &[WriteEntry {
+                field: n1.add(1),
+                old: 5,
+                new: 6,
+            }],
             &[nn.add(2)],
         );
         assert_eq!(d.op_type(&p), 7);
@@ -332,7 +348,11 @@ mod tests {
     fn affect_overflow_checked() {
         let p = pool();
         let d = Desc::alloc(&p);
-        let e = AffectEntry { info_addr: PAddr(8), observed: 0, untag_on_cleanup: false };
+        let e = AffectEntry {
+            info_addr: PAddr(8),
+            observed: 0,
+            untag_on_cleanup: false,
+        };
         d.init(&p, 0, 0, &[e; 5], &[], &[]);
     }
 }

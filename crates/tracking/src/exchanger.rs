@@ -105,12 +105,7 @@ impl RecoverableExchanger {
     }
 
     /// [`Self::exchange`] without the system's `CP_q := 0` pre-step.
-    pub fn exchange_started(
-        &self,
-        ctx: &ThreadCtx,
-        value: u64,
-        spin_budget: usize,
-    ) -> Option<u64> {
+    pub fn exchange_started(&self, ctx: &ThreadCtx, value: u64, spin_budget: usize) -> Option<u64> {
         assert!(value <= VALUE_MAX, "value too large to exchange");
         let pool = &*self.pool;
         self.prologue(ctx);
@@ -142,7 +137,11 @@ impl RecoverableExchanger {
                         observed: info,
                         untag_on_cleanup: false, // leaves the slot forever
                     }],
-                    &[WriteEntry { field: self.slot, old: nd_raw, new: nd_p.raw() }],
+                    &[WriteEntry {
+                        field: self.slot,
+                        old: nd_raw,
+                        new: nd_p.raw(),
+                    }],
                     &[nd_p.add(N_INFO)],
                 );
                 pool.pwb(nd_p, S_NEW);
@@ -175,8 +174,16 @@ impl RecoverableExchanger {
                     // partner first: the waiter's response must be in place
                     // (and is persisted by the update phase) before the slot
                     // is released
-                    WriteEntry { field: nd.add(N_PARTNER), old: 0, new: value + 1 },
-                    WriteEntry { field: self.slot, old: nd_raw, new: free2.raw() },
+                    WriteEntry {
+                        field: nd.add(N_PARTNER),
+                        old: 0,
+                        new: value + 1,
+                    },
+                    WriteEntry {
+                        field: self.slot,
+                        old: nd_raw,
+                        new: free2.raw(),
+                    },
                 ],
                 &[free2.add(N_INFO)],
             );
@@ -239,7 +246,11 @@ impl RecoverableExchanger {
                     observed: info,
                     untag_on_cleanup: false,
                 }],
-                &[WriteEntry { field: self.slot, old: nd_p.raw(), new: free2.raw() }],
+                &[WriteEntry {
+                    field: self.slot,
+                    old: nd_p.raw(),
+                    new: free2.raw(),
+                }],
                 &[free2.add(N_INFO)],
             );
             pool.pwb(free2, S_NEW);
@@ -259,12 +270,7 @@ impl RecoverableExchanger {
 
     /// `Exchange.Recover` (Algorithm 1 lines 27–31, specialized per
     /// descriptor type — see module docs).
-    pub fn recover_exchange(
-        &self,
-        ctx: &ThreadCtx,
-        value: u64,
-        spin_budget: usize,
-    ) -> Option<u64> {
+    pub fn recover_exchange(&self, ctx: &ThreadCtx, value: u64, spin_budget: usize) -> Option<u64> {
         let pool = &*self.pool;
         let rd = ctx.rd();
         if ctx.cp() == 0 || rd == 0 {
@@ -360,7 +366,11 @@ mod tests {
         }
         let got: Vec<Option<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         let mut received: Vec<u64> = got.iter().flatten().copied().collect();
-        assert_eq!(received.len(), 4, "with 4 peers and large budgets, all pair up");
+        assert_eq!(
+            received.len(),
+            4,
+            "with 4 peers and large budgets, all pair up"
+        );
         received.sort_unstable();
         assert_eq!(received, vec![0, 1, 2, 3]);
         for (me, val) in got.iter().enumerate() {

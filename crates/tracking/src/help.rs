@@ -28,7 +28,7 @@
 //! tagging/backtrack/update/cleanup CAS and the `result` store, and a
 //! `psync` at the end of every phase.
 
-use pmem::{PmemPool, PAddr};
+use pmem::{PAddr, PmemPool};
 
 use crate::descriptor::Desc;
 use crate::sites::{S_BACKTRACK, S_CLEANUP, S_RESULT, S_TAG, S_UPDATE};
@@ -127,7 +127,7 @@ mod tests {
     use super::*;
     use crate::descriptor::{AffectEntry, WriteEntry};
     use crate::result::{enc_bool, BOTTOM, TRUE};
-    use pmem::{PmemPool, PoolCfg, PessimistAdversary};
+    use pmem::{PessimistAdversary, PmemPool, PoolCfg};
 
     /// A fake two-word "node": w0 = field, w2 = info (w1 spare).
     fn node(p: &PmemPool, field: u64) -> PAddr {
@@ -150,8 +150,16 @@ mod tests {
             &p,
             1,
             enc_bool(true),
-            &[AffectEntry { info_addr: info, observed: 0, untag_on_cleanup: true }],
-            &[WriteEntry { field: nd, old: 5, new: 9 }],
+            &[AffectEntry {
+                info_addr: info,
+                observed: 0,
+                untag_on_cleanup: true,
+            }],
+            &[WriteEntry {
+                field: nd,
+                old: 5,
+                new: 9,
+            }],
             &[],
         );
         help(&p, d);
@@ -170,8 +178,16 @@ mod tests {
             &p,
             1,
             enc_bool(true),
-            &[AffectEntry { info_addr: info, observed: 0, untag_on_cleanup: true }],
-            &[WriteEntry { field: nd, old: 5, new: 9 }],
+            &[AffectEntry {
+                info_addr: info,
+                observed: 0,
+                untag_on_cleanup: true,
+            }],
+            &[WriteEntry {
+                field: nd,
+                old: 5,
+                new: 9,
+            }],
             &[],
         );
         for _ in 0..3 {
@@ -196,10 +212,22 @@ mod tests {
             1,
             enc_bool(true),
             &[
-                AffectEntry { info_addr: nd1.add(2), observed: 0, untag_on_cleanup: true },
-                AffectEntry { info_addr: nd2.add(2), observed: 0, untag_on_cleanup: true },
+                AffectEntry {
+                    info_addr: nd1.add(2),
+                    observed: 0,
+                    untag_on_cleanup: true,
+                },
+                AffectEntry {
+                    info_addr: nd2.add(2),
+                    observed: 0,
+                    untag_on_cleanup: true,
+                },
             ],
-            &[WriteEntry { field: nd1, old: 1, new: 100 }],
+            &[WriteEntry {
+                field: nd1,
+                old: 1,
+                new: 100,
+            }],
             &[],
         );
         help(&p, d);
@@ -208,7 +236,11 @@ mod tests {
         // nd1 was tagged then backtracked: its info is untagged(d), a fresh
         // version-stamp value
         assert_eq!(p.load(nd1.add(2)), d.untagged());
-        assert_eq!(p.load(nd2.add(2)), other.tagged(), "other op's tag untouched");
+        assert_eq!(
+            p.load(nd2.add(2)),
+            other.tagged(),
+            "other op's tag untouched"
+        );
     }
 
     #[test]
@@ -220,8 +252,16 @@ mod tests {
             &p,
             1,
             enc_bool(true),
-            &[AffectEntry { info_addr: nd.add(2), observed: 77, untag_on_cleanup: true }],
-            &[WriteEntry { field: nd, old: 1, new: 2 }],
+            &[AffectEntry {
+                info_addr: nd.add(2),
+                observed: 77,
+                untag_on_cleanup: true,
+            }],
+            &[WriteEntry {
+                field: nd,
+                old: 1,
+                new: 2,
+            }],
             &[],
         );
         help(&p, d); // observed (77) != actual (0) -> backtrack immediately
@@ -241,8 +281,16 @@ mod tests {
             &p,
             1,
             enc_bool(true),
-            &[AffectEntry { info_addr: nd.add(2), observed: 0, untag_on_cleanup: true }],
-            &[WriteEntry { field: nd, old: 5, new: newnd.raw() }],
+            &[AffectEntry {
+                info_addr: nd.add(2),
+                observed: 0,
+                untag_on_cleanup: true,
+            }],
+            &[WriteEntry {
+                field: nd,
+                old: 5,
+                new: newnd.raw(),
+            }],
             &[newnd.add(2)],
         );
         help(&p, d);
@@ -260,10 +308,22 @@ mod tests {
             2,
             enc_bool(true),
             &[
-                AffectEntry { info_addr: pred.add(2), observed: 0, untag_on_cleanup: true },
-                AffectEntry { info_addr: curr.add(2), observed: 0, untag_on_cleanup: false },
+                AffectEntry {
+                    info_addr: pred.add(2),
+                    observed: 0,
+                    untag_on_cleanup: true,
+                },
+                AffectEntry {
+                    info_addr: curr.add(2),
+                    observed: 0,
+                    untag_on_cleanup: false,
+                },
             ],
-            &[WriteEntry { field: pred, old: 10, new: 11 }],
+            &[WriteEntry {
+                field: pred,
+                old: 10,
+                new: 11,
+            }],
             &[],
         );
         help(&p, d);
@@ -287,8 +347,16 @@ mod tests {
                 &p,
                 1,
                 enc_bool(true),
-                &[AffectEntry { info_addr: info, observed: 0, untag_on_cleanup: true }],
-                &[WriteEntry { field: nd, old: 5, new: 9 }],
+                &[AffectEntry {
+                    info_addr: info,
+                    observed: 0,
+                    untag_on_cleanup: true,
+                }],
+                &[WriteEntry {
+                    field: nd,
+                    old: 5,
+                    new: 9,
+                }],
                 &[],
             );
             d.pbarrier(&p, pmem::SiteId(0)); // descriptor durable before help
@@ -322,8 +390,16 @@ mod tests {
             &p,
             1,
             enc_bool(true),
-            &[AffectEntry { info_addr: nd.add(2), observed: 0, untag_on_cleanup: true }],
-            &[WriteEntry { field: nd, old: 5, new: newnd.raw() }],
+            &[AffectEntry {
+                info_addr: nd.add(2),
+                observed: 0,
+                untag_on_cleanup: true,
+            }],
+            &[WriteEntry {
+                field: nd,
+                old: 5,
+                new: newnd.raw(),
+            }],
             &[newnd.add(2)],
         );
         help(&p, d); // completes: both untagged
@@ -353,8 +429,16 @@ mod tests {
                 &p,
                 1,
                 enc_bool(true),
-                &[AffectEntry { info_addr: info, observed: 0, untag_on_cleanup: true }],
-                &[WriteEntry { field: nd, old: 5, new }],
+                &[AffectEntry {
+                    info_addr: info,
+                    observed: 0,
+                    untag_on_cleanup: true,
+                }],
+                &[WriteEntry {
+                    field: nd,
+                    old: 5,
+                    new,
+                }],
                 &[],
             );
         }

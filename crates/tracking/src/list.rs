@@ -67,7 +67,10 @@ pub struct ListConfig {
 
 impl Default for ListConfig {
     fn default() -> Self {
-        ListConfig { traversal_flush: false, read_only_opt: true }
+        ListConfig {
+            traversal_flush: false,
+            read_only_opt: true,
+        }
     }
 }
 
@@ -101,10 +104,15 @@ impl RecoverableList {
 
     /// [`Self::new`] with explicit ablation knobs.
     pub fn with_config(pool: Arc<PmemPool>, root_idx: usize, cfg: ListConfig) -> Self {
+        pool.register_site_names(&crate::sites::SITES);
         let root = pool.root(root_idx);
         let existing = pool.load(root);
         if existing != 0 {
-            return RecoverableList { pool, head: PAddr::from_raw(existing), cfg };
+            return RecoverableList {
+                pool,
+                head: PAddr::from_raw(existing),
+                cfg,
+            };
         }
         let head = pool.alloc_lines(1);
         let tail = pool.alloc_lines(1);
@@ -158,7 +166,12 @@ impl RecoverableList {
             pool.pwb(curr, S_TRAVERSE);
             pool.pfence();
         }
-        SearchRes { pred, curr, pred_info, curr_info }
+        SearchRes {
+            pred,
+            curr,
+            pred_info,
+            curr_info,
+        }
     }
 
     /// The recoverable-operation prologue shared by insert and delete
@@ -361,7 +374,11 @@ impl RecoverableList {
                             untag_on_cleanup: false, // deleted: tagged forever
                         },
                     ],
-                    &[WriteEntry { field: s.pred.add(N_NEXT), old: s.curr.raw(), new: succ }],
+                    &[WriteEntry {
+                        field: s.pred.add(N_NEXT),
+                        old: s.curr.raw(),
+                        new: succ,
+                    }],
                     &[],
                 );
             }
@@ -538,9 +555,15 @@ impl RecoverableList {
         let mut curr = PAddr::from_raw(pool.load(self.head.add(N_NEXT)));
         loop {
             let k = pool.load(curr.add(N_KEY));
-            assert!(k > prev_key, "keys must be strictly increasing: {prev_key} !< {k}");
+            assert!(
+                k > prev_key,
+                "keys must be strictly increasing: {prev_key} !< {k}"
+            );
             let info = pool.load(curr.add(N_INFO));
-            assert!(!is_tagged(info), "quiescent list must hold no tagged node (key {k})");
+            assert!(
+                !is_tagged(info),
+                "quiescent list must hold no tagged node (key {k})"
+            );
             if k == KEY_MAX {
                 return count;
             }
@@ -554,7 +577,7 @@ impl RecoverableList {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmem::{PoolCfg, PmemPool};
+    use pmem::{PmemPool, PoolCfg};
     use std::collections::BTreeSet;
 
     fn setup() -> (Arc<PmemPool>, RecoverableList, ThreadCtx) {
@@ -585,6 +608,47 @@ mod tests {
     }
 
     #[test]
+    fn flush_discipline_is_lint_clean() {
+        // The flush lint must not flag Tracking's persistence placement: no
+        // redundant pwbs, no lines published before their pbarrier, and —
+        // after the final psync — no dirty line left whose loss a pessimist
+        // crash could surface.
+        let pool = Arc::new(PmemPool::new(PoolCfg {
+            lint: true,
+            ..PoolCfg::model(8 << 20)
+        }));
+        let list = RecoverableList::new(pool.clone(), 0);
+        let ctx = ThreadCtx::new(pool.clone(), 0);
+        // Construction flushes before the lint saw the stores' history are
+        // not findings; start the checked window at a known-clean point.
+        pool.lint_clear();
+        let mut rng = 0xC0FFEEu64;
+        for _ in 0..300 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (rng >> 33) % 40 + 1;
+            match (rng >> 20) % 3 {
+                0 => {
+                    list.insert(&ctx, key);
+                }
+                1 => {
+                    list.delete(&ctx, key);
+                }
+                _ => {
+                    list.find(&ctx, key);
+                }
+            }
+        }
+        let r = pool.lint_report();
+        assert!(
+            r.is_clean(),
+            "tracking flush discipline violations:\n{}",
+            pool.lint_report_text()
+        );
+    }
+
+    #[test]
     fn keys_stay_sorted() {
         let (_p, list, ctx) = setup();
         for k in [5u64, 1, 9, 3, 7] {
@@ -602,7 +666,9 @@ mod tests {
         let mut model = BTreeSet::new();
         let mut rng = 0x12345u64;
         for _ in 0..2000 {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (rng >> 33) % 60 + 1;
             match (rng >> 20) % 3 {
                 0 => assert_eq!(list.insert(&ctx, key), model.insert(key), "insert {key}"),
@@ -619,7 +685,10 @@ mod tests {
         let (_p, list, ctx) = setup();
         assert!(list.insert(&ctx, 50));
         assert!(list.insert(&ctx, 1), "smallest user key at the front");
-        assert!(list.insert(&ctx, u64::MAX - 1), "largest user key at the back");
+        assert!(
+            list.insert(&ctx, u64::MAX - 1),
+            "largest user key at the back"
+        );
         assert_eq!(list.keys(), vec![1, 50, u64::MAX - 1]);
         assert!(list.delete(&ctx, 1));
         assert!(list.delete(&ctx, u64::MAX - 1));
@@ -721,8 +790,15 @@ mod tests {
                 list.insert(&ctx, 77)
             }));
         }
-        let wins: usize = handles.into_iter().filter(|_| true).map(|h| h.join().unwrap() as usize).sum();
-        assert_eq!(wins, 1, "exactly one concurrent insert of the same key succeeds");
+        let wins: usize = handles
+            .into_iter()
+            .filter(|_| true)
+            .map(|h| h.join().unwrap() as usize)
+            .sum();
+        assert_eq!(
+            wins, 1,
+            "exactly one concurrent insert of the same key succeeds"
+        );
         assert_eq!(list.keys(), vec![77]);
     }
 
@@ -799,9 +875,18 @@ mod tests {
     #[test]
     fn ablation_configs_match_reference_model() {
         let configs = [
-            ListConfig { traversal_flush: true, read_only_opt: true },
-            ListConfig { traversal_flush: false, read_only_opt: false },
-            ListConfig { traversal_flush: true, read_only_opt: false },
+            ListConfig {
+                traversal_flush: true,
+                read_only_opt: true,
+            },
+            ListConfig {
+                traversal_flush: false,
+                read_only_opt: false,
+            },
+            ListConfig {
+                traversal_flush: true,
+                read_only_opt: false,
+            },
         ];
         for cfg in configs {
             let pool = Arc::new(PmemPool::new(PoolCfg::model(16 << 20)));
@@ -810,7 +895,9 @@ mod tests {
             let mut model = BTreeSet::new();
             let mut rng = 0x7777u64;
             for _ in 0..800 {
-                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let key = (rng >> 33) % 40 + 1;
                 match (rng >> 20) % 3 {
                     0 => assert_eq!(list.insert(&ctx, key), model.insert(key), "{cfg:?}"),
@@ -818,7 +905,11 @@ mod tests {
                     _ => assert_eq!(list.find(&ctx, key), model.contains(&key), "{cfg:?}"),
                 }
             }
-            assert_eq!(list.keys(), model.iter().copied().collect::<Vec<_>>(), "{cfg:?}");
+            assert_eq!(
+                list.keys(),
+                model.iter().copied().collect::<Vec<_>>(),
+                "{cfg:?}"
+            );
             list.check_invariants();
         }
     }
@@ -829,7 +920,10 @@ mod tests {
         let list = RecoverableList::with_config(
             pool.clone(),
             0,
-            ListConfig { traversal_flush: true, read_only_opt: true },
+            ListConfig {
+                traversal_flush: true,
+                read_only_opt: true,
+            },
         );
         let ctx = ThreadCtx::new(pool.clone(), 0);
         for k in 1..=20u64 {
@@ -851,7 +945,10 @@ mod tests {
         let list = RecoverableList::with_config(
             pool.clone(),
             0,
-            ListConfig { traversal_flush: false, read_only_opt: false },
+            ListConfig {
+                traversal_flush: false,
+                read_only_opt: false,
+            },
         );
         let ctx = ThreadCtx::new(pool.clone(), 0);
         list.insert(&ctx, 5);
@@ -871,7 +968,10 @@ mod tests {
         let list = RecoverableList::with_config(
             pool.clone(),
             0,
-            ListConfig { traversal_flush: false, read_only_opt: false },
+            ListConfig {
+                traversal_flush: false,
+                read_only_opt: false,
+            },
         );
         let ctx = ThreadCtx::new(pool.clone(), 0);
         list.insert(&ctx, 5);

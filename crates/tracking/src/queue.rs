@@ -72,7 +72,11 @@ impl RecoverableQueue {
             pool.store(tail_hint, sentinel.raw());
             pool.pbarrier(head_cell, 1, S_NEW);
         }
-        RecoverableQueue { pool, head_cell, tail_hint }
+        RecoverableQueue {
+            pool,
+            head_cell,
+            tail_hint,
+        }
     }
 
     /// The owning pool.
@@ -144,7 +148,11 @@ impl RecoverableQueue {
                     observed: last_info,
                     untag_on_cleanup: true,
                 }],
-                &[WriteEntry { field: last.add(N_NEXT), old: 0, new: new.raw() }],
+                &[WriteEntry {
+                    field: last.add(N_NEXT),
+                    old: 0,
+                    new: new.raw(),
+                }],
                 &[new.add(N_INFO)],
             );
             pool.pwb(new, S_NEW);
@@ -234,7 +242,11 @@ impl RecoverableQueue {
                     observed: h_info,
                     untag_on_cleanup: false, // h leaves the structure
                 }],
-                &[WriteEntry { field: self.head_cell, old: h.raw(), new: f.raw() }],
+                &[WriteEntry {
+                    field: self.head_cell,
+                    old: h.raw(),
+                    new: f.raw(),
+                }],
                 &[],
             );
             desc.pbarrier(pool, S_DESC);
@@ -290,16 +302,16 @@ impl RecoverableQueue {
 
     /// Is the queue empty (quiescent only)?
     pub fn is_empty(&self) -> bool {
-        self.pool.load(
-            PAddr::from_raw(self.pool.load(self.head_cell)).add(N_NEXT),
-        ) == 0
+        self.pool
+            .load(PAddr::from_raw(self.pool.load(self.head_cell)).add(N_NEXT))
+            == 0
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmem::{PoolCfg, PmemPool};
+    use pmem::{PmemPool, PoolCfg};
 
     fn setup() -> (Arc<PmemPool>, RecoverableQueue, ThreadCtx) {
         let pool = Arc::new(PmemPool::new(PoolCfg::model(16 << 20)));
@@ -370,11 +382,13 @@ mod tests {
                 got
             }));
         }
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         assert_eq!(all.len() as u64, produced);
         all.sort_unstable();
-        let mut want: Vec<u64> =
-            (0..300u64).map(|i| i).chain((0..300u64).map(|i| 1000 + i)).collect();
+        let mut want: Vec<u64> = (0..300u64).chain((0..300u64).map(|i| 1000 + i)).collect();
         want.sort_unstable();
         assert_eq!(all, want, "every produced value consumed exactly once");
         assert!(q.is_empty());
@@ -429,7 +443,11 @@ mod tests {
                 }
                 None => {
                     q.recover_enqueue(&ctx, 2);
-                    assert_eq!(q.values(), vec![1, 2], "crash_at={crash_at}: exactly-once append");
+                    assert_eq!(
+                        q.values(),
+                        vec![1, 2],
+                        "crash_at={crash_at}: exactly-once append"
+                    );
                 }
             }
         }
@@ -469,7 +487,11 @@ mod tests {
         let (_p, q, ctx) = setup();
         q.enqueue(&ctx, 42);
         assert_eq!(q.dequeue(&ctx), Some(42));
-        assert_eq!(q.recover_dequeue(&ctx), Some(42), "must replay, not re-dequeue");
+        assert_eq!(
+            q.recover_dequeue(&ctx),
+            Some(42),
+            "must replay, not re-dequeue"
+        );
         assert!(q.is_empty());
     }
 

@@ -119,7 +119,11 @@ impl RecoverableStack {
                     observed: info,
                     untag_on_cleanup: true, // stays in the stack below `new`
                 }],
-                &[WriteEntry { field: self.top_cell, old: top_raw, new: new.raw() }],
+                &[WriteEntry {
+                    field: self.top_cell,
+                    old: top_raw,
+                    new: new.raw(),
+                }],
                 &[new.add(N_INFO)],
             );
             pool.pwb(new, S_NEW);
@@ -171,9 +175,7 @@ impl RecoverableStack {
             if pool.load(top.add(N_SENTINEL)) == 1 {
                 // Read-only empty outcome, validated against the version
                 // stamp still being in place (top may have moved).
-                if pool.load(self.top_cell) != top_raw
-                    || pool.load(top.add(N_INFO)) != info
-                {
+                if pool.load(self.top_cell) != top_raw || pool.load(top.add(N_INFO)) != info {
                     continue;
                 }
                 desc.init(
@@ -206,7 +208,11 @@ impl RecoverableStack {
                     observed: info,
                     untag_on_cleanup: false, // leaves the stack
                 }],
-                &[WriteEntry { field: self.top_cell, old: top_raw, new: next }],
+                &[WriteEntry {
+                    field: self.top_cell,
+                    old: top_raw,
+                    new: next,
+                }],
                 &[],
             );
             desc.pbarrier(pool, S_DESC);
@@ -267,7 +273,7 @@ impl RecoverableStack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmem::{PoolCfg, PmemPool};
+    use pmem::{PmemPool, PoolCfg};
 
     fn setup() -> (Arc<PmemPool>, RecoverableStack, ThreadCtx) {
         let pool = Arc::new(PmemPool::new(PoolCfg::model(16 << 20)));
@@ -335,7 +341,10 @@ mod tests {
                 got
             }));
         }
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         let mut want: Vec<u64> = (0..300).chain(1000..1300).collect();
         want.sort_unstable();

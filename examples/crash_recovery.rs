@@ -115,15 +115,23 @@ fn run<S>(
             }
         };
         // Detectability check against the sequential model.
-        let expected = if is_insert { model.insert(key) } else { model.remove(&key) };
+        let expected = if is_insert {
+            model.insert(key)
+        } else {
+            model.remove(&key)
+        };
         assert_eq!(
-            response, expected,
+            response,
+            expected,
             "round {round}: {} {key} returned {response}, model says {expected}",
             if is_insert { "insert" } else { "delete" }
         );
         let got = keys(&s);
         let want: Vec<u64> = model.iter().copied().collect();
-        assert_eq!(got, want, "round {round}: structure diverged from model after recovery");
+        assert_eq!(
+            got, want,
+            "round {round}: structure diverged from model after recovery"
+        );
     }
     println!(
         "{name}: {ROUNDS} ops, {crashes} crashed and recovered, {completions} ran to completion — \

@@ -33,8 +33,9 @@ struct EliminationStack {
 impl EliminationStack {
     fn new(pool: Arc<PmemPool>) -> Self {
         let stack = RecoverableStack::new(pool.clone(), 0);
-        let elim =
-            (0..EXCHANGERS).map(|i| RecoverableExchanger::new(pool.clone(), 1 + i)).collect();
+        let elim = (0..EXCHANGERS)
+            .map(|i| RecoverableExchanger::new(pool.clone(), 1 + i))
+            .collect();
         EliminationStack { stack, elim }
     }
 
@@ -104,7 +105,10 @@ fn main() {
             got
         }));
     }
-    let mut popped: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    let mut popped: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
 
     // audit: every pushed value popped exactly once, none invented
     assert_eq!(popped.len() as u64, PUSHERS as u64 * PER_THREAD);
@@ -113,7 +117,10 @@ fn main() {
         .flat_map(|t| (0..PER_THREAD).map(move |i| t << 20 | i))
         .collect();
     want.sort_unstable();
-    assert_eq!(popped, want, "elimination must not lose or duplicate values");
+    assert_eq!(
+        popped, want,
+        "elimination must not lose or duplicate values"
+    );
 
     println!(
         "moved {} values through the elimination stack; {} eliminated handoffs \

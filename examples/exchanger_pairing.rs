@@ -57,7 +57,10 @@ fn main() {
         assert_eq!(pairs.get(&got), Some(&mine), "pairing must be mutual");
         mutual += 1;
     }
-    println!("{} exchanges, all mutual — no value lost or duplicated", mutual);
+    println!(
+        "{} exchanges, all mutual — no value lost or duplicated",
+        mutual
+    );
 
     // The timeout path: a lone exchanger cancels and leaves the slot free.
     let ctx = ThreadCtx::new(pool.clone(), 0);

@@ -61,7 +61,7 @@ fn main() {
             rng ^= rng << 17;
             let id = rng % 1000 + 1;
             // Every ~70 requests, a power failure strikes mid-request.
-            let fail_now = rng % 70 == 0;
+            let fail_now = rng.is_multiple_of(70);
             if fail_now {
                 self_destruct(&pool, &svc, id, rng);
                 power_failures += 1;
@@ -100,7 +100,7 @@ fn self_destruct(pool: &Arc<PmemPool>, svc: &Service, id: u64, rng: u64) {
             let rebooted = Service::boot(pool.clone());
             let outcome = rebooted.index.recover_insert(&rebooted.ctx, id);
             let present = rebooted.has(id);
-            assert_eq!(present, true, "a recovered successful put must be visible");
+            assert!(present, "a recovered successful put must be visible");
             println!(
                 "  power failure during put({id}): recovered response={outcome}, \
                  present after reboot={present}"

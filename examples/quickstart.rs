@@ -25,7 +25,10 @@ fn main() {
     let ctx = ThreadCtx::new(pool.clone(), 0);
 
     assert!(list.insert(&ctx, 42));
-    assert!(!list.insert(&ctx, 42), "second insert of 42 reports 'already there'");
+    assert!(
+        !list.insert(&ctx, 42),
+        "second insert of 42 reports 'already there'"
+    );
     assert!(list.find(&ctx, 42));
     assert!(list.delete(&ctx, 42));
     assert!(!list.find(&ctx, 42));

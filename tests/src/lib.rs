@@ -35,7 +35,12 @@ pub const ALL_ALGOS: [AlgoKind; 7] = [
 ];
 
 /// Builds `kind` on a fresh Model-mode (shadowed, crashable) pool.
-pub fn mk(kind: AlgoKind, pool_bytes: usize, threads: usize, range: u64) -> (Arc<PmemPool>, Arc<dyn SetAlgo>) {
+pub fn mk(
+    kind: AlgoKind,
+    pool_bytes: usize,
+    threads: usize,
+    range: u64,
+) -> (Arc<PmemPool>, Arc<dyn SetAlgo>) {
     let pool = Arc::new(PmemPool::new(PoolCfg::model(pool_bytes)));
     let algo = build(kind, pool.clone(), threads, range);
     (pool, algo)
@@ -49,7 +54,9 @@ pub struct KeyTally {
 impl KeyTally {
     /// Tally over keys `1..=range`.
     pub fn new(range: u64) -> KeyTally {
-        KeyTally { per_key: (0..=range).map(|_| AtomicI64::new(0)).collect() }
+        KeyTally {
+            per_key: (0..=range).map(|_| AtomicI64::new(0)).collect(),
+        }
     }
 
     /// Records an insert response.
@@ -83,7 +90,11 @@ impl KeyTally {
             );
             present += bal as usize;
         }
-        assert_eq!(algo.len(), present, "{label}: structure size disagrees with tally");
+        assert_eq!(
+            algo.len(),
+            present,
+            "{label}: structure size disagrees with tally"
+        );
     }
 }
 
@@ -92,6 +103,7 @@ pub struct Rng(pub u64);
 
 impl Rng {
     /// Next pseudo-random u64.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let mut x = self.0;
         x ^= x >> 12;

@@ -18,7 +18,11 @@ fn per_key_balance_holds_for_all_algorithms() {
         let (pool, algo) = mk(kind, 512 << 20, THREADS, range);
         let tally = Arc::new(KeyTally::new(range));
         let barrier = Arc::new(Barrier::new(THREADS));
-        let ops_per_thread = if kind == AlgoKind::Capsules { 300 } else { 1500 };
+        let ops_per_thread = if kind == AlgoKind::Capsules {
+            300
+        } else {
+            1500
+        };
         let mut handles = Vec::new();
         for t in 0..THREADS {
             let pool = pool.clone();
@@ -106,7 +110,10 @@ fn disjoint_partitions_never_conflict() {
                 let base = t as u64 * per_thread;
                 barrier.wait();
                 for k in 1..=per_thread {
-                    assert!(algo.insert(&ctx, base + k), "{kind:?}: disjoint insert must win");
+                    assert!(
+                        algo.insert(&ctx, base + k),
+                        "{kind:?}: disjoint insert must win"
+                    );
                 }
                 for k in 1..=per_thread {
                     assert!(algo.find(&ctx, base + k), "{kind:?}");

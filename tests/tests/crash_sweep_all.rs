@@ -36,9 +36,19 @@ fn sweep_insert(kind: AlgoKind, adversary: &mut dyn FnMut(u64) -> Box<dyn CrashA
                 pool.crash(&mut *adversary(crash_at));
                 algo.recover_structure();
                 let r = algo.recover_insert(&ctx, 15);
-                assert!(r, "{kind:?} crash_at={crash_at}: recovered insert must report success");
-                assert!(algo.find(&ctx, 15), "{kind:?} crash_at={crash_at}: key must be present");
-                assert_eq!(algo.len(), 4, "{kind:?} crash_at={crash_at}: structure corrupted");
+                assert!(
+                    r,
+                    "{kind:?} crash_at={crash_at}: recovered insert must report success"
+                );
+                assert!(
+                    algo.find(&ctx, 15),
+                    "{kind:?} crash_at={crash_at}: key must be present"
+                );
+                assert_eq!(
+                    algo.len(),
+                    4,
+                    "{kind:?} crash_at={crash_at}: structure corrupted"
+                );
             }
         }
     }
@@ -64,9 +74,19 @@ fn sweep_delete(kind: AlgoKind, adversary: &mut dyn FnMut(u64) -> Box<dyn CrashA
                 pool.crash(&mut *adversary(crash_at));
                 algo.recover_structure();
                 let r = algo.recover_delete(&ctx, 20);
-                assert!(r, "{kind:?} crash_at={crash_at}: recovered delete must report success");
-                assert!(!algo.find(&ctx, 20), "{kind:?} crash_at={crash_at}: key must be gone");
-                assert_eq!(algo.len(), 2, "{kind:?} crash_at={crash_at}: structure corrupted");
+                assert!(
+                    r,
+                    "{kind:?} crash_at={crash_at}: recovered delete must report success"
+                );
+                assert!(
+                    !algo.find(&ctx, 20),
+                    "{kind:?} crash_at={crash_at}: key must be gone"
+                );
+                assert_eq!(
+                    algo.len(),
+                    2,
+                    "{kind:?} crash_at={crash_at}: structure corrupted"
+                );
             }
         }
     }
@@ -172,9 +192,14 @@ fn randomized_crash_workload_matches_model() {
                     }
                 }
             };
-            let expected = if is_insert { model.insert(key) } else { model.remove(&key) };
+            let expected = if is_insert {
+                model.insert(key)
+            } else {
+                model.remove(&key)
+            };
             assert_eq!(
-                response, expected,
+                response,
+                expected,
                 "{kind:?} round {round}: {} {key}",
                 if is_insert { "insert" } else { "delete" }
             );

@@ -90,7 +90,11 @@ fn completed_finds_remain_justified_after_crash() {
 /// before the crash stay visible afterwards.
 #[test]
 fn concurrently_completed_updates_survive() {
-    for kind in [AlgoKind::Tracking, AlgoKind::TrackingBst, AlgoKind::CapsulesOpt] {
+    for kind in [
+        AlgoKind::Tracking,
+        AlgoKind::TrackingBst,
+        AlgoKind::CapsulesOpt,
+    ] {
         let (pool, algo) = mk(kind, 256 << 20, 4, 64);
         // 4 threads insert disjoint stripes and join (all ops completed)
         let mut handles = Vec::new();

@@ -77,7 +77,10 @@ fn crashed_exchange_recovers_consistently() {
             (w == Some(777) && c == Some(111)) || (w.is_none() && c.is_none()),
             "crash_after={crash_after}: inconsistent exchange outcome (w={w:?}, c={c:?})"
         );
-        assert!(ex.is_free(), "crash_after={crash_after}: slot must end free");
+        assert!(
+            ex.is_free(),
+            "crash_after={crash_after}: slot must end free"
+        );
     }
 }
 
@@ -91,7 +94,9 @@ fn odd_crowd_leaves_exactly_one_unpaired() {
     for t in 0..3usize {
         let ex = ex.clone();
         let ctx = ThreadCtx::new(pool.clone(), t);
-        handles.push(std::thread::spawn(move || ex.exchange(&ctx, t as u64, 2_000_000)));
+        handles.push(std::thread::spawn(move || {
+            ex.exchange(&ctx, t as u64, 2_000_000)
+        }));
     }
     let got: Vec<Option<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     let paired: Vec<usize> = (0..3).filter(|&t| got[t].is_some()).collect();

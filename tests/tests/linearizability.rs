@@ -14,6 +14,8 @@ use integration_tests::{mk, Rng, ALL_ALGOS};
 use linearize::{Clock, History, QueueOp, QueueRet, QueueSpec, SetOp, SetSpec};
 use pmem::{PmemPool, PoolCfg, ThreadCtx};
 
+type EventLog<Op, Ret> = Arc<Mutex<Vec<(Op, Ret, u64, u64)>>>;
+
 const THREADS: usize = 3;
 const OPS_PER_THREAD: usize = 6;
 const TRIALS: usize = 12;
@@ -22,7 +24,7 @@ const TRIALS: usize = 12;
 fn record_set_history(kind: AlgoKind, seed: u64) -> History<SetSpec> {
     let (pool, algo) = mk(kind, 128 << 20, THREADS, 8);
     let clock = Arc::new(Clock::new());
-    let events: Arc<Mutex<Vec<(SetOp, bool, u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let events: EventLog<SetOp, bool> = Arc::new(Mutex::new(Vec::new()));
     let barrier = Arc::new(Barrier::new(THREADS));
     let mut handles = Vec::new();
     for t in 0..THREADS {
@@ -80,8 +82,7 @@ fn concurrent_queue_histories_are_linearizable() {
         let pool = Arc::new(PmemPool::new(PoolCfg::model(128 << 20)));
         let q = tracking::RecoverableQueue::new(pool.clone(), 0);
         let clock = Arc::new(Clock::new());
-        let events: Arc<Mutex<Vec<(QueueOp, QueueRet, u64, u64)>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        let events: EventLog<QueueOp, QueueRet> = Arc::new(Mutex::new(Vec::new()));
         let barrier = Arc::new(Barrier::new(THREADS));
         let mut handles = Vec::new();
         for t in 0..THREADS {
@@ -99,7 +100,7 @@ fn concurrent_queue_histories_are_linearizable() {
                 for i in 0..OPS_PER_THREAD {
                     let r = rng.next();
                     let inv = clock.now();
-                    let (op, ret) = if r % 2 == 0 {
+                    let (op, ret) = if r.is_multiple_of(2) {
                         let v = (t * 100 + i) as u64; // unique values
                         q.enqueue(&ctx, v);
                         (QueueOp::Enqueue(v), QueueRet::Enqueued)
@@ -168,7 +169,11 @@ fn set_histories_spanning_crashes_are_linearizable() {
                 };
                 let res = clock.now();
                 hist.record(
-                    if is_insert { SetOp::Insert(key) } else { SetOp::Delete(key) },
+                    if is_insert {
+                        SetOp::Insert(key)
+                    } else {
+                        SetOp::Delete(key)
+                    },
                     ret,
                     inv,
                     res,

@@ -44,7 +44,7 @@ fn crash_storm(kind: AlgoKind) {
             let stop = stop.clone();
             handles.push(std::thread::spawn(move || {
                 let ctx = ThreadCtx::new(pool.clone(), t);
-                let mut rng = Rng((round as u64) << 32 | (t as u64 + 1) * 0x9E37);
+                let mut rng = Rng(((round as u64) << 32) | ((t as u64 + 1) * 0x9E37));
                 barrier.wait();
                 loop {
                     if stop.load(Ordering::Relaxed) && !pool.crash_ctl().raised() {
@@ -81,11 +81,15 @@ fn crash_storm(kind: AlgoKind) {
         std::thread::sleep(std::time::Duration::from_millis(30));
         pool.crash_ctl().raise();
         stop.store(true, Ordering::Relaxed);
-        let outcomes: Vec<(ThreadCtx, Pending)> =
-            handles.into_iter().map(|h| h.join().expect("worker died")).collect();
+        let outcomes: Vec<(ThreadCtx, Pending)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker died"))
+            .collect();
 
         // All threads are stopped: resolve the crash and recover.
-        pool.crash(&mut SeededAdversary::new((round as u64 + 1) * 0xDEAD_BEEF | 1));
+        pool.crash(&mut SeededAdversary::new(
+            ((round as u64 + 1) * 0xDEAD_BEEF) | 1,
+        ));
         algo.recover_structure();
         for (ctx, pending) in &outcomes {
             match *pending {
@@ -94,7 +98,11 @@ fn crash_storm(kind: AlgoKind) {
                 Pending::Delete(key) => tally.delete(key, algo.recover_delete(ctx, key)),
             }
         }
-        tally.check(&*algo, &main_ctx, &format!("{kind:?} after crash round {round}"));
+        tally.check(
+            &*algo,
+            &main_ctx,
+            &format!("{kind:?} after crash round {round}"),
+        );
     }
 
     // The structure must still be fully operational after all the storms.

@@ -77,9 +77,11 @@ fn queue_storm() {
         std::thread::sleep(std::time::Duration::from_millis(25));
         pool.crash_ctl().raise();
         stop.store(true, Ordering::Relaxed);
-        let outcomes: Vec<(ThreadCtx, Pending)> =
-            handles.into_iter().map(|h| h.join().expect("worker died")).collect();
-        pool.crash(&mut SeededAdversary::new((round as u64 + 1) * 7919 | 1));
+        let outcomes: Vec<(ThreadCtx, Pending)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker died"))
+            .collect();
+        pool.crash(&mut SeededAdversary::new(((round as u64 + 1) * 7919) | 1));
         for (ctx, pending) in &outcomes {
             match *pending {
                 Pending::None => {}
@@ -100,8 +102,7 @@ fn queue_storm() {
             assert!(seen.insert(*v), "round {round}: value {v:#x} duplicated");
         }
         assert_eq!(
-            seen,
-            produced_now,
+            seen, produced_now,
             "round {round}: consumed+inside must equal produced exactly"
         );
     }
@@ -165,13 +166,15 @@ fn stack_survives_crash_storms_exactly_once() {
         std::thread::sleep(std::time::Duration::from_millis(25));
         pool.crash_ctl().raise();
         stop.store(true, Ordering::Relaxed);
-        let outcomes: Vec<(ThreadCtx, Pending)> =
-            handles.into_iter().map(|h| h.join().expect("worker died")).collect();
-        pool.crash(&mut SeededAdversary::new((round as u64 + 1) * 104729 | 1));
+        let outcomes: Vec<(ThreadCtx, Pending)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker died"))
+            .collect();
+        pool.crash(&mut SeededAdversary::new(((round as u64 + 1) * 104729) | 1));
         for (ctx, pending) in &outcomes {
             match *pending {
                 Pending::None => {}
-                Pending::Enq(v) => s.recover_push(ctx, *&v),
+                Pending::Enq(v) => s.recover_push(ctx, v),
                 Pending::Deq => {
                     if let Some(v) = s.recover_pop(ctx) {
                         consumed.lock().unwrap().push(v);
@@ -186,7 +189,10 @@ fn stack_survives_crash_storms_exactly_once() {
         for v in consumed_now.iter().chain(inside.iter()) {
             assert!(seen.insert(*v), "round {round}: value {v:#x} duplicated");
         }
-        assert_eq!(seen, produced_now, "round {round}: consumed+inside != produced");
+        assert_eq!(
+            seen, produced_now,
+            "round {round}: consumed+inside != produced"
+        );
     }
 }
 

@@ -62,7 +62,10 @@ fn recovery_of_completed_op_is_idempotent() {
         let ctx = ThreadCtx::new(pool.clone(), 0);
         assert!(algo.insert(&ctx, 9));
         for _ in 0..5 {
-            assert!(algo.recover_insert(&ctx, 9), "{kind:?}: must replay the response");
+            assert!(
+                algo.recover_insert(&ctx, 9),
+                "{kind:?}: must replay the response"
+            );
             assert_eq!(algo.len(), 1, "{kind:?}: must not re-execute the insert");
         }
         assert!(algo.delete(&ctx, 9));
@@ -82,10 +85,16 @@ fn recovery_with_clean_checkpoint_reinvokes() {
         let ctx = ThreadCtx::new(pool.clone(), 0);
         // CP_q = 0, RD_q = initial: a crash fell before the op started.
         ctx.begin_op(SiteId(0));
-        assert!(algo.recover_insert(&ctx, 4), "{kind:?}: re-invoked insert succeeds");
+        assert!(
+            algo.recover_insert(&ctx, 4),
+            "{kind:?}: re-invoked insert succeeds"
+        );
         assert_eq!(algo.len(), 1, "{kind:?}");
         ctx.begin_op(SiteId(0));
-        assert!(algo.recover_delete(&ctx, 4), "{kind:?}: re-invoked delete succeeds");
+        assert!(
+            algo.recover_delete(&ctx, 4),
+            "{kind:?}: re-invoked delete succeeds"
+        );
         assert_eq!(algo.len(), 0, "{kind:?}");
     }
 }
