@@ -107,6 +107,75 @@ impl AlgoKind {
     }
 }
 
+/// The recoverable structure shapes the crash sweep verifies.
+///
+/// The set shapes (`List`, `Bst`) go through the [`SetAlgo`] adapters built
+/// by [`build`]; the non-set shapes are the Tracking-only structures
+/// (`tracking::RecoverableQueue` / `RecoverableStack` /
+/// `RecoverableExchanger`), whose recovery entry points
+/// (`recover_enqueue`, `recover_pop`, `recover_exchange`, …) the sweep
+/// engine drives directly.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StructureKind {
+    /// Sorted linked-list set (the paper's running example, §4).
+    List,
+    /// External binary search tree set (§6).
+    Bst,
+    /// Durable FIFO queue.
+    Queue,
+    /// Durable LIFO stack.
+    Stack,
+    /// Durable elimination exchanger.
+    Exchanger,
+}
+
+impl StructureKind {
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<StructureKind> {
+        Some(match s {
+            "list" => StructureKind::List,
+            "bst" => StructureKind::Bst,
+            "queue" => StructureKind::Queue,
+            "stack" => StructureKind::Stack,
+            "exchanger" => StructureKind::Exchanger,
+            _ => return None,
+        })
+    }
+
+    /// CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StructureKind::List => "list",
+            StructureKind::Bst => "bst",
+            StructureKind::Queue => "queue",
+            StructureKind::Stack => "stack",
+            StructureKind::Exchanger => "exchanger",
+        }
+    }
+
+    /// Every shape, in sweep order.
+    pub fn all() -> [StructureKind; 5] {
+        [
+            StructureKind::List,
+            StructureKind::Bst,
+            StructureKind::Queue,
+            StructureKind::Stack,
+            StructureKind::Exchanger,
+        ]
+    }
+
+    /// The algorithms a sweep of this shape covers: every list competitor
+    /// for `List`, the Tracking implementation only for the shapes that
+    /// exist solely as Tracking structures.
+    pub fn lineup(self) -> Vec<AlgoKind> {
+        match self {
+            StructureKind::List => AlgoKind::paper_lineup().to_vec(),
+            StructureKind::Bst => vec![AlgoKind::TrackingBst],
+            _ => vec![AlgoKind::Tracking],
+        }
+    }
+}
+
 struct TrackingAdapter(tracking::RecoverableList);
 
 impl SetAlgo for TrackingAdapter {

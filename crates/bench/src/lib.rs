@@ -14,8 +14,15 @@
 //!   protocol, including the paper's pwb-categorization methodology
 //!   (persistence-free baseline → single-site impact → L/M/H classes →
 //!   category add/remove sweeps);
+//! * [`sweep`] — the exhaustive crash-sweep verification engine: crash a
+//!   scripted workload at every instrumented persistence event, then check
+//!   detectability and durable linearizability of the recovered state
+//!   against the [`linearize`] specifications;
 //! * `bin/figures` — the CLI that writes one CSV per figure into
-//!   `results/`.
+//!   `results/`;
+//! * `bin/crashsweep` — the CLI driving [`sweep`] over the full
+//!   structure × algorithm matrix, writing one CSV per pair into
+//!   `results/crashsweep/`.
 //!
 //! Numbers are *shapes*, not absolutes: the substrate is simulated NVMM
 //! over DRAM (`clflush`/`sfence`) and this container exposes a single CPU,
@@ -27,7 +34,9 @@
 pub mod adapter;
 pub mod csv;
 pub mod figures;
+pub mod sweep;
 pub mod workload;
 
-pub use adapter::{build, AlgoKind, SetAlgo};
+pub use adapter::{build, AlgoKind, SetAlgo, StructureKind};
+pub use sweep::{run_sweep, SweepCfg, SweepReport};
 pub use workload::{run, Mix, RunCfg, RunResult};

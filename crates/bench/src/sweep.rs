@@ -1,0 +1,926 @@
+//! Exhaustive crash-sweep verification: crash a scripted workload at
+//! *every* instrumented persistence event and check both of the paper's
+//! correctness obligations at each point.
+//!
+//! The engine turns the ad-hoc sweeps of the integration tests into a
+//! systematic, reportable harness. One sweep of a `(structure, algorithm)`
+//! pair proceeds in three phases:
+//!
+//! 1. **Count.** Run the deterministic scripted workload once, crash-free,
+//!    on a traced pool ([`pmem::PoolCfg::trace`]). Every instrumented
+//!    primitive records exactly one trace event and consumes exactly one
+//!    crash-countdown tick, so [`pmem::TraceSnapshot::total`] is the exact
+//!    number `N` of possible crash points.
+//! 2. **Sweep.** For each `k ∈ [0, N)` (optionally sharded or sampled):
+//!    rebuild the structure in a fresh pool, arm
+//!    [`pmem::CrashCtl::arm_after`]`(k)`, and replay the script under
+//!    [`pmem::run_crashable`]. The injected [`pmem::CrashPoint`] unwinds
+//!    mid-operation; the harness then resolves the crash model
+//!    ([`pmem::PmemPool::crash`] under a configurable adversary), runs the
+//!    algorithm's recovery entry points, and checks:
+//!    * **detectability** — the recovered response equals the response the
+//!      crashed operation *must* produce per the sequential model (the
+//!      operation took effect exactly once, and the thread can tell), and
+//!    * **durable linearizability** — the pre-crash responses, the
+//!      recovered response, and a post-recovery read-only observation phase
+//!      form one linearizable history of the [`linearize`] specification,
+//!      with the structure's quiescent state matching the model.
+//! 3. **Minimize.** If any point failed, the smallest failing `k` is
+//!    re-run on a traced pool and the last events before the injection are
+//!    rendered (with [`pmem::PmemPool::site_name`] attribution) into a
+//!    [`FailureReport`] — the exact store/flush window a debugging session
+//!    needs.
+//!
+//! A crash may also land *inside* [`pmem::ThreadCtx::begin_op`] — the
+//! system's `CP_q := 0` prologue, before the operation body touched the
+//! structure. Recovery functions are only specified for crashes after the
+//! prologue (they consult `RD_q`, which still describes the *previous*
+//! operation), so the harness plays the recovering system faithfully: it
+//! re-issues the prologue and invokes the operation fresh rather than
+//! calling `recover_*`.
+//!
+//! The workload scripts are deterministic functions of the sweep seed, so
+//! the count and every replay observe the identical event stream, and a
+//! failing `k` reproduces exactly. The `crashsweep` binary drives this
+//! engine over the full structure × algorithm matrix and writes one CSV per
+//! pair under `results/crashsweep/`.
+
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+use linearize::{
+    History, QueueOp, QueueRet, QueueSpec, SetOp, SetSpec, Spec, StackOp, StackRet, StackSpec,
+};
+use pmem::{
+    run_crashable, CrashAdversary, PessimistAdversary, PmemPool, PoolCfg, SeededAdversary, SiteId,
+    ThreadCtx,
+};
+use tracking::{RecoverableExchanger, RecoverableQueue, RecoverableStack};
+
+use crate::adapter::{build, AlgoKind, SetAlgo, StructureKind};
+use crate::csv::Csv;
+
+/// Key universe of the set scripts (kept far below the [`SetSpec`] bitmap's
+/// 64-key ceiling so the observation phase stays cheap).
+pub const SET_KEYS: u64 = 12;
+
+/// Threads parameter passed to [`build`] (sizes per-thread tables of the
+/// algorithms that need them; the sweep itself is single-threaded so the
+/// interleaving is deterministic and the model unambiguous).
+const SWEEP_THREADS: usize = 2;
+
+/// Crash adversary applied when resolving each injected crash.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// [`PessimistAdversary`]: every unflushed line reverts — maximal loss,
+    /// the strongest durability obligation, fully deterministic.
+    Pessimist,
+    /// [`SeededAdversary`] reseeded per crash point: each line
+    /// independently survives or reverts, covering partial-loss interleavings.
+    Seeded,
+}
+
+impl AdversaryKind {
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<AdversaryKind> {
+        Some(match s {
+            "pessimist" => AdversaryKind::Pessimist,
+            "seeded" => AdversaryKind::Seeded,
+            _ => return None,
+        })
+    }
+
+    /// CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdversaryKind::Pessimist => "pessimist",
+            AdversaryKind::Seeded => "seeded",
+        }
+    }
+
+    fn instantiate(self, k: u64, seed: u64) -> Box<dyn CrashAdversary> {
+        match self {
+            AdversaryKind::Pessimist => Box::new(PessimistAdversary),
+            AdversaryKind::Seeded => Box::new(SeededAdversary::new(
+                splitmix64(seed ^ k.wrapping_mul(0x9E37_79B9)) | 1,
+            )),
+        }
+    }
+}
+
+/// Configuration of one sweep (one structure × algorithm pair).
+#[derive(Clone, Debug)]
+pub struct SweepCfg {
+    /// Which structure shape to sweep.
+    pub structure: StructureKind,
+    /// Which implementation (only meaningful for the set shapes; the
+    /// queue/stack/exchanger shapes exist only as Tracking structures).
+    pub algo: AlgoKind,
+    /// Seed for the workload script, sampling, and the seeded adversary.
+    pub seed: u64,
+    /// This shard's index in `[0, shard_count)`.
+    pub shard_index: u64,
+    /// Number of shards splitting the crash points (`k % shard_count ==
+    /// shard_index` selects this shard's points). `1` = run everything.
+    pub shard_count: u64,
+    /// Probability of running each crash point (`1.0` = exhaustive).
+    /// Selection is a deterministic function of `(seed, k)`.
+    pub sample: f64,
+    /// Crash adversary.
+    pub adversary: AdversaryKind,
+    /// Pool size for each replay.
+    pub pool_bytes: usize,
+    /// Number of operations in the scripted workload.
+    pub script_len: usize,
+    /// Events rendered around a minimized failure.
+    pub trace_tail: usize,
+}
+
+impl SweepCfg {
+    /// Defaults for a pair: exhaustive, single shard, pessimist adversary.
+    pub fn new(structure: StructureKind, algo: AlgoKind) -> SweepCfg {
+        SweepCfg {
+            structure,
+            algo,
+            seed: 0xC0FF_EE11,
+            shard_index: 0,
+            shard_count: 1,
+            sample: 1.0,
+            adversary: AdversaryKind::Pessimist,
+            pool_bytes: 64 << 20,
+            script_len: 12,
+            trace_tail: 14,
+        }
+    }
+}
+
+/// Outcome of one crash point.
+#[derive(Clone, Debug)]
+pub struct PointOutcome {
+    /// The armed crash point (`k` events survived, event `k` crashed).
+    pub k: u64,
+    /// Index of the operation the crash interrupted.
+    pub op_index: usize,
+    /// Rendered operation (`Insert(7)`, `Dequeue`, …).
+    pub op: String,
+    /// Whether the armed crash actually fired. `false` before the end of a
+    /// sweep means the replay diverged from the count run — itself a
+    /// verification failure (non-deterministic event stream).
+    pub crashed: bool,
+    /// Did the recovered response match the sequential model?
+    pub detect_ok: bool,
+    /// Did the full history linearize and the quiescent state check out?
+    pub durable_ok: bool,
+    /// Failure detail (empty when the point passed).
+    pub note: String,
+    /// Rendered trace window (traced re-runs only).
+    pub trace_tail: Vec<String>,
+}
+
+impl PointOutcome {
+    /// Did this crash point pass both obligations?
+    pub fn ok(&self) -> bool {
+        self.crashed && self.detect_ok && self.durable_ok
+    }
+}
+
+/// The minimized description of the first (smallest-`k`) failing point.
+#[derive(Clone, Debug)]
+pub struct FailureReport {
+    /// Smallest failing crash point.
+    pub k: u64,
+    /// Interrupted operation index.
+    pub op_index: usize,
+    /// Rendered interrupted operation.
+    pub op: String,
+    /// What went wrong.
+    pub detail: String,
+    /// The last trace events before the injection, site-attributed.
+    pub trace_tail: Vec<String>,
+}
+
+impl FailureReport {
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "minimized failure: k={} interrupts op[{}] = {}\n  {}\n  last events before the crash:\n",
+            self.k, self.op_index, self.op, self.detail
+        );
+        for line in &self.trace_tail {
+            out.push_str("    ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Result of one full sweep.
+pub struct SweepReport {
+    /// The configuration that produced this report.
+    pub cfg: SweepCfg,
+    /// Total instrumented events `N` of the crash-free script.
+    pub total_events: u64,
+    /// Crash points actually replayed.
+    pub points_run: u64,
+    /// Crash points skipped by sharding/sampling.
+    pub points_skipped: u64,
+    /// Every failing point, ascending by `k`.
+    pub violations: Vec<PointOutcome>,
+    /// Minimized first failure (when any point failed).
+    pub first_failure: Option<FailureReport>,
+    /// Per-point CSV (one row per replayed point).
+    pub csv: Csv,
+}
+
+impl SweepReport {
+    /// Did every replayed point pass?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line console summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<9} {:<22} events={:<5} run={:<5} skipped={:<5} violations={} {}",
+            self.cfg.structure.name(),
+            self.cfg.algo.name(),
+            self.total_events,
+            self.points_run,
+            self.points_skipped,
+            self.violations.len(),
+            if self.ok() { "OK" } else { "FAIL" },
+        )
+    }
+}
+
+// ---------------------------------------------------------------- scripts
+
+/// xorshift64* — the same tiny deterministic generator the integration
+/// tests use; reproduced here so `bench` stays dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic membership test for `--sample p`.
+fn sampled(seed: u64, k: u64, p: f64) -> bool {
+    let r = splitmix64(seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    ((r >> 11) as f64 / (1u64 << 53) as f64) < p
+}
+
+fn set_script(seed: u64, len: usize) -> Vec<SetOp> {
+    let mut rng = Rng(splitmix64(seed) | 1);
+    (0..len)
+        .map(|_| {
+            let r = rng.next();
+            let key = r % SET_KEYS + 1;
+            match (r >> 32) % 8 {
+                0..=3 => SetOp::Insert(key),
+                4..=6 => SetOp::Delete(key),
+                _ => SetOp::Find(key),
+            }
+        })
+        .collect()
+}
+
+fn queue_script(seed: u64, len: usize) -> Vec<QueueOp> {
+    let mut rng = Rng(splitmix64(seed) | 1);
+    let mut next = 100;
+    (0..len)
+        .map(|_| {
+            if rng.next() % 5 < 3 {
+                next += 1;
+                QueueOp::Enqueue(next)
+            } else {
+                QueueOp::Dequeue
+            }
+        })
+        .collect()
+}
+
+fn stack_script(seed: u64, len: usize) -> Vec<StackOp> {
+    let mut rng = Rng(splitmix64(seed) | 1);
+    let mut next = 200;
+    (0..len)
+        .map(|_| {
+            if rng.next() % 5 < 3 {
+                next += 1;
+                StackOp::Push(next)
+            } else {
+                StackOp::Pop
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- subjects
+
+/// One recoverable structure under test, described by its sequential
+/// specification. `exec` is the post-prologue operation body (the harness
+/// issues [`ThreadCtx::begin_op`] itself, so a crash inside the prologue is
+/// a distinct, covered case); `recover` is the matching `*.Recover`
+/// function; `observe` runs the post-recovery read-only phase, appending
+/// what it sees to the history and checking quiescent structural
+/// invariants.
+trait CrashSubject {
+    type S: Spec + Default;
+
+    fn exec(&self, ctx: &ThreadCtx, op: &<Self::S as Spec>::Op) -> <Self::S as Spec>::Ret;
+    fn recover(&self, ctx: &ThreadCtx, op: &<Self::S as Spec>::Op) -> <Self::S as Spec>::Ret;
+    fn recover_structure(&self) {}
+    fn observe(&self, ctx: &ThreadCtx, h: &mut History<Self::S>) -> Result<(), String>;
+}
+
+struct SetSubject {
+    algo: Arc<dyn SetAlgo>,
+}
+
+impl CrashSubject for SetSubject {
+    type S = SetSpec;
+
+    fn exec(&self, ctx: &ThreadCtx, op: &SetOp) -> bool {
+        match *op {
+            SetOp::Insert(k) => self.algo.insert_started(ctx, k),
+            SetOp::Delete(k) => self.algo.delete_started(ctx, k),
+            SetOp::Find(k) => self.algo.find(ctx, k),
+        }
+    }
+
+    fn recover(&self, ctx: &ThreadCtx, op: &SetOp) -> bool {
+        match *op {
+            SetOp::Insert(k) => self.algo.recover_insert(ctx, k),
+            SetOp::Delete(k) => self.algo.recover_delete(ctx, k),
+            SetOp::Find(k) => self.algo.recover_find(ctx, k),
+        }
+    }
+
+    fn recover_structure(&self) {
+        self.algo.recover_structure();
+    }
+
+    fn observe(&self, ctx: &ThreadCtx, h: &mut History<SetSpec>) -> Result<(), String> {
+        let mut present = 0usize;
+        for key in 1..=SET_KEYS {
+            let found = self.algo.find(ctx, key);
+            present += found as usize;
+            let t = h.invoke(0, SetOp::Find(key));
+            h.ret(t, found);
+        }
+        let len = self.algo.len();
+        if len != present {
+            return Err(format!(
+                "structural check: len() = {len} but {present} keys answer find"
+            ));
+        }
+        Ok(())
+    }
+}
+
+struct QueueSubject {
+    q: RecoverableQueue,
+}
+
+impl CrashSubject for QueueSubject {
+    type S = QueueSpec;
+
+    fn exec(&self, ctx: &ThreadCtx, op: &QueueOp) -> QueueRet {
+        match *op {
+            QueueOp::Enqueue(v) => {
+                self.q.enqueue_started(ctx, v);
+                QueueRet::Enqueued
+            }
+            QueueOp::Dequeue => QueueRet::Dequeued(self.q.dequeue_started(ctx)),
+        }
+    }
+
+    fn recover(&self, ctx: &ThreadCtx, op: &QueueOp) -> QueueRet {
+        match *op {
+            QueueOp::Enqueue(v) => {
+                self.q.recover_enqueue(ctx, v);
+                QueueRet::Enqueued
+            }
+            QueueOp::Dequeue => QueueRet::Dequeued(self.q.recover_dequeue(ctx)),
+        }
+    }
+
+    fn observe(&self, ctx: &ThreadCtx, h: &mut History<QueueSpec>) -> Result<(), String> {
+        // Drain: each dequeue is a real recorded operation, ending with the
+        // observation that the queue is empty.
+        let cap = self.q.len() + 1;
+        for _ in 0..cap {
+            let v = self.q.dequeue(ctx);
+            let t = h.invoke(0, QueueOp::Dequeue);
+            h.ret(t, QueueRet::Dequeued(v));
+            if v.is_none() {
+                break;
+            }
+        }
+        if !self.q.is_empty() {
+            return Err("structural check: queue not empty after drain".into());
+        }
+        Ok(())
+    }
+}
+
+struct StackSubject {
+    s: RecoverableStack,
+}
+
+impl CrashSubject for StackSubject {
+    type S = StackSpec;
+
+    fn exec(&self, ctx: &ThreadCtx, op: &StackOp) -> StackRet {
+        match *op {
+            StackOp::Push(v) => {
+                self.s.push_started(ctx, v);
+                StackRet::Pushed
+            }
+            StackOp::Pop => StackRet::Popped(self.s.pop_started(ctx)),
+        }
+    }
+
+    fn recover(&self, ctx: &ThreadCtx, op: &StackOp) -> StackRet {
+        match *op {
+            StackOp::Push(v) => {
+                self.s.recover_push(ctx, v);
+                StackRet::Pushed
+            }
+            StackOp::Pop => StackRet::Popped(self.s.recover_pop(ctx)),
+        }
+    }
+
+    fn observe(&self, ctx: &ThreadCtx, h: &mut History<StackSpec>) -> Result<(), String> {
+        let cap = self.s.len() + 1;
+        for _ in 0..cap {
+            let v = self.s.pop(ctx);
+            let t = h.invoke(0, StackOp::Pop);
+            h.ret(t, StackRet::Popped(v));
+            if v.is_none() {
+                break;
+            }
+        }
+        if !self.s.is_empty() {
+            return Err("structural check: stack not empty after drain".into());
+        }
+        Ok(())
+    }
+}
+
+/// A lone thread can never meet a partner, so every exchange must complete
+/// unmatched (`None`) and leave the slot free — which is exactly what a
+/// detectably-recovered exchange must also conclude after a crash.
+#[derive(Clone, Default)]
+struct ExchangeSpec;
+
+impl Spec for ExchangeSpec {
+    type Op = u64;
+    type Ret = Option<u64>;
+    type Digest = ();
+
+    fn apply(&mut self, _op: &u64) -> Option<u64> {
+        None
+    }
+
+    fn digest(&self) {}
+}
+
+/// Spin budget for exchanger ops (small: keeps the event count per op, and
+/// therefore the sweep, short while still exercising the wait loop).
+const EXCHANGE_SPIN: usize = 6;
+
+struct ExchangerSubject {
+    x: RecoverableExchanger,
+}
+
+impl CrashSubject for ExchangerSubject {
+    type S = ExchangeSpec;
+
+    fn exec(&self, ctx: &ThreadCtx, op: &u64) -> Option<u64> {
+        self.x.exchange_started(ctx, *op, EXCHANGE_SPIN)
+    }
+
+    fn recover(&self, ctx: &ThreadCtx, op: &u64) -> Option<u64> {
+        self.x.recover_exchange(ctx, *op, EXCHANGE_SPIN)
+    }
+
+    fn observe(&self, _ctx: &ThreadCtx, _h: &mut History<ExchangeSpec>) -> Result<(), String> {
+        if !self.x.is_free() {
+            return Err("structural check: exchanger slot not free after recovery".into());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- engine
+
+fn pool_for(cfg: &SweepCfg, traced: bool) -> Arc<PmemPool> {
+    let base = PoolCfg::model(cfg.pool_bytes);
+    Arc::new(PmemPool::new(if traced {
+        PoolCfg {
+            trace: true,
+            trace_capacity: 4096,
+            ..base
+        }
+    } else {
+        base
+    }))
+}
+
+/// Object-safe face of one generic [`CaseRunner`].
+trait Case {
+    fn count_events(&self, cfg: &SweepCfg) -> u64;
+    fn run_point(&self, cfg: &SweepCfg, k: u64, traced: bool) -> PointOutcome;
+}
+
+struct CaseRunner<Sub: CrashSubject, B> {
+    script: Vec<<<Sub as CrashSubject>::S as Spec>::Op>,
+    build: B,
+}
+
+impl<Sub, B> CaseRunner<Sub, B>
+where
+    Sub: CrashSubject,
+    B: Fn(bool) -> (Arc<PmemPool>, Sub, ThreadCtx),
+{
+    /// The shared script loop — identical in the count run and every
+    /// replay, so tick streams line up exactly. `progress` tracks
+    /// `(op index, past-the-prologue)`; `responses` collects completed ops.
+    fn run_script(
+        &self,
+        sub: &Sub,
+        ctx: &ThreadCtx,
+        progress: &Cell<(usize, bool)>,
+        responses: &RefCell<Vec<<Sub::S as Spec>::Ret>>,
+    ) {
+        for (i, op) in self.script.iter().enumerate() {
+            progress.set((i, false));
+            ctx.begin_op(SiteId(0));
+            progress.set((i, true));
+            let r = sub.exec(ctx, op);
+            responses.borrow_mut().push(r);
+        }
+    }
+}
+
+impl<Sub, B> Case for CaseRunner<Sub, B>
+where
+    Sub: CrashSubject,
+    B: Fn(bool) -> (Arc<PmemPool>, Sub, ThreadCtx),
+{
+    fn count_events(&self, _cfg: &SweepCfg) -> u64 {
+        let (pool, sub, ctx) = (self.build)(true);
+        pool.trace_clear(); // constructor events are not crash points
+        let progress = Cell::new((0, false));
+        let responses = RefCell::new(Vec::new());
+        self.run_script(&sub, &ctx, &progress, &responses);
+        pool.trace_snapshot().total()
+    }
+
+    fn run_point(&self, cfg: &SweepCfg, k: u64, traced: bool) -> PointOutcome {
+        let (pool, sub, ctx) = (self.build)(traced);
+        pool.trace_clear();
+        pool.crash_ctl().arm_after(k);
+        let progress = Cell::new((0, false));
+        let responses = RefCell::new(Vec::new());
+        let done = run_crashable(|| self.run_script(&sub, &ctx, &progress, &responses));
+        pool.crash_ctl().disarm();
+        let trace_tail = if traced {
+            render_tail(&pool, cfg.trace_tail)
+        } else {
+            Vec::new()
+        };
+
+        let (j, past_prologue) = progress.get();
+        let mut outcome = PointOutcome {
+            k,
+            op_index: j,
+            op: format!("{:?}", self.script[j]),
+            crashed: done.is_none(),
+            detect_ok: true,
+            durable_ok: true,
+            note: String::new(),
+            trace_tail,
+        };
+        if done.is_some() {
+            // The count said event k exists, yet the replay finished: the
+            // event stream diverged between runs. Report, don't recover.
+            outcome.note = "replay completed without reaching the armed crash point".into();
+            return outcome;
+        }
+
+        pool.crash(&mut *cfg.adversary.instantiate(k, cfg.seed));
+        sub.recover_structure();
+
+        // Ground truth: the sequential model over the completed prefix; the
+        // interrupted operation must take effect exactly once.
+        let mut model = Sub::S::default();
+        for op in &self.script[..j] {
+            model.apply(op);
+        }
+        let expected = model.apply(&self.script[j]);
+
+        let actual = if past_prologue {
+            sub.recover(&ctx, &self.script[j])
+        } else {
+            // Crash inside begin_op: RD_q still describes the previous
+            // operation, so `recover` would resolve the wrong op. The
+            // system re-invokes from the prologue instead (see module docs).
+            ctx.begin_op(SiteId(0));
+            sub.exec(&ctx, &self.script[j])
+        };
+        if actual != expected {
+            outcome.detect_ok = false;
+            outcome.note = format!(
+                "detectability: recovered response {:?}, sequential model says {:?}; ",
+                actual, expected
+            );
+        }
+
+        // Durable linearizability: completed prefix + recovered op +
+        // post-recovery observation must linearize from the empty state.
+        let mut h: History<Sub::S> = History::new();
+        for (op, r) in self.script[..j].iter().zip(responses.borrow().iter()) {
+            let t = h.invoke(0, op.clone());
+            h.ret(t, r.clone());
+        }
+        let t = h.invoke(0, self.script[j].clone());
+        h.ret(t, actual);
+        let structural = sub.observe(&ctx, &mut h);
+        let lin = h.check(Sub::S::default());
+        if structural.is_err() || lin.is_err() {
+            outcome.durable_ok = false;
+            if let Err(e) = structural {
+                outcome.note.push_str(&e);
+                outcome.note.push_str("; ");
+            }
+            if let Err(e) = lin {
+                outcome.note.push_str("not linearizable: ");
+                outcome.note.push_str(&e);
+            }
+        }
+        outcome
+    }
+}
+
+fn render_tail(pool: &PmemPool, n: usize) -> Vec<String> {
+    let snap = pool.trace_snapshot();
+    let start = snap.events.len().saturating_sub(n);
+    snap.events[start..]
+        .iter()
+        .map(|e| {
+            let site = if e.site == pmem::NO_SITE {
+                String::new()
+            } else {
+                match pool.site_name(SiteId(e.site)) {
+                    Some(name) => format!("  site {} ({})", e.site, name),
+                    None => format!("  site {}", e.site),
+                }
+            };
+            format!(
+                "seq {:>6}  t{} {:<8} line {:>5} word {:>7} {}{}",
+                e.seq,
+                e.tid,
+                e.kind.label(),
+                e.line,
+                e.addr,
+                if e.dirty { "dirty" } else { "clean" },
+                site,
+            )
+        })
+        .collect()
+}
+
+fn make_case(cfg: &SweepCfg) -> Box<dyn Case> {
+    let c = cfg.clone();
+    match cfg.structure {
+        StructureKind::List | StructureKind::Bst => Box::new(CaseRunner {
+            script: set_script(cfg.seed, cfg.script_len),
+            build: move |traced| {
+                let pool = pool_for(&c, traced);
+                let algo = build(c.algo, pool.clone(), SWEEP_THREADS, SET_KEYS + 4);
+                pool.register_site_names(algo.sites());
+                let ctx = ThreadCtx::new(pool.clone(), 0);
+                (pool, SetSubject { algo }, ctx)
+            },
+        }),
+        StructureKind::Queue => Box::new(CaseRunner {
+            script: queue_script(cfg.seed, cfg.script_len),
+            build: move |traced| {
+                let pool = pool_for(&c, traced);
+                pool.register_site_names(&tracking::sites::SITES);
+                let q = RecoverableQueue::new(pool.clone(), 0);
+                let ctx = ThreadCtx::new(pool.clone(), 0);
+                (pool, QueueSubject { q }, ctx)
+            },
+        }),
+        StructureKind::Stack => Box::new(CaseRunner {
+            script: stack_script(cfg.seed, cfg.script_len),
+            build: move |traced| {
+                let pool = pool_for(&c, traced);
+                pool.register_site_names(&tracking::sites::SITES);
+                let s = RecoverableStack::new(pool.clone(), 0);
+                let ctx = ThreadCtx::new(pool.clone(), 0);
+                (pool, StackSubject { s }, ctx)
+            },
+        }),
+        StructureKind::Exchanger => Box::new(CaseRunner {
+            script: vec![101, 202],
+            build: move |traced| {
+                let pool = pool_for(&c, traced);
+                pool.register_site_names(&tracking::sites::SITES);
+                let x = RecoverableExchanger::new(pool.clone(), 0);
+                let ctx = ThreadCtx::new(pool.clone(), 0);
+                (pool, ExchangerSubject { x }, ctx)
+            },
+        }),
+    }
+}
+
+fn file_slug(s: &str) -> String {
+    s.chars()
+        .map(|ch| {
+            if ch.is_ascii_alphanumeric() {
+                ch.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// Runs one full sweep per [`SweepCfg`] and returns its report.
+pub fn run_sweep(cfg: &SweepCfg) -> SweepReport {
+    let case = make_case(cfg);
+    let total_events = case.count_events(cfg);
+    let mut csv = Csv::new(
+        &format!("{}_{}", cfg.structure.name(), file_slug(cfg.algo.name())),
+        &[
+            "k",
+            "op_index",
+            "op",
+            "crashed",
+            "detect_ok",
+            "durable_ok",
+            "note",
+        ],
+    );
+    let mut violations = Vec::new();
+    let (mut points_run, mut points_skipped) = (0u64, 0u64);
+    for k in 0..total_events {
+        let in_shard = cfg.shard_count <= 1 || k % cfg.shard_count == cfg.shard_index;
+        if !in_shard || (cfg.sample < 1.0 && !sampled(cfg.seed, k, cfg.sample)) {
+            points_skipped += 1;
+            continue;
+        }
+        let p = case.run_point(cfg, k, false);
+        csv.push(&[
+            k.to_string(),
+            p.op_index.to_string(),
+            p.op.clone(),
+            p.crashed.to_string(),
+            p.detect_ok.to_string(),
+            p.durable_ok.to_string(),
+            csv_escape(&p.note),
+        ]);
+        points_run += 1;
+        if !p.ok() {
+            violations.push(p);
+        }
+    }
+    let first_failure = violations.first().map(|worst| {
+        let traced = case.run_point(cfg, worst.k, true);
+        FailureReport {
+            k: worst.k,
+            op_index: worst.op_index,
+            op: worst.op.clone(),
+            detail: if worst.note.is_empty() {
+                "replay diverged".into()
+            } else {
+                worst.note.clone()
+            },
+            trace_tail: traced.trace_tail,
+        }
+    });
+    SweepReport {
+        cfg: cfg.clone(),
+        total_events,
+        points_run,
+        points_skipped,
+        violations,
+        first_failure,
+        csv,
+    }
+}
+
+/// Keeps failure notes inside one CSV cell.
+fn csv_escape(s: &str) -> String {
+    s.replace(',', ";").replace('\n', " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_deterministic_and_bounded() {
+        let a = set_script(42, 12);
+        let b = set_script(42, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, set_script(43, 12));
+        for op in &a {
+            let (SetOp::Insert(k) | SetOp::Delete(k) | SetOp::Find(k)) = op;
+            assert!((1..=SET_KEYS).contains(k));
+        }
+        assert_eq!(queue_script(7, 10), queue_script(7, 10));
+        assert_eq!(stack_script(7, 10), stack_script(7, 10));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_roughly_proportional() {
+        let hits: Vec<bool> = (0..1000).map(|k| sampled(9, k, 0.25)).collect();
+        let again: Vec<bool> = (0..1000).map(|k| sampled(9, k, 0.25)).collect();
+        assert_eq!(hits, again);
+        let n = hits.iter().filter(|&&h| h).count();
+        assert!((100..400).contains(&n), "0.25 sample hit {n}/1000");
+        assert_eq!((0..100).filter(|&k| sampled(9, k, 0.0)).count(), 0);
+        assert_eq!((0..100).filter(|&k| sampled(9, k, 1.0)).count(), 100);
+    }
+
+    #[test]
+    fn exchanger_sweep_is_clean() {
+        let mut cfg = SweepCfg::new(StructureKind::Exchanger, AlgoKind::Tracking);
+        cfg.pool_bytes = 4 << 20;
+        let report = run_sweep(&cfg);
+        assert!(report.total_events > 0);
+        assert_eq!(report.points_run, report.total_events);
+        assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn traced_rerun_renders_a_site_attributed_window() {
+        let mut cfg = SweepCfg::new(StructureKind::Exchanger, AlgoKind::Tracking);
+        cfg.pool_bytes = 4 << 20;
+        let case = make_case(&cfg);
+        let p = case.run_point(&cfg, 5, true);
+        assert!(p.crashed);
+        assert!(!p.trace_tail.is_empty(), "traced rerun must keep a window");
+        assert!(
+            p.trace_tail.iter().all(|l| l.contains("seq")),
+            "window lines carry sequence numbers: {:?}",
+            p.trace_tail
+        );
+    }
+
+    #[test]
+    fn failure_report_renders_every_ingredient() {
+        let r = FailureReport {
+            k: 17,
+            op_index: 3,
+            op: "Insert(7)".into(),
+            detail: "detectability: recovered response false, model says true".into(),
+            trace_tail: vec!["seq 41 t0 pwb line 9 word 76 dirty  site 2 (insert)".into()],
+        };
+        let text = r.render();
+        assert!(text.contains("k=17"));
+        assert!(text.contains("op[3] = Insert(7)"));
+        assert!(text.contains("model says true"));
+        assert!(text.contains("site 2 (insert)"));
+        assert_eq!(csv_escape("a,b\nc"), "a;b c");
+    }
+
+    #[test]
+    fn sharding_partitions_the_points() {
+        let mut cfg = SweepCfg::new(StructureKind::Exchanger, AlgoKind::Tracking);
+        cfg.pool_bytes = 4 << 20;
+        cfg.shard_count = 3;
+        let mut run = 0;
+        for i in 0..3 {
+            cfg.shard_index = i;
+            let r = run_sweep(&cfg);
+            assert!(r.ok());
+            run += r.points_run;
+        }
+        let full = run_sweep(&SweepCfg {
+            shard_count: 1,
+            ..cfg
+        });
+        assert_eq!(run, full.points_run, "shards must cover every point");
+        assert_eq!(run, full.total_events);
+    }
+}

@@ -7,8 +7,22 @@
 //!
 //! Intended for the integration tests of this repository: histories of a
 //! few dozen operations from a handful of threads over the recoverable
-//! sets/queues, checked exactly. The search is exponential in the worst
-//! case — keep recorded histories small (≲ 30 operations).
+//! sets/queues/stacks, checked exactly. The search is exponential in the
+//! worst case — keep recorded histories small (≲ 30 operations).
+//!
+//! ## As a durable-linearizability oracle
+//!
+//! The same checker decides *durable* linearizability (Izraelevitz et al.;
+//! the paper's Section 2) for a crashed-and-recovered run: record every
+//! operation that **completed before the crash** with its observed
+//! response, the interrupted operation with the response its recovery
+//! function reported, and then a **post-recovery observation phase**
+//! (finds / draining pops) as ordinary operations. If that combined
+//! history linearizes against the sequential spec, the post-crash state is
+//! consistent with some linearization in which every pre-crash completion
+//! took effect — which is exactly the durable-linearizability obligation.
+//! The `bench` crate's `crashsweep` harness drives this at every crash
+//! point of a scripted workload; see `EXPERIMENTS.md`.
 //!
 //! ```
 //! use linearize::{History, SetSpec, SetOp};
@@ -298,6 +312,50 @@ impl Spec for QueueSpec {
     }
 }
 
+/// Stack operations over u64 values.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StackOp {
+    /// Push a value (responds with a fixed acknowledgement).
+    Push(u64),
+    /// Remove the newest value (`None` when empty).
+    Pop,
+}
+
+/// Responses of [`StackOp`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StackRet {
+    /// Push acknowledgement.
+    Pushed,
+    /// Pop response.
+    Popped(Option<u64>),
+}
+
+/// Sequential LIFO stack.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StackSpec {
+    items: Vec<u64>,
+}
+
+impl Spec for StackSpec {
+    type Op = StackOp;
+    type Ret = StackRet;
+    type Digest = Vec<u64>;
+
+    fn apply(&mut self, op: &StackOp) -> StackRet {
+        match *op {
+            StackOp::Push(v) => {
+                self.items.push(v);
+                StackRet::Pushed
+            }
+            StackOp::Pop => StackRet::Popped(self.items.pop()),
+        }
+    }
+
+    fn digest(&self) -> Vec<u64> {
+        self.items.clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,6 +454,34 @@ mod tests {
         let e = h2.invoke(0, QueueOp::Dequeue);
         h2.ret(e, QueueRet::Dequeued(None));
         assert!(h2.check(QueueSpec::default()).is_ok());
+    }
+
+    #[test]
+    fn stack_lifo_ok_and_violation_rejected() {
+        // push 1, push 2 (sequential): pops must see 2 then 1
+        let mut h = History::new();
+        let a = h.invoke(0, StackOp::Push(1));
+        h.ret(a, StackRet::Pushed);
+        let b = h.invoke(0, StackOp::Push(2));
+        h.ret(b, StackRet::Pushed);
+        let c = h.invoke(1, StackOp::Pop);
+        h.ret(c, StackRet::Popped(Some(2)));
+        let d = h.invoke(1, StackOp::Pop);
+        h.ret(d, StackRet::Popped(Some(1)));
+        let e = h.invoke(1, StackOp::Pop);
+        h.ret(e, StackRet::Popped(None));
+        assert!(h.check(StackSpec::default()).is_ok());
+
+        let mut bad = History::new();
+        let a = bad.invoke(0, StackOp::Push(1));
+        bad.ret(a, StackRet::Pushed);
+        let b = bad.invoke(0, StackOp::Push(2));
+        bad.ret(b, StackRet::Pushed);
+        let c = bad.invoke(1, StackOp::Pop);
+        bad.ret(c, StackRet::Popped(Some(1))); // FIFO answer: not a stack
+        let d = bad.invoke(1, StackOp::Pop);
+        bad.ret(d, StackRet::Popped(Some(2)));
+        assert!(bad.check(StackSpec::default()).is_err());
     }
 
     #[test]

@@ -13,12 +13,38 @@
 //! [`crate::PmemPool::crash`] to resolve volatile state, and then run the
 //! operation's recovery function.
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 
 /// Panic payload distinguishing an injected crash from a genuine bug.
+///
+/// Only [`CrashCtl`] itself raises this payload. [`run_crashable`] converts
+/// a `CrashPoint` unwind into `None` **only** when an armed control block
+/// actually fired on the unwinding thread; a counterfeit
+/// `panic_any(CrashPoint)` from application code propagates like any other
+/// panic, so an assertion failure can never masquerade as an injected
+/// crash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashPoint;
+
+thread_local! {
+    /// Set by [`CrashCtl::tick`] immediately before it unwinds with a
+    /// [`CrashPoint`]; consumed by [`run_crashable`] to certify that a
+    /// caught `CrashPoint` payload really came from an armed control block
+    /// on this thread (and not from a counterfeit `panic_any`).
+    static INJECTED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Is the in-flight `CrashPoint` unwind (if any) a genuine injected crash?
+fn injection_pending() -> bool {
+    INJECTED.with(Cell::get)
+}
+
+/// Clears and returns the injected-crash marker for this thread.
+fn take_injection() -> bool {
+    INJECTED.with(|c| c.replace(false))
+}
 
 /// Crash-injection control block shared by all threads of a pool.
 pub struct CrashCtl {
@@ -51,6 +77,26 @@ impl CrashCtl {
 
     /// Raises a system-wide crash: every thread panics with [`CrashPoint`]
     /// at its next instrumented event.
+    ///
+    /// Unlike a countdown armed with [`CrashCtl::arm_after`] — which
+    /// auto-disarms once it fires — a broadcast stays raised until
+    /// [`CrashCtl::disarm`] is called: every subsequent [`run_crashable`]
+    /// section keeps crashing at its first instrumented event. This is what
+    /// lets a harness stop *many* worker threads at once and know that none
+    /// of them slipped past the crash.
+    ///
+    /// ```
+    /// use pmem::{PmemPool, PoolCfg, run_crashable};
+    /// let pool = PmemPool::new(PoolCfg::model(1 << 20));
+    /// let a = pool.alloc_lines(1);
+    /// pool.crash_ctl().raise();
+    /// // a broadcast keeps firing across consecutive crashable sections...
+    /// assert!(run_crashable(|| pool.store(a, 1)).is_none());
+    /// assert!(run_crashable(|| pool.store(a, 2)).is_none());
+    /// // ...until explicitly disarmed:
+    /// pool.crash_ctl().disarm();
+    /// assert!(run_crashable(|| pool.store(a, 3)).is_some());
+    /// ```
     pub fn raise(&self) {
         self.broadcast.store(true, Ordering::SeqCst);
         self.enabled.store(true, Ordering::SeqCst);
@@ -89,6 +135,7 @@ impl CrashCtl {
     #[cold]
     fn tick_slow(&self) {
         if self.broadcast.load(Ordering::SeqCst) {
+            INJECTED.with(|c| c.set(true));
             std::panic::panic_any(CrashPoint);
         }
         let prev = self.countdown.fetch_sub(1, Ordering::SeqCst);
@@ -98,6 +145,7 @@ impl CrashCtl {
             // and whatever runs next on this pool — must take the cheap
             // fast path again instead of decrementing forever.
             self.enabled.store(false, Ordering::SeqCst);
+            INJECTED.with(|c| c.set(true));
             std::panic::panic_any(CrashPoint);
         }
         if prev < 0 {
@@ -110,15 +158,16 @@ impl CrashCtl {
 }
 
 /// Installs (once, process-wide) a panic hook that stays silent for
-/// injected [`CrashPoint`] panics but delegates everything else to the
-/// previous hook — so crash sweeps don't spam the log while genuine test
-/// failures still print normally. Thread-safe.
+/// genuinely injected [`CrashPoint`] panics but delegates everything else
+/// to the previous hook — so crash sweeps don't spam the log while genuine
+/// test failures (including counterfeit `CrashPoint` payloads raised by
+/// application code) still print normally. Thread-safe.
 fn install_quiet_hook() {
     static INIT: std::sync::Once = std::sync::Once::new();
     INIT.call_once(|| {
         let default = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<CrashPoint>().is_none() {
+            if info.payload().downcast_ref::<CrashPoint>().is_none() || !injection_pending() {
                 default(info);
             }
         }));
@@ -127,8 +176,27 @@ fn install_quiet_hook() {
 
 /// Runs `f`, converting an injected [`CrashPoint`] panic into `None`.
 ///
-/// Any other panic is propagated — a genuine bug must still fail the test.
-/// Safe to call concurrently from many threads.
+/// Any other panic is propagated with its **original payload** — a genuine
+/// bug must still fail the test with its own message. That includes panics
+/// whose payload merely *looks* like a crash: a `panic_any(CrashPoint)`
+/// raised by application code (rather than by an armed [`CrashCtl`] on
+/// this thread) is rethrown, not swallowed. Safe to call concurrently from
+/// many threads.
+///
+/// ```
+/// use pmem::{PmemPool, PoolCfg, PessimistAdversary, SiteId, run_crashable};
+/// let pool = PmemPool::new(PoolCfg::model(1 << 20));
+/// let a = pool.alloc_lines(1);
+/// pool.crash_ctl().arm_after(2); // survive 2 events, crash on the 3rd
+/// let done = run_crashable(|| {
+///     pool.store(a, 7);     // event 0
+///     pool.pwb(a, SiteId(0)); // event 1
+///     pool.psync();         // event 2 — crashes here
+/// });
+/// assert!(done.is_none(), "the injected crash interrupted the closure");
+/// pool.crash(&mut PessimistAdversary); // resolve what survived
+/// assert_eq!(pool.load(a), 0, "the un-synced store was lost");
+/// ```
 pub fn run_crashable<R>(f: impl FnOnce() -> R) -> Option<R> {
     // The closures used in crash tests capture `&PmemPool` etc.; unwinding
     // is safe because the pool's internal locks are taken with
@@ -136,10 +204,11 @@ pub fn run_crashable<R>(f: impl FnOnce() -> R) -> Option<R> {
     // is atomics (no torn invariants beyond what the crash model
     // deliberately examines).
     install_quiet_hook();
+    take_injection(); // defensive: stale marker must not launder a panic
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(v) => Some(v),
         Err(payload) => {
-            if payload.downcast_ref::<CrashPoint>().is_some() {
+            if payload.downcast_ref::<CrashPoint>().is_some() && take_injection() {
                 None
             } else {
                 std::panic::resume_unwind(payload)
@@ -270,6 +339,77 @@ mod tests {
     fn other_panics_propagate() {
         let r = std::panic::catch_unwind(|| run_crashable(|| panic!("real bug")));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn non_crash_panic_keeps_original_payload() {
+        // A genuine assertion failure must escape run_crashable with its
+        // own payload intact, not be rewritten or swallowed.
+        let r = std::panic::catch_unwind(|| {
+            run_crashable(|| -> u32 { panic!("torn invariant at node {}", 7) })
+        });
+        let payload = r.expect_err("must propagate");
+        // rustc may const-fold the formatted message into &str.
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .expect("message payload preserved");
+        assert_eq!(msg, "torn invariant at node 7");
+    }
+
+    #[test]
+    fn counterfeit_crashpoint_payload_propagates() {
+        // A panic whose payload merely *looks* like an injected crash — no
+        // armed CrashCtl fired on this thread — is a genuine bug and must
+        // not be converted into None.
+        let r = std::panic::catch_unwind(|| run_crashable(|| std::panic::panic_any(CrashPoint)));
+        let payload = r.expect_err("counterfeit CrashPoint must propagate");
+        assert!(payload.downcast_ref::<CrashPoint>().is_some());
+    }
+
+    #[test]
+    fn genuine_crash_still_converts_after_counterfeit() {
+        // The counterfeit path must not poison the thread-local marker.
+        let _ = std::panic::catch_unwind(|| run_crashable(|| std::panic::panic_any(CrashPoint)));
+        let c = CrashCtl::new();
+        c.arm_after(0);
+        assert_eq!(run_crashable(|| c.tick()), None);
+    }
+
+    #[test]
+    fn broadcast_persists_across_sequential_run_crashable() {
+        // Countdowns auto-disarm when they fire; a broadcast must NOT — it
+        // models a system-wide power loss that every thread observes, so
+        // consecutive crashable sections keep crashing until disarm().
+        let c = CrashCtl::new();
+        c.raise();
+        for round in 0..3 {
+            assert_eq!(
+                run_crashable(|| c.tick()),
+                None,
+                "round {round}: broadcast must still be raised"
+            );
+            assert!(c.armed(), "round {round}: broadcast never auto-disarms");
+            assert!(c.raised(), "round {round}");
+        }
+        c.disarm();
+        assert!(!c.armed());
+        assert_eq!(run_crashable(|| c.tick()), Some(()));
+    }
+
+    #[test]
+    fn arm_after_supersedes_raised_broadcast() {
+        // Re-arming a countdown while a broadcast is raised switches modes:
+        // the broadcast flag is cleared, the countdown governs, and firing
+        // auto-disarms as usual.
+        let c = CrashCtl::new();
+        c.raise();
+        c.arm_after(1);
+        assert!(!c.raised(), "arm_after clears the broadcast");
+        c.tick(); // one event survives
+        assert_eq!(run_crashable(|| c.tick()), None);
+        assert!(!c.armed(), "fired countdown auto-disarms even after raise");
     }
 
     #[test]

@@ -55,6 +55,48 @@
 //! recycled during a run, mirroring the paper's reliance on a garbage
 //! collector (their §7 leaves recoverable memory management to future
 //! work) and discharging ABA concerns by construction.
+//!
+//! ## The crash-inject → recover loop
+//!
+//! The idiom every crash test (and the `crashsweep` harness) is built on:
+//! count the instrumented events of a workload once, then replay it once
+//! per crash point, resolving the crash and checking the recovered state.
+//! Here the "algorithm" is a two-word persist-before-publish protocol and
+//! the invariant is that a published flag implies the payload survived:
+//!
+//! ```
+//! use pmem::{PmemPool, PoolCfg, PessimistAdversary, SiteId, run_crashable};
+//!
+//! let publish = |pool: &PmemPool| {
+//!     let data = pool.root(0);
+//!     let flag = pool.root(1);
+//!     pool.store_at(data, 42, SiteId(1));
+//!     pool.pwb(data, SiteId(1));
+//!     pool.pfence(); // order the payload before the flag...
+//!     pool.store_at(flag, 1, SiteId(2));
+//!     pool.pwb(flag, SiteId(2));
+//!     pool.psync(); // ...and make the flag durable before returning
+//! };
+//!
+//! // 1. Count the workload's instrumented events with the trace.
+//! let pool = PmemPool::new(PoolCfg { trace: true, ..PoolCfg::model(1 << 20) });
+//! publish(&pool);
+//! let snap = pool.trace_snapshot();
+//! let n = snap.events.len() as u64 + snap.dropped;
+//!
+//! // 2. Replay once per crash point k; event k panics with a CrashPoint.
+//! for k in 0..n {
+//!     let pool = PmemPool::new(PoolCfg::model(1 << 20));
+//!     pool.crash_ctl().arm_after(k);
+//!     assert!(run_crashable(|| publish(&pool)).is_none(), "crash point {k} must fire");
+//!     // 3. Resolve the crash under maximal loss, then check recovery:
+//!     //    the flag may only be durable if the payload is.
+//!     pool.crash(&mut PessimistAdversary);
+//!     if pool.load(pool.root(1)) == 1 {
+//!         assert_eq!(pool.load(pool.root(0)), 42, "flag published but payload lost");
+//!     }
+//! }
+//! ```
 
 #![warn(missing_docs)]
 

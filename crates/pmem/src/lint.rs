@@ -27,7 +27,21 @@
 //! The lint is event-driven and needs no shadow memory, so it works in
 //! both Model and Perf pools; enable it via [`crate::PoolCfg::lint`] or
 //! [`crate::PmemPool::set_lint_enabled`] and pull findings with
-//! [`crate::PmemPool::lint_report`].
+//! [`crate::PmemPool::lint_report`]:
+//!
+//! ```
+//! use pmem::{LintKind, PmemPool, PoolCfg, SiteId};
+//! let pool = PmemPool::new(PoolCfg { lint: true, ..PoolCfg::model(1 << 20) });
+//! let a = pool.alloc_lines(1);
+//! pool.store_at(a, 1, SiteId(4));
+//! pool.pwb(a, SiteId(4)); // pays for new persistence: fine
+//! pool.pwb(a, SiteId(9)); // re-flushes a line it knows is clean: flagged
+//! pool.psync();
+//! let report = pool.lint_report();
+//! assert!(!report.is_clean());
+//! assert_eq!(report.count(LintKind::RedundantPwb), 1);
+//! assert_eq!(report.of_kind(LintKind::RedundantPwb).next().unwrap().site, 9);
+//! ```
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

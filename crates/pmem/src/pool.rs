@@ -16,6 +16,27 @@ use crate::trace::{trace_tid, EventKind, Trace, TraceSnapshot, NO_SITE};
 pub const NUM_ROOTS: usize = 16;
 
 /// Pool construction parameters.
+///
+/// Two presets cover the common cases — [`PoolCfg::model`] for crash-model
+/// tests (shadow memory on, persistence instructions free) and
+/// [`PoolCfg::perf`] for timed runs (real cache-line flushes, no shadow) —
+/// and struct-update syntax layers the observers on top:
+///
+/// ```
+/// use pmem::{PmemPool, PoolCfg, PessimistAdversary, SiteId};
+/// let pool = PmemPool::new(PoolCfg {
+///     trace: true, // record every instrumented event
+///     lint: true,  // flag misplaced persistence instructions
+///     ..PoolCfg::model(8 << 20)
+/// });
+/// let a = pool.alloc_lines(1);
+/// pool.store(a, 5);
+/// pool.pwb(a, SiteId(0));
+/// pool.psync();
+/// pool.crash(&mut PessimistAdversary); // Model mode: crashes resolvable
+/// assert_eq!(pool.load(a), 5, "flushed-and-synced store survives");
+/// assert!(pool.lint_report().is_clean());
+/// ```
 #[derive(Clone, Debug)]
 pub struct PoolCfg {
     /// Pool capacity in bytes (rounded up to whole cache lines).
@@ -244,6 +265,17 @@ impl PmemPool {
 
     /// [`Self::store`] attributed to a call site, so trace events and lint
     /// findings about the written line name the code that dirtied it.
+    ///
+    /// ```
+    /// use pmem::{EventKind, PmemPool, PoolCfg, SiteId};
+    /// let pool = PmemPool::new(PoolCfg { trace: true, ..PoolCfg::model(1 << 20) });
+    /// pool.register_site_names(&[(SiteId(3), "result-field")]);
+    /// let a = pool.alloc_lines(1);
+    /// pool.store_at(a, 9, SiteId(3));
+    /// let e = pool.trace_snapshot().events[0];
+    /// assert_eq!((e.kind, e.site), (EventKind::Store, 3));
+    /// assert_eq!(pool.site_name(SiteId(3)), Some("result-field"));
+    /// ```
     #[inline]
     pub fn store_at(&self, a: PAddr, v: u64, site: SiteId) {
         self.store_raw(a, v, site.0);
@@ -268,6 +300,18 @@ impl PmemPool {
     }
 
     /// [`Self::cas`] attributed to a call site (see [`Self::store_at`]).
+    /// Failed CASes are recorded too ([`EventKind::CasFail`]) — they tick
+    /// the crash countdown and appear in the trace, but write nothing.
+    ///
+    /// ```
+    /// use pmem::{EventKind, PmemPool, PoolCfg, SiteId};
+    /// let pool = PmemPool::new(PoolCfg { trace: true, ..PoolCfg::model(1 << 20) });
+    /// let a = pool.alloc_lines(1);
+    /// assert_eq!(pool.cas_at(a, 0, 7, SiteId(5)), Ok(0));
+    /// assert_eq!(pool.cas_at(a, 0, 9, SiteId(5)), Err(7));
+    /// let kinds: Vec<_> = pool.trace_snapshot().events.iter().map(|e| e.kind).collect();
+    /// assert_eq!(kinds, [EventKind::Cas, EventKind::CasFail]);
+    /// ```
     #[inline]
     pub fn cas_at(&self, a: PAddr, old: u64, new: u64, site: SiteId) -> Result<u64, u64> {
         self.cas_raw(a, old, new, site.0)

@@ -5,7 +5,7 @@
 //! `cas`, `pwb`, `pfence`, `psync` — can be recorded as an [`Event`]
 //! carrying the event kind, the originating thread, the affected word and
 //! cache line, the attributed [`SiteId`] (where the caller supplied one),
-//! and the line's dirty state as tracked by [`crate::lint::FlushLint`]'s
+//! and the line's dirty state as tracked by the [`crate::lint`] module's
 //! line-state machine. Recording is off by default and costs a single
 //! relaxed flag load per primitive when disabled; when enabled, each thread
 //! appends to its own bounded ring (oldest events are dropped, with a drop
@@ -21,6 +21,28 @@
 //! * **cost attribution** (`bench::figures::fig_attribution`): events per
 //!   site × dirty ratio × redundancy, the table behind the paper's
 //!   low/medium/high `pwb` categorization.
+//!
+//! The retained window plus the drop counter also gives an exact total
+//! event count — [`TraceSnapshot::total`] — which is what the `crashsweep`
+//! harness uses to enumerate every crash point of a workload:
+//!
+//! ```
+//! use pmem::{EventKind, PmemPool, PoolCfg, SiteId};
+//! let pool = PmemPool::new(PoolCfg {
+//!     trace: true,
+//!     trace_capacity: 2, // keep a 2-event window per thread...
+//!     ..PoolCfg::model(1 << 20)
+//! });
+//! let a = pool.alloc_lines(1);
+//! pool.store(a, 1);
+//! pool.pwb(a, SiteId(0));
+//! pool.psync();
+//! let snap = pool.trace_snapshot();
+//! assert_eq!(snap.events.len(), 2); // ...the oldest event was dropped,
+//! assert_eq!(snap.dropped, 1);
+//! assert_eq!(snap.total(), 3); // but the exact total is still known
+//! assert_eq!(snap.events.last().unwrap().kind, EventKind::Psync);
+//! ```
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -122,6 +144,14 @@ pub struct TraceSnapshot {
 }
 
 impl TraceSnapshot {
+    /// Exact number of events recorded since the last clear — retained plus
+    /// dropped. This is the `N` a crash sweep enumerates over: arming a
+    /// crash after `k ∈ [0, N)` events covers every instrumented step of
+    /// the traced workload.
+    pub fn total(&self) -> u64 {
+        self.events.len() as u64 + self.dropped
+    }
+
     /// Number of retained events of `kind`.
     pub fn count(&self, kind: EventKind) -> usize {
         self.events.iter().filter(|e| e.kind == kind).count()

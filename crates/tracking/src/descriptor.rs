@@ -195,9 +195,15 @@ impl Desc {
     }
 
     /// AffectSet entry `i`.
+    ///
+    /// Bounds checks here (and in [`Self::write`], [`Self::new_node`]) must
+    /// stay free of instrumented pool reads: an extra debug-only `load`
+    /// would tick the crash countdown, making crash-point enumeration
+    /// differ between debug and release builds.
     pub fn affect(&self, pool: &PmemPool, i: usize) -> AffectEntry {
-        debug_assert!(i < self.affect_len(pool));
-        let flags = pool.load(self.addr.add(W_HDR)) >> 32;
+        let hdr = pool.load(self.addr.add(W_HDR));
+        debug_assert!(i < ((hdr >> 8) & 0xFF) as usize);
+        let flags = hdr >> 32;
         AffectEntry {
             info_addr: PAddr::from_raw(pool.load(self.addr.add(W_AFFECT + 2 * i as u64))),
             observed: pool.load(self.addr.add(W_AFFECT + 2 * i as u64 + 1)),
@@ -207,7 +213,7 @@ impl Desc {
 
     /// WriteSet entry `j`.
     pub fn write(&self, pool: &PmemPool, j: usize) -> WriteEntry {
-        debug_assert!(j < self.write_len(pool));
+        debug_assert!(j < WRITE_MAX);
         let base = W_WRITE + 3 * j as u64;
         WriteEntry {
             field: PAddr::from_raw(pool.load(self.addr.add(base))),
@@ -218,7 +224,7 @@ impl Desc {
 
     /// NewSet entry `i` (info-field address of the new node).
     pub fn new_node(&self, pool: &PmemPool, i: usize) -> PAddr {
-        debug_assert!(i < self.new_len(pool));
+        debug_assert!(i < NEW_MAX);
         PAddr::from_raw(pool.load(self.addr.add(W_NEW + i as u64)))
     }
 

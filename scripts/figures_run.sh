@@ -4,7 +4,10 @@
 #   ./scripts/figures_run.sh --duration-ms 1000 --threads 1,2,4,8
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cargo build -p bench --release --bin figures
-# run the prebuilt binary directly so compilation never shares the CPU
+cargo build -p bench --release --bin figures --bin crashsweep
+# run the prebuilt binaries directly so compilation never shares the CPU
 # with the timed windows (this container has one core)
-exec ./target/release/figures all "$@"
+./target/release/figures all "$@"
+# exhaustive crash-sweep verification (fast; fails the run on any
+# detectability / durable-linearizability violation)
+./target/release/crashsweep --out results/crashsweep
