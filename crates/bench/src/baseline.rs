@@ -1,0 +1,531 @@
+//! Tracked performance baseline: fixed micro-workloads whose timings are
+//! committed as `BENCH_*.json` at the repo root, so every PR leaves a
+//! comparable datapoint and regressions in the simulated substrate are
+//! visible as a trajectory rather than anecdotes.
+//!
+//! Three families of benchmarks, all single-threaded (the container exposes
+//! one core; see DESIGN §1 — multi-thread numbers here would measure the
+//! scheduler, not the algorithms):
+//!
+//! * **per-competitor list workloads** — a fixed op-count run of every
+//!   paper competitor over the sorted-list set in Perf mode
+//!   ([`pmem::Backend::Clflush`]), reporting ns/op, ops/sec, and the
+//!   persistence-instruction and instrumented-event densities;
+//! * **per-structure Tracking workloads** — the queue, stack, and
+//!   exchanger shapes the crash sweep verifies;
+//! * **instrumentation overhead** — a pure pool-primitive loop
+//!   (load/store/cas/pwb/psync over a handful of lines) with every observer
+//!   off versus trace+lint on. The *off* number is the cost the substrate
+//!   adds to every hot path even when nobody is watching; keeping it near
+//!   zero is what lets the paper's relative persistence-cost signal
+//!   (Figures 3–4) survive simulation.
+//!
+//! The JSON schema is documented in EXPERIMENTS.md ("Performance
+//! methodology") and sanity-checked by [`validate_json`], which the CI
+//! smoke job runs against the freshly produced file.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pmem::{Backend, PmemPool, PoolCfg, SiteId, ThreadCtx};
+
+use crate::adapter::{build, AlgoKind, StructureKind};
+
+/// Schema identifier embedded in every report.
+pub const SCHEMA: &str = "bench-baseline/v1";
+
+/// Configuration of one baseline capture.
+#[derive(Clone, Debug)]
+pub struct BaselineCfg {
+    /// Operations per timed workload (the smoke tier shrinks this).
+    pub ops: u64,
+    /// Iterations of the primitive loop in the overhead benchmark.
+    pub overhead_iters: u64,
+    /// Label recorded in the report (e.g. `pr4`).
+    pub label: String,
+    /// Previously captured `off_ns_per_op`, for trend reporting (read from
+    /// an earlier `BENCH_*.json` with [`extract_number`]).
+    pub prev_off_ns_per_op: Option<f64>,
+}
+
+impl BaselineCfg {
+    /// Full-size capture.
+    pub fn full(label: &str) -> BaselineCfg {
+        BaselineCfg {
+            ops: 40_000,
+            overhead_iters: 4_000_000,
+            label: label.to_string(),
+            prev_off_ns_per_op: None,
+        }
+    }
+
+    /// CI smoke tier: same benches, ~20× fewer iterations.
+    pub fn smoke(label: &str) -> BaselineCfg {
+        BaselineCfg {
+            ops: 2_000,
+            overhead_iters: 200_000,
+            label: label.to_string(),
+            prev_off_ns_per_op: None,
+        }
+    }
+}
+
+/// One timed micro-workload.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Bench name (`list/Tracking`, `queue/Tracking`, …).
+    pub name: String,
+    /// Structure shape.
+    pub structure: &'static str,
+    /// Implementation.
+    pub algo: String,
+    /// Operations timed.
+    pub ops: u64,
+    /// Nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// Operations per second.
+    pub ops_per_sec: f64,
+    /// Instrumented pool events per operation (from a traced Model-mode
+    /// run of the same script — the crash sweep's cost currency).
+    pub events_per_op: f64,
+    /// Executed `pwb`s per operation.
+    pub pwb_per_op: f64,
+    /// Executed `psync`s+`pfence`s per operation.
+    pub psync_per_op: f64,
+}
+
+/// The instrumentation-overhead benchmark: the primitive loop with all
+/// observers off versus trace+lint on.
+#[derive(Clone, Debug)]
+pub struct OverheadRow {
+    /// Iterations of the primitive loop.
+    pub iters: u64,
+    /// ns per primitive-loop iteration, observers off (the
+    /// zero-cost-when-off claim under test).
+    pub off_ns_per_op: f64,
+    /// ns per iteration with trace+lint enabled.
+    pub on_ns_per_op: f64,
+    /// `on / off` slowdown.
+    pub ratio: f64,
+}
+
+/// A full baseline capture.
+#[derive(Clone, Debug)]
+pub struct BaselineReport {
+    /// The configuration that produced it.
+    pub cfg: BaselineCfg,
+    /// Unix timestamp of the capture.
+    pub created_unix: u64,
+    /// Timed micro-workloads.
+    pub rows: Vec<BenchRow>,
+    /// The observers-off/on comparison.
+    pub overhead: OverheadRow,
+}
+
+// xorshift64* — the same deterministic generator the other harnesses use.
+#[inline]
+fn next_rng(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+const KEY_RANGE: u64 = 64;
+const SEED: u64 = 0xBA5E_11AE;
+
+/// Drives `ops` deterministic mixed set operations (70 % find).
+fn set_loop(algo: &dyn crate::adapter::SetAlgo, ctx: &ThreadCtx, ops: u64) {
+    let mut rng = SEED;
+    for _ in 0..ops {
+        let r = next_rng(&mut rng);
+        let key = r % KEY_RANGE + 1;
+        match (r >> 32) % 10 {
+            0..=6 => std::hint::black_box(algo.find(ctx, key)),
+            7..=8 => std::hint::black_box(algo.insert(ctx, key)),
+            _ => std::hint::black_box(algo.delete(ctx, key)),
+        };
+    }
+}
+
+fn perf_pool(bytes: usize) -> Arc<PmemPool> {
+    Arc::new(PmemPool::new(PoolCfg {
+        max_threads: 8,
+        ..PoolCfg::perf(bytes)
+    }))
+}
+
+fn model_pool(bytes: usize, trace: bool) -> Arc<PmemPool> {
+    Arc::new(PmemPool::new(PoolCfg {
+        trace,
+        max_threads: 8,
+        trace_capacity: 64, // the total counter, not the window, is used
+        ..PoolCfg::model(bytes)
+    }))
+}
+
+/// Times one per-competitor list workload and measures its event density.
+fn bench_list(kind: AlgoKind, ops: u64) -> BenchRow {
+    // Timed run: Perf mode, real flushes, observers off.
+    let pool = perf_pool(256 << 20);
+    let algo = build(kind, pool.clone(), 2, KEY_RANGE + 4);
+    let ctx = ThreadCtx::new(pool.clone(), 0);
+    let mut rng = SEED ^ 0xF00D;
+    for _ in 0..KEY_RANGE / 2 {
+        algo.insert(&ctx, next_rng(&mut rng) % KEY_RANGE + 1);
+    }
+    pool.stats_reset();
+    let t = Instant::now();
+    set_loop(&*algo, &ctx, ops);
+    let elapsed = t.elapsed();
+    let stats = pool.stats();
+
+    // Event density: a short traced Model-mode replay of the same script.
+    let ev_ops = ops.min(512);
+    let tp = model_pool(64 << 20, true);
+    let talgo = build(kind, tp.clone(), 2, KEY_RANGE + 4);
+    let tctx = ThreadCtx::new(tp.clone(), 0);
+    let mut rng = SEED ^ 0xF00D;
+    for _ in 0..KEY_RANGE / 2 {
+        talgo.insert(&tctx, next_rng(&mut rng) % KEY_RANGE + 1);
+    }
+    tp.trace_clear();
+    set_loop(&*talgo, &tctx, ev_ops);
+    let events = tp.trace_snapshot().total();
+
+    let ns = elapsed.as_nanos() as f64 / ops as f64;
+    BenchRow {
+        name: format!("list/{}", kind.name()),
+        structure: StructureKind::List.name(),
+        algo: kind.name().to_string(),
+        ops,
+        ns_per_op: ns,
+        ops_per_sec: 1e9 / ns,
+        events_per_op: events as f64 / ev_ops as f64,
+        pwb_per_op: stats.pwb_total() as f64 / ops as f64,
+        psync_per_op: (stats.psync + stats.pfence) as f64 / ops as f64,
+    }
+}
+
+/// Times one Tracking-only structure (queue/stack/exchanger).
+fn bench_structure(structure: StructureKind, ops: u64) -> BenchRow {
+    let run = |pool: &Arc<PmemPool>, ctx: &ThreadCtx, n: u64| {
+        let mut rng = SEED ^ 0xCAFE;
+        match structure {
+            StructureKind::Queue => {
+                let q = tracking::RecoverableQueue::new(pool.clone(), 0);
+                for _ in 0..n {
+                    if next_rng(&mut rng) % 5 < 3 {
+                        q.enqueue(ctx, rng % 1000 + 1);
+                    } else {
+                        std::hint::black_box(q.dequeue(ctx));
+                    }
+                }
+            }
+            StructureKind::Stack => {
+                let s = tracking::RecoverableStack::new(pool.clone(), 0);
+                for _ in 0..n {
+                    if next_rng(&mut rng) % 5 < 3 {
+                        s.push(ctx, rng % 1000 + 1);
+                    } else {
+                        std::hint::black_box(s.pop(ctx));
+                    }
+                }
+            }
+            StructureKind::Exchanger => {
+                let x = tracking::RecoverableExchanger::new(pool.clone(), 0);
+                for i in 0..n {
+                    std::hint::black_box(x.exchange(ctx, i + 1, 2));
+                }
+            }
+            _ => unreachable!("set shapes go through bench_list"),
+        }
+    };
+
+    let pool = perf_pool(256 << 20);
+    let ctx = ThreadCtx::new(pool.clone(), 0);
+    pool.stats_reset();
+    let t = Instant::now();
+    run(&pool, &ctx, ops);
+    let elapsed = t.elapsed();
+    let stats = pool.stats();
+
+    let ev_ops = ops.min(512);
+    let tp = model_pool(64 << 20, true);
+    let tctx = ThreadCtx::new(tp.clone(), 0);
+    tp.trace_clear();
+    run(&tp, &tctx, ev_ops);
+    let events = tp.trace_snapshot().total();
+
+    let ns = elapsed.as_nanos() as f64 / ops as f64;
+    BenchRow {
+        name: format!("{}/Tracking", structure.name()),
+        structure: structure.name(),
+        algo: "Tracking".to_string(),
+        ops,
+        ns_per_op: ns,
+        ops_per_sec: 1e9 / ns,
+        events_per_op: events as f64 / ev_ops as f64,
+        pwb_per_op: stats.pwb_total() as f64 / ops as f64,
+        psync_per_op: (stats.psync + stats.pfence) as f64 / ops as f64,
+    }
+}
+
+/// The primitive loop of the overhead benchmark: 4 loads, 2 stores, 1 CAS,
+/// 1 pwb, 1 psync per iteration over four resident lines — the instruction
+/// mix of a short traversal plus one persisted update.
+fn primitive_loop(pool: &PmemPool, iters: u64) {
+    let a = pool.alloc_lines(4);
+    let b = a.add(8);
+    let c = a.add(16);
+    let d = a.add(24);
+    for i in 0..iters {
+        std::hint::black_box(pool.load(a));
+        std::hint::black_box(pool.load(b));
+        std::hint::black_box(pool.load(c));
+        std::hint::black_box(pool.load(d));
+        pool.store(a, i);
+        pool.store_at(b, i, SiteId(1));
+        let _ = std::hint::black_box(pool.cas(c, i, i + 1));
+        pool.pwb(a, SiteId(2));
+        pool.psync();
+    }
+}
+
+/// Measures the substrate's own per-event cost with observers off vs on.
+///
+/// Backend is [`Backend::Noop`] and shadow is off, so the loop times
+/// *instrumentation* (flag checks, counters, crash-tick plumbing) rather
+/// than flush hardware.
+fn bench_overhead(iters: u64) -> OverheadRow {
+    let off_pool = PmemPool::new(PoolCfg {
+        backend: Backend::Noop,
+        ..PoolCfg::perf(1 << 20)
+    });
+    // warm-up + timed
+    primitive_loop(&off_pool, iters / 10);
+    let t = Instant::now();
+    primitive_loop(&off_pool, iters);
+    let off_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    let on_pool = PmemPool::new(PoolCfg {
+        backend: Backend::Noop,
+        trace: true,
+        lint: true,
+        trace_capacity: 64,
+        ..PoolCfg::perf(1 << 20)
+    });
+    primitive_loop(&on_pool, iters / 10);
+    let t = Instant::now();
+    primitive_loop(&on_pool, iters);
+    let on_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    OverheadRow {
+        iters,
+        off_ns_per_op: off_ns,
+        on_ns_per_op: on_ns,
+        ratio: on_ns / off_ns.max(1e-9),
+    }
+}
+
+/// Runs every baseline bench per `cfg`.
+pub fn run_baseline(cfg: &BaselineCfg) -> BaselineReport {
+    let mut rows = Vec::new();
+    let mut lineup = AlgoKind::paper_lineup().to_vec();
+    lineup.push(AlgoKind::OneFile);
+    for kind in lineup {
+        rows.push(bench_list(kind, cfg.ops));
+    }
+    for structure in [
+        StructureKind::Queue,
+        StructureKind::Stack,
+        StructureKind::Exchanger,
+    ] {
+        rows.push(bench_structure(structure, cfg.ops));
+    }
+    let overhead = bench_overhead(cfg.overhead_iters);
+    BaselineReport {
+        cfg: cfg.clone(),
+        created_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        rows,
+        overhead,
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl BaselineReport {
+    /// Renders the report as the committed `BENCH_*.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"label\": \"{}\",\n", self.cfg.label));
+        out.push_str(&format!("  \"created_unix\": {},\n", self.created_unix));
+        out.push_str(&format!("  \"ops_per_bench\": {},\n", self.cfg.ops));
+        out.push_str(&format!(
+            "  \"host_cpus\": {},\n",
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        ));
+        out.push_str("  \"benches\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"structure\": \"{}\", \"algo\": \"{}\", \
+                 \"ops\": {}, \"ns_per_op\": {}, \"ops_per_sec\": {}, \
+                 \"events_per_op\": {}, \"pwb_per_op\": {}, \"psync_per_op\": {}}}{}\n",
+                r.name,
+                r.structure,
+                r.algo,
+                r.ops,
+                json_f(r.ns_per_op),
+                json_f(r.ops_per_sec),
+                json_f(r.events_per_op),
+                json_f(r.pwb_per_op),
+                json_f(r.psync_per_op),
+                if i + 1 == self.rows.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"overhead\": {\n");
+        out.push_str(&format!(
+            "    \"iters\": {},\n    \"off_ns_per_op\": {},\n    \"on_ns_per_op\": {},\n    \"ratio\": {}",
+            self.overhead.iters,
+            json_f(self.overhead.off_ns_per_op),
+            json_f(self.overhead.on_ns_per_op),
+            json_f(self.overhead.ratio),
+        ));
+        if let Some(prev) = self.cfg.prev_off_ns_per_op {
+            out.push_str(&format!(
+                ",\n    \"prev_off_ns_per_op\": {},\n    \"off_vs_prev\": {}",
+                json_f(prev),
+                json_f(self.overhead.off_ns_per_op / prev.max(1e-9)),
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Console table.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "{:<24} {:>10} {:>12} {:>10} {:>8} {:>8}\n",
+            "bench", "ns/op", "ops/sec", "events/op", "pwb/op", "psync/op"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<24} {:>10.1} {:>12.0} {:>10.1} {:>8.2} {:>8.2}\n",
+                r.name, r.ns_per_op, r.ops_per_sec, r.events_per_op, r.pwb_per_op, r.psync_per_op
+            ));
+        }
+        out.push_str(&format!(
+            "instrumentation overhead: off {:.2} ns/iter, on {:.2} ns/iter (x{:.1})",
+            self.overhead.off_ns_per_op, self.overhead.on_ns_per_op, self.overhead.ratio
+        ));
+        if let Some(prev) = self.cfg.prev_off_ns_per_op {
+            out.push_str(&format!(
+                "; off vs prev {:.2} ns = x{:.2}",
+                prev,
+                self.overhead.off_ns_per_op / prev.max(1e-9)
+            ));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Extracts the first `"key": <number>` occurrence from a JSON document
+/// (enough structure awareness to read our own schema back without a JSON
+/// dependency).
+pub fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Validates that `json` looks like a `bench-baseline/v1` document: schema
+/// tag, non-empty bench list with the required numeric fields, and an
+/// overhead block. Returns a description of the first problem found.
+pub fn validate_json(json: &str) -> Result<(), String> {
+    if !json.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing schema tag {SCHEMA:?}"));
+    }
+    for key in ["\"benches\": [", "\"overhead\": {"] {
+        if !json.contains(key) {
+            return Err(format!("missing section {key}"));
+        }
+    }
+    let benches = json.matches("\"ns_per_op\":").count();
+    if benches < 2 {
+        return Err("fewer than one bench row plus overhead".into());
+    }
+    for key in [
+        "ops_per_sec",
+        "events_per_op",
+        "pwb_per_op",
+        "psync_per_op",
+        "off_ns_per_op",
+        "on_ns_per_op",
+        "ratio",
+    ] {
+        match extract_number(json, key) {
+            Some(v) if v.is_finite() && v >= 0.0 => {}
+            Some(v) => return Err(format!("field {key} has non-finite/negative value {v}")),
+            None => return Err(format!("missing numeric field {key}")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_roundtrips_schema() {
+        let mut cfg = BaselineCfg::smoke("unit");
+        cfg.ops = 64;
+        cfg.overhead_iters = 2_000;
+        cfg.prev_off_ns_per_op = Some(12.5);
+        let report = run_baseline(&cfg);
+        assert_eq!(report.rows.len(), 9, "6 list competitors + 3 structures");
+        for r in &report.rows {
+            assert!(r.ns_per_op > 0.0, "{} measured nothing", r.name);
+            assert!(r.events_per_op > 0.0, "{} counted no events", r.name);
+        }
+        assert!(report.overhead.off_ns_per_op > 0.0);
+        let json = report.to_json();
+        validate_json(&json).expect("self-produced JSON must validate");
+        assert_eq!(extract_number(&json, "prev_off_ns_per_op"), Some(12.5));
+        assert!(report.to_text().contains("list/Tracking"));
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json("{\"schema\": \"bench-baseline/v1\"}").is_err());
+    }
+
+    #[test]
+    fn extract_number_reads_fields() {
+        let doc = "{\"a\": 3.25, \"b\": -1, \"c\": \"x\"}";
+        assert_eq!(extract_number(doc, "a"), Some(3.25));
+        assert_eq!(extract_number(doc, "b"), Some(-1.0));
+        assert_eq!(extract_number(doc, "c"), None);
+        assert_eq!(extract_number(doc, "zz"), None);
+    }
+}

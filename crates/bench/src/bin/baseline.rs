@@ -1,0 +1,87 @@
+//! CLI producing the tracked perf baseline (`bench::baseline`).
+//!
+//! ```text
+//! baseline [options]
+//!   --smoke            CI tier: ~20x fewer iterations per bench
+//!   --label L          report label and default file stem (default pr4)
+//!   --out PATH         output JSON path (default BENCH_<label>.json)
+//!   --prev PATH        earlier BENCH_*.json to compare the overhead
+//!                      benchmark's off-cost against
+//!   --ops N            operations per micro-workload (overrides tier)
+//! ```
+//!
+//! Writes the JSON report, prints the console table, and validates the
+//! produced document against the `bench-baseline/v1` schema (non-zero exit
+//! on schema violations, so CI catches a malformed report immediately).
+
+use bench::baseline::{extract_number, run_baseline, validate_json, BaselineCfg};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut label = "pr4".to_string();
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut prev: Option<std::path::PathBuf> = None;
+    let mut ops: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--label" => {
+                i += 1;
+                label = args[i].clone();
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args[i].clone().into());
+            }
+            "--prev" => {
+                i += 1;
+                prev = Some(args[i].clone().into());
+            }
+            "--ops" => {
+                i += 1;
+                ops = Some(args[i].parse().expect("bad op count"));
+            }
+            flag => {
+                eprintln!("unknown flag {flag}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut cfg = if smoke {
+        BaselineCfg::smoke(&label)
+    } else {
+        BaselineCfg::full(&label)
+    };
+    if let Some(n) = ops {
+        cfg.ops = n;
+    }
+    if let Some(p) = &prev {
+        let doc = std::fs::read_to_string(p).expect("reading --prev JSON");
+        cfg.prev_off_ns_per_op = extract_number(&doc, "off_ns_per_op");
+        if cfg.prev_off_ns_per_op.is_none() {
+            eprintln!("--prev {} has no off_ns_per_op field", p.display());
+            std::process::exit(2);
+        }
+    }
+
+    let report = run_baseline(&cfg);
+    print!("{}", report.to_text());
+
+    let json = report.to_json();
+    if let Err(e) = validate_json(&json) {
+        eprintln!("produced JSON violates the baseline schema: {e}");
+        std::process::exit(1);
+    }
+    let path = out.unwrap_or_else(|| format!("BENCH_{label}.json").into());
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("creating output directory");
+        }
+    }
+    std::fs::write(&path, json).expect("writing baseline JSON");
+    println!("-> {}", path.display());
+}

@@ -12,6 +12,12 @@
 //!   --seed S               workload/sampling seed
 //!   --ops N                script length (operations per sweep)
 //!   --pool-mb M            pool size per replay (default 64)
+//!   --engine checkpoint|scratch   replay engine (default checkpoint: restore the
+//!                          nearest op-boundary snapshot instead of rebuilding
+//!                          the structure per crash point)
+//!   --paranoia P           cross-check each replayed point with probability P:
+//!                          both engines re-run it traced and must agree on the
+//!                          verdict and the event stream (checkpoint engine only)
 //!   --out DIR              CSV directory (default results/crashsweep)
 //! ```
 //!
@@ -92,6 +98,25 @@ fn main() {
                 i += 1;
                 base.pool_bytes = args[i].parse::<usize>().expect("bad pool size") << 20;
             }
+            "--engine" => {
+                i += 1;
+                base.checkpoint = match args[i].as_str() {
+                    "checkpoint" => true,
+                    "scratch" => false,
+                    e => {
+                        eprintln!("unknown engine '{e}' (checkpoint|scratch)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--paranoia" => {
+                i += 1;
+                base.paranoia = args[i].parse().expect("bad paranoia probability");
+                assert!(
+                    (0.0..=1.0).contains(&base.paranoia),
+                    "paranoia must be in [0, 1]"
+                );
+            }
             "--out" => {
                 i += 1;
                 out = args[i].clone().into();
@@ -133,16 +158,20 @@ fn main() {
     }
 
     println!(
-        "crash sweep: {} pair(s), adversary={}, shard {}/{}, sample {}, seed {:#x}",
+        "crash sweep: {} pair(s), engine={}, adversary={}, shard {}/{}, sample {}, paranoia {}, seed {:#x}",
         pairs.len(),
+        if base.checkpoint { "checkpoint" } else { "scratch" },
         base.adversary.name(),
         base.shard_index,
         base.shard_count,
         base.sample,
+        base.paranoia,
         base.seed,
     );
 
     let mut failed = false;
+    let engine_start = std::time::Instant::now();
+    let (mut total_points, mut total_paranoia) = (0u64, 0u64);
     for (structure, algo) in pairs {
         let cfg = SweepCfg {
             structure,
@@ -156,8 +185,18 @@ fn main() {
         if let Some(f) = &report.first_failure {
             print!("{}", f.render());
         }
+        total_points += report.points_run;
+        total_paranoia += report.paranoia_checked;
         failed |= !report.ok();
     }
+    // Engine-only wall clock (excludes process startup/compilation noise) —
+    // the number the A/B `--engine` timing comparison records.
+    println!(
+        "engine elapsed: {:.3}s ({} points, {} paranoia-checked)",
+        engine_start.elapsed().as_secs_f64(),
+        total_points,
+        total_paranoia,
+    );
     if failed {
         eprintln!("crash sweep FAILED: see violations above");
         std::process::exit(1);

@@ -22,7 +22,11 @@
 //!   `results/`;
 //! * `bin/crashsweep` — the CLI driving [`sweep`] over the full
 //!   structure × algorithm matrix, writing one CSV per pair into
-//!   `results/crashsweep/`.
+//!   `results/crashsweep/`;
+//! * [`baseline`] / `bin/baseline` — the tracked perf baseline: fixed
+//!   per-structure/per-competitor micro-workloads plus an
+//!   instrumentation-overhead benchmark, emitted as `BENCH_*.json` at the
+//!   repo root so successive PRs leave a comparable trajectory.
 //!
 //! Numbers are *shapes*, not absolutes: the substrate is simulated NVMM
 //! over DRAM (`clflush`/`sfence`) and this container exposes a single CPU,
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod adapter;
+pub mod baseline;
 pub mod csv;
 pub mod figures;
 pub mod sweep;

@@ -12,9 +12,24 @@
 //!    crash-countdown tick, so [`pmem::TraceSnapshot::total`] is the exact
 //!    number `N` of possible crash points.
 //! 2. **Sweep.** For each `k ∈ [0, N)` (optionally sharded or sampled):
-//!    rebuild the structure in a fresh pool, arm
-//!    [`pmem::CrashCtl::arm_after`]`(k)`, and replay the script under
-//!    [`pmem::run_crashable`]. The injected [`pmem::CrashPoint`] unwinds
+//!    arm [`pmem::CrashCtl::arm_after`] and replay the script under
+//!    [`pmem::run_crashable`]. Two replay engines exist:
+//!    * the **checkpointed engine** (default, [`SweepCfg::checkpoint`]):
+//!      one additional traced *capture* run takes [`pmem::PoolSnapshot`]s
+//!      at operation boundaries every ~√N events; each point then
+//!      [`pmem::PmemPool::restore`]s the nearest checkpoint at or before
+//!      `k`, rebases the countdown to `k − checkpoint.events`, and replays
+//!      only the remaining operations — `O(N·√N)` total work instead of
+//!      the scratch engine's `O(N²)`;
+//!    * the **scratch engine** rebuilds the structure in a fresh pool and
+//!      replays the whole script per point (the original, trivially
+//!      correct engine — kept for A/B timing and as the referee).
+//!
+//!    [`SweepCfg::paranoia`] cross-checks a sampled subset of points under
+//!    *both* engines, traced, and reports any difference in verdicts or
+//!    pre-crash event streams as a violation.
+//!
+//!    The injected [`pmem::CrashPoint`] unwinds
 //!    mid-operation; the harness then resolves the crash model
 //!    ([`pmem::PmemPool::crash`] under a configurable adversary), runs the
 //!    algorithm's recovery entry points, and checks:
@@ -52,8 +67,8 @@ use linearize::{
     History, QueueOp, QueueRet, QueueSpec, SetOp, SetSpec, Spec, StackOp, StackRet, StackSpec,
 };
 use pmem::{
-    run_crashable, CrashAdversary, PessimistAdversary, PmemPool, PoolCfg, SeededAdversary, SiteId,
-    ThreadCtx,
+    run_crashable, CrashAdversary, Event, PessimistAdversary, PmemPool, PoolCfg, PoolSnapshot,
+    SeededAdversary, SiteId, ThreadCtx,
 };
 use tracking::{RecoverableExchanger, RecoverableQueue, RecoverableStack};
 
@@ -134,6 +149,21 @@ pub struct SweepCfg {
     pub script_len: usize,
     /// Events rendered around a minimized failure.
     pub trace_tail: usize,
+    /// Replay engine: `true` (the default) replays each crash point from
+    /// the nearest op-boundary checkpoint of a single capture run; `false`
+    /// rebuilds the structure from scratch per point (the original engine,
+    /// kept as the paranoia cross-check and for A/B timing).
+    pub checkpoint: bool,
+    /// Probability that a replayed point is additionally cross-checked:
+    /// both engines re-run it traced and must produce identical verdicts
+    /// and identical pre-crash event streams. `0.0` = off; only meaningful
+    /// with `checkpoint`. Selection is deterministic in `(seed, k)`.
+    pub paranoia: f64,
+    /// `pwb` site mask applied to every pool of the sweep
+    /// ([`PmemPool::set_sites_mask`]). A disabled site's `pwb`s are
+    /// invisible to crash-point enumeration — they neither tick the crash
+    /// countdown nor trace. Default `u64::MAX` (all sites enabled).
+    pub site_mask: u64,
 }
 
 impl SweepCfg {
@@ -150,6 +180,9 @@ impl SweepCfg {
             pool_bytes: 64 << 20,
             script_len: 12,
             trace_tail: 14,
+            checkpoint: true,
+            paranoia: 0.0,
+            site_mask: u64::MAX,
         }
     }
 }
@@ -225,6 +258,9 @@ pub struct SweepReport {
     pub points_run: u64,
     /// Crash points skipped by sharding/sampling.
     pub points_skipped: u64,
+    /// Points additionally cross-checked by paranoia mode (both engines
+    /// re-run traced; any divergence lands in `violations`).
+    pub paranoia_checked: u64,
     /// Every failing point, ascending by `k`.
     pub violations: Vec<PointOutcome>,
     /// Minimized first failure (when any point failed).
@@ -531,7 +567,7 @@ impl CrashSubject for ExchangerSubject {
 
 fn pool_for(cfg: &SweepCfg, traced: bool) -> Arc<PmemPool> {
     let base = PoolCfg::model(cfg.pool_bytes);
-    Arc::new(PmemPool::new(if traced {
+    let pool = Arc::new(PmemPool::new(if traced {
         PoolCfg {
             trace: true,
             trace_capacity: 4096,
@@ -539,18 +575,60 @@ fn pool_for(cfg: &SweepCfg, traced: bool) -> Arc<PmemPool> {
         }
     } else {
         base
-    }))
+    }));
+    pool.set_sites_mask(cfg.site_mask);
+    pool
 }
 
 /// Object-safe face of one generic [`CaseRunner`].
 trait Case {
     fn count_events(&self, cfg: &SweepCfg) -> u64;
+    /// Capture run of the checkpointed engine: one traced crash-free
+    /// execution that takes pool snapshots at operation boundaries. Must
+    /// run before [`Case::run_point_checkpointed`].
+    fn prepare(&self, cfg: &SweepCfg, total_events: u64);
+    /// Scratch engine: rebuild the structure, replay the whole script.
     fn run_point(&self, cfg: &SweepCfg, k: u64, traced: bool) -> PointOutcome;
+    /// Checkpointed engine: restore the nearest checkpoint, replay the
+    /// remaining ops with the countdown rebased to the checkpoint.
+    fn run_point_checkpointed(&self, cfg: &SweepCfg, k: u64, traced: bool) -> PointOutcome;
+    /// Re-runs point `k` traced under *both* engines; `Some(detail)` when
+    /// their verdicts or pre-crash event streams diverge.
+    fn paranoia_check(&self, cfg: &SweepCfg, k: u64) -> Option<String>;
+}
+
+/// One replay checkpoint: the pool state at an operation boundary,
+/// `events` instrumented events into the script.
+struct Checkpoint {
+    op_idx: usize,
+    events: u64,
+    snap: PoolSnapshot,
+}
+
+/// The attach-once replay context of the checkpointed engine. The subject
+/// is built (attached) exactly once, on the capture run's pool, and reused
+/// for every replay — attaching anew per point could itself mutate
+/// persistent state (Romulus opens a transaction on attach), whereas
+/// [`PmemPool::restore`] rewinds everything a replay dirtied.
+struct ReplayState<Sub: CrashSubject> {
+    pool: Arc<PmemPool>,
+    sub: Sub,
+    ctx: ThreadCtx,
+    /// Crash-free responses of the capture run; `responses[..cp.op_idx]`
+    /// seeds a replay's history prefix.
+    responses: Vec<<<Sub as CrashSubject>::S as Spec>::Ret>,
+    /// Ascending by `events`; `checkpoints[0]` is always the script start.
+    checkpoints: Vec<Checkpoint>,
 }
 
 struct CaseRunner<Sub: CrashSubject, B> {
     script: Vec<<<Sub as CrashSubject>::S as Spec>::Op>,
+    /// `format!("{:?}")` of each script op, rendered once — the verdict of
+    /// every crash point names its interrupted op, and re-rendering per
+    /// point is measurable across a full matrix.
+    op_strs: Vec<String>,
     build: B,
+    replay: RefCell<Option<ReplayState<Sub>>>,
 }
 
 impl<Sub, B> CaseRunner<Sub, B>
@@ -558,17 +636,38 @@ where
     Sub: CrashSubject,
     B: Fn(bool) -> (Arc<PmemPool>, Sub, ThreadCtx),
 {
-    /// The shared script loop — identical in the count run and every
-    /// replay, so tick streams line up exactly. `progress` tracks
-    /// `(op index, past-the-prologue)`; `responses` collects completed ops.
+    fn new(script: Vec<<<Sub as CrashSubject>::S as Spec>::Op>, build: B) -> Self {
+        CaseRunner {
+            op_strs: script.iter().map(|op| format!("{op:?}")).collect(),
+            script,
+            build,
+            replay: RefCell::new(None),
+        }
+    }
+}
+
+impl<Sub, B> CaseRunner<Sub, B>
+where
+    Sub: CrashSubject,
+    B: Fn(bool) -> (Arc<PmemPool>, Sub, ThreadCtx),
+{
+    /// The shared script loop — identical in the count run, the capture run
+    /// and every replay, so tick streams line up exactly. Runs ops
+    /// `[start, len)`; `at_boundary(i)` fires right before op `i`'s
+    /// prologue, where the pool is quiescent (the checkpoint hook);
+    /// `progress` tracks `(op index, past-the-prologue)`; `responses`
+    /// collects completed ops.
     fn run_script(
         &self,
         sub: &Sub,
         ctx: &ThreadCtx,
+        start: usize,
         progress: &Cell<(usize, bool)>,
         responses: &RefCell<Vec<<Sub::S as Spec>::Ret>>,
+        mut at_boundary: impl FnMut(usize),
     ) {
-        for (i, op) in self.script.iter().enumerate() {
+        for (i, op) in self.script.iter().enumerate().skip(start) {
+            at_boundary(i);
             progress.set((i, false));
             ctx.begin_op(SiteId(0));
             progress.set((i, true));
@@ -576,48 +675,37 @@ where
             responses.borrow_mut().push(r);
         }
     }
-}
 
-impl<Sub, B> Case for CaseRunner<Sub, B>
-where
-    Sub: CrashSubject,
-    B: Fn(bool) -> (Arc<PmemPool>, Sub, ThreadCtx),
-{
-    fn count_events(&self, _cfg: &SweepCfg) -> u64 {
-        let (pool, sub, ctx) = (self.build)(true);
-        pool.trace_clear(); // constructor events are not crash points
-        let progress = Cell::new((0, false));
-        let responses = RefCell::new(Vec::new());
-        self.run_script(&sub, &ctx, &progress, &responses);
-        pool.trace_snapshot().total()
-    }
-
-    fn run_point(&self, cfg: &SweepCfg, k: u64, traced: bool) -> PointOutcome {
-        let (pool, sub, ctx) = (self.build)(traced);
-        pool.trace_clear();
-        pool.crash_ctl().arm_after(k);
-        let progress = Cell::new((0, false));
-        let responses = RefCell::new(Vec::new());
-        let done = run_crashable(|| self.run_script(&sub, &ctx, &progress, &responses));
-        pool.crash_ctl().disarm();
-        let trace_tail = if traced {
-            render_tail(&pool, cfg.trace_tail)
-        } else {
-            Vec::new()
-        };
-
-        let (j, past_prologue) = progress.get();
+    /// Everything after the armed crash unwinds (or fails to): resolve the
+    /// crash model, run recovery, check both obligations. Shared verbatim
+    /// between the scratch and checkpointed engines, so their verdicts can
+    /// only differ if the replayed *state* differs — exactly what paranoia
+    /// mode cross-checks.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_point(
+        &self,
+        cfg: &SweepCfg,
+        k: u64,
+        pool: &PmemPool,
+        sub: &Sub,
+        ctx: &ThreadCtx,
+        progress: (usize, bool),
+        responses: &RefCell<Vec<<Sub::S as Spec>::Ret>>,
+        crashed: bool,
+        trace_tail: Vec<String>,
+    ) -> PointOutcome {
+        let (j, past_prologue) = progress;
         let mut outcome = PointOutcome {
             k,
             op_index: j,
-            op: format!("{:?}", self.script[j]),
-            crashed: done.is_none(),
+            op: self.op_strs[j].clone(),
+            crashed,
             detect_ok: true,
             durable_ok: true,
             note: String::new(),
             trace_tail,
         };
-        if done.is_some() {
+        if !crashed {
             // The count said event k exists, yet the replay finished: the
             // event stream diverged between runs. Report, don't recover.
             outcome.note = "replay completed without reaching the armed crash point".into();
@@ -625,6 +713,10 @@ where
         }
 
         pool.crash(&mut *cfg.adversary.instantiate(k, cfg.seed));
+        // No further crash can fire before the next restore/rebuild, so the
+        // crash model's bookkeeping is dead weight for the rest of the
+        // verdict; restore (or the next scratch build) re-arms it.
+        pool.set_crash_model_dormant(true);
         sub.recover_structure();
 
         // Ground truth: the sequential model over the completed prefix; the
@@ -636,13 +728,13 @@ where
         let expected = model.apply(&self.script[j]);
 
         let actual = if past_prologue {
-            sub.recover(&ctx, &self.script[j])
+            sub.recover(ctx, &self.script[j])
         } else {
             // Crash inside begin_op: RD_q still describes the previous
             // operation, so `recover` would resolve the wrong op. The
             // system re-invokes from the prologue instead (see module docs).
             ctx.begin_op(SiteId(0));
-            sub.exec(&ctx, &self.script[j])
+            sub.exec(ctx, &self.script[j])
         };
         if actual != expected {
             outcome.detect_ok = false;
@@ -661,7 +753,7 @@ where
         }
         let t = h.invoke(0, self.script[j].clone());
         h.ret(t, actual);
-        let structural = sub.observe(&ctx, &mut h);
+        let structural = sub.observe(ctx, &mut h);
         let lin = h.check(Sub::S::default());
         if structural.is_err() || lin.is_err() {
             outcome.durable_ok = false;
@@ -676,12 +768,171 @@ where
         }
         outcome
     }
+
+    /// Scratch engine, also returning the pre-crash event stream when
+    /// traced (paranoia comparison input).
+    fn run_point_impl(&self, cfg: &SweepCfg, k: u64, traced: bool) -> (PointOutcome, Vec<Event>) {
+        let (pool, sub, ctx) = (self.build)(traced);
+        pool.trace_clear(); // constructor events are not crash points
+        pool.crash_ctl().arm_after(k);
+        let progress = Cell::new((0, false));
+        let responses = RefCell::new(Vec::new());
+        let done = run_crashable(|| self.run_script(&sub, &ctx, 0, &progress, &responses, |_| {}));
+        pool.crash_ctl().disarm();
+        let (events, trace_tail) = capture_stream(&pool, cfg, traced);
+        let out = self.finish_point(
+            cfg,
+            k,
+            &pool,
+            &sub,
+            &ctx,
+            progress.get(),
+            &responses,
+            done.is_none(),
+            trace_tail,
+        );
+        (out, events)
+    }
+
+    /// Checkpointed engine: restore the nearest checkpoint at or before
+    /// `k`, rebase the crash countdown to it, replay only the remaining
+    /// operations.
+    fn run_point_ckpt_impl(
+        &self,
+        cfg: &SweepCfg,
+        k: u64,
+        traced: bool,
+    ) -> (PointOutcome, Vec<Event>) {
+        let guard = self.replay.borrow();
+        let st = guard
+            .as_ref()
+            .expect("prepare() must run before a checkpointed replay");
+        let cp = &st.checkpoints[st.checkpoints.partition_point(|c| c.events <= k) - 1];
+        st.pool.restore(&cp.snap);
+        st.pool.set_trace_enabled(traced);
+        st.pool.crash_ctl().arm_after(k - cp.events);
+        let progress = Cell::new((cp.op_idx, false));
+        let responses = RefCell::new(st.responses[..cp.op_idx].to_vec());
+        let done = run_crashable(|| {
+            self.run_script(&st.sub, &st.ctx, cp.op_idx, &progress, &responses, |_| {})
+        });
+        st.pool.crash_ctl().disarm();
+        let (events, trace_tail) = capture_stream(&st.pool, cfg, traced);
+        let out = self.finish_point(
+            cfg,
+            k,
+            &st.pool,
+            &st.sub,
+            &st.ctx,
+            progress.get(),
+            &responses,
+            done.is_none(),
+            trace_tail,
+        );
+        (out, events)
+    }
 }
 
-fn render_tail(pool: &PmemPool, n: usize) -> Vec<String> {
+impl<Sub, B> Case for CaseRunner<Sub, B>
+where
+    Sub: CrashSubject,
+    B: Fn(bool) -> (Arc<PmemPool>, Sub, ThreadCtx),
+{
+    fn count_events(&self, _cfg: &SweepCfg) -> u64 {
+        let (pool, sub, ctx) = (self.build)(true);
+        pool.trace_clear(); // constructor events are not crash points
+        let progress = Cell::new((0, false));
+        let responses = RefCell::new(Vec::new());
+        self.run_script(&sub, &ctx, 0, &progress, &responses, |_| {});
+        pool.trace_snapshot().total()
+    }
+
+    fn prepare(&self, _cfg: &SweepCfg, total_events: u64) {
+        // ~√E events between checkpoints: replay cost per point drops from
+        // O(E) to O(√E) while the capture keeps only O(√E) snapshots.
+        let interval = ((total_events as f64).sqrt().ceil() as u64).max(4);
+        let (pool, sub, ctx) = (self.build)(true);
+        pool.trace_clear();
+        let progress = Cell::new((0, false));
+        let responses = RefCell::new(Vec::new());
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
+        self.run_script(&sub, &ctx, 0, &progress, &responses, |i| {
+            let events = pool.trace_event_total();
+            let due = match checkpoints.last() {
+                None => true, // the script start is always a checkpoint
+                Some(last) => events - last.events >= interval,
+            };
+            if due {
+                checkpoints.push(Checkpoint {
+                    op_idx: i,
+                    events,
+                    snap: pool.snapshot(),
+                });
+            }
+        });
+        assert_eq!(
+            pool.trace_event_total(),
+            total_events,
+            "capture run diverged from the count run"
+        );
+        pool.set_trace_enabled(false); // replays run dark unless asked
+        *self.replay.borrow_mut() = Some(ReplayState {
+            pool,
+            sub,
+            ctx,
+            responses: responses.into_inner(),
+            checkpoints,
+        });
+    }
+
+    fn run_point(&self, cfg: &SweepCfg, k: u64, traced: bool) -> PointOutcome {
+        self.run_point_impl(cfg, k, traced).0
+    }
+
+    fn run_point_checkpointed(&self, cfg: &SweepCfg, k: u64, traced: bool) -> PointOutcome {
+        self.run_point_ckpt_impl(cfg, k, traced).0
+    }
+
+    fn paranoia_check(&self, cfg: &SweepCfg, k: u64) -> Option<String> {
+        let (s, s_ev) = self.run_point_impl(cfg, k, true);
+        let (c, c_ev) = self.run_point_ckpt_impl(cfg, k, true);
+        let sv = (s.crashed, s.op_index, s.detect_ok, s.durable_ok);
+        let cv = (c.crashed, c.op_index, c.detect_ok, c.durable_ok);
+        if sv != cv {
+            return Some(format!(
+                "verdicts diverge: scratch (crashed, op, detect, durable) = {sv:?}, \
+                 checkpointed = {cv:?}"
+            ));
+        }
+        // The checkpointed stream starts at its checkpoint and the rings
+        // may have dropped their oldest entries, so compare the overlap —
+        // sequence numbers line up because restore rewinds the counter to
+        // the capture run's value at the boundary.
+        let n = s_ev.len().min(c_ev.len());
+        let (st, ct) = (&s_ev[s_ev.len() - n..], &c_ev[c_ev.len() - n..]);
+        if let Some(i) = (0..n).find(|&i| st[i] != ct[i]) {
+            return Some(format!(
+                "event streams diverge: scratch {:?} vs checkpointed {:?}",
+                st[i], ct[i]
+            ));
+        }
+        None
+    }
+}
+
+/// Trace snapshot + rendered tail of a traced replay (empty when dark).
+fn capture_stream(pool: &PmemPool, cfg: &SweepCfg, traced: bool) -> (Vec<Event>, Vec<String>) {
+    if !traced {
+        return (Vec::new(), Vec::new());
+    }
     let snap = pool.trace_snapshot();
-    let start = snap.events.len().saturating_sub(n);
-    snap.events[start..]
+    let tail = render_tail(pool, &snap.events, cfg.trace_tail);
+    (snap.events, tail)
+}
+
+fn render_tail(pool: &PmemPool, events: &[Event], n: usize) -> Vec<String> {
+    let start = events.len().saturating_sub(n);
+    events[start..]
         .iter()
         .map(|e| {
             let site = if e.site == pmem::NO_SITE {
@@ -709,46 +960,43 @@ fn render_tail(pool: &PmemPool, n: usize) -> Vec<String> {
 fn make_case(cfg: &SweepCfg) -> Box<dyn Case> {
     let c = cfg.clone();
     match cfg.structure {
-        StructureKind::List | StructureKind::Bst => Box::new(CaseRunner {
-            script: set_script(cfg.seed, cfg.script_len),
-            build: move |traced| {
+        StructureKind::List | StructureKind::Bst => Box::new(CaseRunner::new(
+            set_script(cfg.seed, cfg.script_len),
+            move |traced| {
                 let pool = pool_for(&c, traced);
                 let algo = build(c.algo, pool.clone(), SWEEP_THREADS, SET_KEYS + 4);
                 pool.register_site_names(algo.sites());
                 let ctx = ThreadCtx::new(pool.clone(), 0);
                 (pool, SetSubject { algo }, ctx)
             },
-        }),
-        StructureKind::Queue => Box::new(CaseRunner {
-            script: queue_script(cfg.seed, cfg.script_len),
-            build: move |traced| {
+        )),
+        StructureKind::Queue => Box::new(CaseRunner::new(
+            queue_script(cfg.seed, cfg.script_len),
+            move |traced| {
                 let pool = pool_for(&c, traced);
                 pool.register_site_names(&tracking::sites::SITES);
                 let q = RecoverableQueue::new(pool.clone(), 0);
                 let ctx = ThreadCtx::new(pool.clone(), 0);
                 (pool, QueueSubject { q }, ctx)
             },
-        }),
-        StructureKind::Stack => Box::new(CaseRunner {
-            script: stack_script(cfg.seed, cfg.script_len),
-            build: move |traced| {
+        )),
+        StructureKind::Stack => Box::new(CaseRunner::new(
+            stack_script(cfg.seed, cfg.script_len),
+            move |traced| {
                 let pool = pool_for(&c, traced);
                 pool.register_site_names(&tracking::sites::SITES);
                 let s = RecoverableStack::new(pool.clone(), 0);
                 let ctx = ThreadCtx::new(pool.clone(), 0);
                 (pool, StackSubject { s }, ctx)
             },
-        }),
-        StructureKind::Exchanger => Box::new(CaseRunner {
-            script: vec![101, 202],
-            build: move |traced| {
-                let pool = pool_for(&c, traced);
-                pool.register_site_names(&tracking::sites::SITES);
-                let x = RecoverableExchanger::new(pool.clone(), 0);
-                let ctx = ThreadCtx::new(pool.clone(), 0);
-                (pool, ExchangerSubject { x }, ctx)
-            },
-        }),
+        )),
+        StructureKind::Exchanger => Box::new(CaseRunner::new(vec![101, 202], move |traced| {
+            let pool = pool_for(&c, traced);
+            pool.register_site_names(&tracking::sites::SITES);
+            let x = RecoverableExchanger::new(pool.clone(), 0);
+            let ctx = ThreadCtx::new(pool.clone(), 0);
+            (pool, ExchangerSubject { x }, ctx)
+        })),
     }
 }
 
@@ -764,10 +1012,17 @@ fn file_slug(s: &str) -> String {
         .collect()
 }
 
+/// Deterministic second hash stream for paranoia sampling (decorrelated
+/// from the `--sample` selection).
+const PARANOIA_SALT: u64 = 0x5AFE_C0DE_D00D_F00D;
+
 /// Runs one full sweep per [`SweepCfg`] and returns its report.
 pub fn run_sweep(cfg: &SweepCfg) -> SweepReport {
     let case = make_case(cfg);
     let total_events = case.count_events(cfg);
+    if cfg.checkpoint {
+        case.prepare(cfg, total_events);
+    }
     let mut csv = Csv::new(
         &format!("{}_{}", cfg.structure.name(), file_slug(cfg.algo.name())),
         &[
@@ -782,13 +1037,36 @@ pub fn run_sweep(cfg: &SweepCfg) -> SweepReport {
     );
     let mut violations = Vec::new();
     let (mut points_run, mut points_skipped) = (0u64, 0u64);
+    let mut paranoia_checked = 0u64;
     for k in 0..total_events {
         let in_shard = cfg.shard_count <= 1 || k % cfg.shard_count == cfg.shard_index;
         if !in_shard || (cfg.sample < 1.0 && !sampled(cfg.seed, k, cfg.sample)) {
             points_skipped += 1;
             continue;
         }
-        let p = case.run_point(cfg, k, false);
+        let p = if cfg.checkpoint {
+            case.run_point_checkpointed(cfg, k, false)
+        } else {
+            case.run_point(cfg, k, false)
+        };
+        if cfg.checkpoint
+            && cfg.paranoia > 0.0
+            && sampled(cfg.seed ^ PARANOIA_SALT, k, cfg.paranoia)
+        {
+            paranoia_checked += 1;
+            if let Some(err) = case.paranoia_check(cfg, k) {
+                violations.push(PointOutcome {
+                    k,
+                    op_index: p.op_index,
+                    op: p.op.clone(),
+                    crashed: p.crashed,
+                    detect_ok: false,
+                    durable_ok: p.durable_ok,
+                    note: format!("paranoia: {err}"),
+                    trace_tail: Vec::new(),
+                });
+            }
+        }
         csv.push(&[
             k.to_string(),
             p.op_index.to_string(),
@@ -822,6 +1100,7 @@ pub fn run_sweep(cfg: &SweepCfg) -> SweepReport {
         total_events,
         points_run,
         points_skipped,
+        paranoia_checked,
         violations,
         first_failure,
         csv,
@@ -902,6 +1181,47 @@ mod tests {
         assert!(text.contains("model says true"));
         assert!(text.contains("site 2 (insert)"));
         assert_eq!(csv_escape("a,b\nc"), "a;b c");
+    }
+
+    #[test]
+    fn engines_agree_under_full_paranoia() {
+        // Every point of the exchanger sweep cross-checked: scratch and
+        // checkpointed replays must produce identical verdicts and
+        // identical pre-crash event streams (seq, kind, site, addr, dirty).
+        let mut cfg = SweepCfg::new(StructureKind::Exchanger, AlgoKind::Tracking);
+        cfg.pool_bytes = 4 << 20;
+        cfg.paranoia = 1.0;
+        let ck = run_sweep(&cfg);
+        assert!(ck.ok(), "violations: {:?}", ck.violations);
+        assert_eq!(ck.paranoia_checked, ck.points_run);
+
+        let scratch = run_sweep(&SweepCfg {
+            checkpoint: false,
+            paranoia: 0.0,
+            ..cfg
+        });
+        assert!(scratch.ok());
+        assert_eq!(ck.total_events, scratch.total_events);
+        assert_eq!(ck.points_run, scratch.points_run);
+    }
+
+    #[test]
+    fn masked_site_is_invisible_to_enumeration() {
+        // Disabling a pwb site removes exactly its events from the crash
+        // point space. pwb(CP_q) fires twice per queue op — once in the
+        // prologue, once when the op persists its new checkpoint — so
+        // masking S_CP shrinks N by exactly two per scripted operation.
+        let mut cfg = SweepCfg::new(StructureKind::Queue, AlgoKind::Tracking);
+        cfg.pool_bytes = 4 << 20;
+        cfg.sample = 0.0; // count only
+        let full = run_sweep(&cfg);
+        cfg.site_mask = !(1 << tracking::sites::S_CP.0);
+        let masked = run_sweep(&cfg);
+        assert_eq!(
+            full.total_events - masked.total_events,
+            2 * cfg.script_len as u64,
+            "both pwb(CP_q) per op must vanish from the enumeration"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! [`crate::PmemPool::crash`] to resolve volatile state, and then run the
 //! operation's recovery function.
 
+use crate::epoch::{Epoch, EP_CRASH};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
@@ -56,14 +57,43 @@ pub struct CrashCtl {
     /// Master switch; kept false in performance runs so `tick` costs one
     /// predictable branch on a read-only flag.
     enabled: AtomicBool,
+    /// The owning pool's fused instrumentation-epoch word; this block keeps
+    /// [`EP_CRASH`] in sync with `enabled` so the pool's hot primitives can
+    /// fold the "crash armed?" question into their single epoch load.
+    epoch: Epoch,
 }
 
 impl CrashCtl {
+    /// A standalone control block with a private epoch word (used by tests
+    /// that tick by hand; pools share theirs via [`CrashCtl::with_epoch`]).
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
+        Self::with_epoch(crate::epoch::new_epoch(0))
+    }
+
+    /// A control block publishing its armed-state into `epoch`'s
+    /// [`EP_CRASH`] bit.
+    pub(crate) fn with_epoch(epoch: Epoch) -> Self {
         CrashCtl {
             countdown: AtomicI64::new(-1),
             broadcast: AtomicBool::new(false),
             enabled: AtomicBool::new(false),
+            epoch,
+        }
+    }
+
+    /// Flips the master switch and mirrors it into the shared epoch word.
+    ///
+    /// SeqCst on both: arming/disarming is a rare control action bracketing
+    /// a crashable section, and it must be totally ordered with the
+    /// countdown/broadcast stores around it so no tick can observe an armed
+    /// switch with a stale countdown (or vice versa).
+    fn set_armed(&self, on: bool) {
+        self.enabled.store(on, Ordering::SeqCst);
+        if on {
+            self.epoch.fetch_or(EP_CRASH, Ordering::SeqCst);
+        } else {
+            self.epoch.fetch_and(!EP_CRASH, Ordering::SeqCst);
         }
     }
 
@@ -72,7 +102,7 @@ impl CrashCtl {
     pub fn arm_after(&self, n: u64) {
         self.countdown.store(n as i64, Ordering::SeqCst);
         self.broadcast.store(false, Ordering::SeqCst);
-        self.enabled.store(true, Ordering::SeqCst);
+        self.set_armed(true);
     }
 
     /// Raises a system-wide crash: every thread panics with [`CrashPoint`]
@@ -99,12 +129,12 @@ impl CrashCtl {
     /// ```
     pub fn raise(&self) {
         self.broadcast.store(true, Ordering::SeqCst);
-        self.enabled.store(true, Ordering::SeqCst);
+        self.set_armed(true);
     }
 
     /// Disarms crash injection (normal operation).
     pub fn disarm(&self) {
-        self.enabled.store(false, Ordering::SeqCst);
+        self.set_armed(false);
         self.broadcast.store(false, Ordering::SeqCst);
         self.countdown.store(-1, Ordering::SeqCst);
     }
@@ -124,6 +154,16 @@ impl CrashCtl {
 
     /// Called by the pool on every instrumented event. Panics with
     /// [`CrashPoint`] when an armed crash fires.
+    ///
+    /// Ordering: the disarmed check is a **Relaxed** load. Arming is a
+    /// harness-level protocol, not a synchronization primitive — every
+    /// harness arms *before* starting the crashable section, and the
+    /// arm/section hand-off always happens on one thread or across a
+    /// spawn/join edge that already synchronizes. A hypothetical stale
+    /// "disarmed" view could only delay where a countdown starts, never
+    /// corrupt one that threads are actively draining; once the switch is
+    /// observed armed, all countdown arithmetic below is SeqCst so that
+    /// racing threads agree on exactly one firing decrement.
     #[inline]
     pub fn tick(&self) {
         if !self.enabled.load(Ordering::Relaxed) {
@@ -134,6 +174,11 @@ impl CrashCtl {
 
     #[cold]
     fn tick_slow(&self) {
+        // SeqCst throughout the armed path: `broadcast`, the countdown
+        // `fetch_sub`, and the auto-disarm stores must form one total order
+        // so that concurrent tickers see exactly one countdown reach zero
+        // (and none keep decrementing a block another thread already
+        // disarmed into the far-negative range).
         if self.broadcast.load(Ordering::SeqCst) {
             INJECTED.with(|c| c.set(true));
             std::panic::panic_any(CrashPoint);
@@ -144,7 +189,7 @@ impl CrashCtl {
             // later tick — the unwind path itself, other threads draining,
             // and whatever runs next on this pool — must take the cheap
             // fast path again instead of decrementing forever.
-            self.enabled.store(false, Ordering::SeqCst);
+            self.set_armed(false);
             INJECTED.with(|c| c.set(true));
             std::panic::panic_any(CrashPoint);
         }
@@ -152,7 +197,7 @@ impl CrashCtl {
             // Countdown already exhausted (the firing thread disarmed, or a
             // racing thread drained it first) or never armed: stop paying
             // the slow path on every subsequent event.
-            self.enabled.store(false, Ordering::SeqCst);
+            self.set_armed(false);
         }
     }
 }

@@ -102,6 +102,7 @@
 
 pub mod addr;
 pub mod crash;
+mod epoch;
 pub mod lint;
 pub mod persist;
 pub mod pool;
@@ -114,7 +115,7 @@ pub use addr::{is_tagged, tagged, untagged, PAddr, WORDS_PER_LINE};
 pub use crash::{run_crashable, CrashCtl, CrashPoint};
 pub use lint::{Diagnostic, LintKind, LintReport};
 pub use persist::{Backend, SiteId, MAX_SITES};
-pub use pool::{PmemPool, PoolCfg, NUM_ROOTS};
+pub use pool::{PmemPool, PoolCfg, PoolSnapshot, NUM_ROOTS};
 pub use shadow::{
     CrashAdversary, CrashChoice, OptimistAdversary, PessimistAdversary, SeededAdversary,
 };

@@ -177,7 +177,7 @@ enum Status {
 }
 
 #[derive(Copy, Clone, Debug)]
-struct LineState {
+pub(crate) struct LineState {
     status: Status,
     /// Fence seen since the covering `pwb` (meaningful when `Flushed`).
     fenced: bool,
@@ -210,6 +210,11 @@ pub(crate) struct FlushLint {
     pwb_dirty: [AtomicU64; MAX_SITES],
     pwb_redundant: [AtomicU64; MAX_SITES],
     pwb_unknown: [AtomicU64; MAX_SITES],
+    /// Bumped by every mutation of the line-state machine. Pool restore
+    /// compares generations to skip re-importing a table nothing touched
+    /// (the common case for the sweep engine's dark replays, where neither
+    /// the trace nor the lint drives the state machine).
+    generation: AtomicU64,
 }
 
 impl FlushLint {
@@ -222,7 +227,19 @@ impl FlushLint {
             pwb_dirty: std::array::from_fn(|_| AtomicU64::new(0)),
             pwb_redundant: std::array::from_fn(|_| AtomicU64::new(0)),
             pwb_unknown: std::array::from_fn(|_| AtomicU64::new(0)),
+            generation: AtomicU64::new(0),
         }
+    }
+
+    /// Opaque mutation counter over the line-state machine (see the field
+    /// docs); equal generations mean the table is bit-identical.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn touch(&self) {
+        self.generation.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
@@ -242,6 +259,7 @@ impl FlushLint {
     /// A store (or successful CAS) wrote `line`. Returns the dirty state
     /// after the event (always `true`).
     pub(crate) fn on_write(&self, line: usize, site: u8, tid: usize, seq: u64) -> bool {
+        self.touch();
         let mut lines = lock(&self.lines);
         if lines.len() >= MAX_TRACKED_LINES {
             lines.retain(|_, s| s.status != Status::Clean);
@@ -269,6 +287,7 @@ impl FlushLint {
     /// dirty before the flush (a `false` marks the flush as redundant or of
     /// unknown use).
     pub(crate) fn on_pwb(&self, line: usize, site: SiteId, tid: usize, seq: u64) -> bool {
+        self.touch();
         let count = self.enabled();
         let mut lines = lock(&self.lines);
         match lines.get_mut(&line) {
@@ -323,6 +342,7 @@ impl FlushLint {
 
     /// A `pfence`/`psync` completed: every flushed line is now committed.
     pub(crate) fn on_fence(&self) {
+        self.touch();
         let pending: Vec<usize> = std::mem::take(&mut *lock(&self.flushed));
         if pending.is_empty() {
             return;
@@ -343,6 +363,7 @@ impl FlushLint {
     /// published unpersisted content. `target_line` is the decoded line
     /// (the pool validates the pointer shape before calling).
     pub(crate) fn on_publish(&self, target_line: usize, tid: usize, seq: u64) {
+        self.touch();
         if !self.enabled() {
             return;
         }
@@ -369,6 +390,7 @@ impl FlushLint {
     /// tracked state resets — post-crash, volatile and persisted views
     /// agree everywhere.
     pub(crate) fn on_crash(&self, seq: u64) {
+        self.touch();
         let mut lines = lock(&self.lines);
         if self.enabled() {
             let mut diags = lock(&self.diags);
@@ -420,8 +442,35 @@ impl FlushLint {
         }
     }
 
+    /// Copies out the line-state machine (tracked lines plus the
+    /// flushed-awaiting-fence worklist), sorted for determinism. Part of
+    /// [`crate::PmemPool::snapshot`]: a replay from a restored checkpoint
+    /// must compute the same per-event dirty annotations the original
+    /// timeline did.
+    pub(crate) fn export_state(&self) -> (Vec<(usize, LineState)>, Vec<usize>) {
+        let mut lines: Vec<(usize, LineState)> =
+            lock(&self.lines).iter().map(|(&l, &s)| (l, s)).collect();
+        lines.sort_unstable_by_key(|&(l, _)| l);
+        (lines, lock(&self.flushed).clone())
+    }
+
+    /// Replaces the line-state machine with state captured by
+    /// [`FlushLint::export_state`] (findings and counters are left to the
+    /// caller — [`crate::PmemPool::restore`] clears them first).
+    pub(crate) fn import_state(&self, lines: &[(usize, LineState)], flushed: &[usize]) {
+        self.touch();
+        let mut tbl = lock(&self.lines);
+        tbl.clear();
+        for &(l, s) in lines {
+            tbl.insert(l, s);
+        }
+        drop(tbl);
+        *lock(&self.flushed) = flushed.to_vec();
+    }
+
     /// Forgets all findings, counters and line states.
     pub(crate) fn clear(&self) {
+        self.touch();
         lock(&self.lines).clear();
         lock(&self.flushed).clear();
         lock(&self.diags).clear();

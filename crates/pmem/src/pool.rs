@@ -1,16 +1,27 @@
 //! The persistent-memory pool: allocation, word primitives, persistence
 //! instructions, and simulated crashes.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
 
 use crate::addr::{PAddr, WORDS_PER_LINE};
 use crate::crash::CrashCtl;
-use crate::lint::{FlushLint, LintReport};
+use crate::epoch::{new_epoch, Epoch, EP_CRASH, EP_FOOT, EP_LINT, EP_MASK, EP_SHADOW, EP_TRACE};
+use crate::lint::{FlushLint, LineState, LintReport};
 use crate::persist::{self, Backend, SiteId, SiteMask, MAX_SITES};
-use crate::shadow::{CrashAdversary, ShadowMem};
+use crate::shadow::{CrashAdversary, LineSnap, ShadowMem};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::trace::{trace_tid, EventKind, Trace, TraceSnapshot, NO_SITE};
+
+/// Epoch bits that force `load` off its fast path. Lint ignores reads, so
+/// only crash injection and the trace are relevant.
+const EP_LOAD_SLOW: u64 = EP_CRASH | EP_TRACE;
+/// Epoch bits that force `store`/`cas` off their fast paths (the lint
+/// tracks writes, the replay footprint tracks written lines).
+const EP_DATA_SLOW: u64 = EP_CRASH | EP_TRACE | EP_LINT | EP_FOOT;
+/// Epoch bits that force `pwb`/`pfence`/`psync` off their fast paths (the
+/// shadow crash model additionally hooks persistence instructions).
+const EP_PERSIST_SLOW: u64 = EP_CRASH | EP_TRACE | EP_LINT | EP_SHADOW | EP_FOOT;
 
 /// Number of root-directory cells (each on its own cache line).
 pub const NUM_ROOTS: usize = 16;
@@ -131,11 +142,46 @@ pub struct PmemPool {
     max_threads: usize,
     trace: Trace,
     lint: FlushLint,
-    /// Cached `trace.enabled() || lint.enabled()`: primitives check this one
-    /// relaxed flag and only branch into the cold observation path when some
-    /// observer is actually on.
-    obs_on: AtomicBool,
-    site_names: Mutex<[Option<&'static str>; MAX_SITES]>,
+    /// The fused instrumentation epoch (see [`crate::epoch`]): one relaxed
+    /// load of this word answers every "do I need the slow path?" question
+    /// a primitive has — crash injection armed, trace on, lint on, shadow
+    /// model present. The [`CrashCtl`] shares it (to clear [`EP_CRASH`] on
+    /// auto-disarm); the observer toggles maintain the trace/lint bits.
+    epoch: Epoch,
+    /// Read-mostly: registered once by algorithm constructors, then read on
+    /// every report/attribution path. An `RwLock` lets concurrent report
+    /// rendering proceed without serializing on registration.
+    site_names: RwLock<[Option<&'static str>; MAX_SITES]>,
+    /// Replay-footprint tracking (see [`EP_FOOT`] and [`Self::restore`]).
+    foot: Mutex<Footprint>,
+}
+
+/// Which lines the pool has dirtied since the last [`PmemPool::restore`].
+/// Armed by the first restore (via [`EP_FOOT`]) and maintained by the
+/// mutating slow paths, it lets the next restore rewrite only diverged
+/// lines and lets [`PmemPool::crash`] resolve only potentially-dirty lines,
+/// instead of both scanning the whole allocated prefix per crash point.
+#[derive(Default)]
+struct Footprint {
+    /// Tracking armed: the pool has been restored at least once.
+    live: bool,
+    /// Id of the last-restored snapshot (0 = none).
+    snap_id: u64,
+    /// Lines mutated since the last restore (duplicates allowed; sorted and
+    /// deduplicated when consumed).
+    lines: Vec<usize>,
+    /// Lines whose volatile and persisted views differed — or that held a
+    /// pending `pwb` snapshot — when the restored checkpoint was captured.
+    hot: Vec<usize>,
+    /// Lint generation right after the last line-state import, to skip
+    /// re-importing a table nothing has touched since.
+    lint_gen: u64,
+}
+
+fn lock_foot(m: &Mutex<Footprint>) -> MutexGuard<'_, Footprint> {
+    // Poison-tolerant like every other pool lock: injected CrashPoint
+    // panics never unwind while the footprint is held.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl PmemPool {
@@ -149,6 +195,11 @@ impl PmemPool {
         let words = alloc_zeroed_atomics(nwords);
         let recovery_base = (1 + NUM_ROOTS) * WORDS_PER_LINE;
         let heap_base = recovery_base + cfg.max_threads * WORDS_PER_LINE;
+        let epoch = new_epoch(
+            if cfg.trace { EP_TRACE } else { 0 }
+                | if cfg.lint { EP_LINT } else { 0 }
+                | if cfg.shadow { EP_SHADOW } else { 0 },
+        );
         PmemPool {
             words,
             next: AtomicUsize::new(heap_base),
@@ -160,13 +211,14 @@ impl PmemPool {
             },
             stats: Stats::new(),
             mask: SiteMask::all_on(),
-            crash_ctl: CrashCtl::new(),
+            crash_ctl: CrashCtl::with_epoch(epoch.clone()),
             recovery_base,
             max_threads: cfg.max_threads,
             trace: Trace::new(cfg.trace_capacity, cfg.trace),
             lint: FlushLint::new(cfg.lint),
-            obs_on: AtomicBool::new(cfg.trace || cfg.lint),
-            site_names: Mutex::new([None; MAX_SITES]),
+            epoch,
+            site_names: RwLock::new([None; MAX_SITES]),
+            foot: Mutex::new(Footprint::default()),
         }
     }
 
@@ -245,12 +297,36 @@ impl PmemPool {
     // Word primitives (read / write / CAS)
     // ------------------------------------------------------------------
 
+    /// One relaxed load of the fused instrumentation epoch, masked down to
+    /// the bits the calling primitive cares about. Relaxed is sufficient:
+    /// every bit is a harness-level control (arm a crash, enable an
+    /// observer) that is always flipped *before* the workload it governs
+    /// starts, on the same thread or across a spawn/join edge that already
+    /// synchronizes — the epoch never carries data-dependent state between
+    /// racing operations, so no primitive's correctness rests on seeing a
+    /// flip "in time".
+    #[inline]
+    fn epoch_bits(&self, mask: u64) -> u64 {
+        self.epoch.load(Ordering::Relaxed) & mask
+    }
+
     /// Atomic read of a word (acquire).
     #[inline]
     pub fn load(&self, a: PAddr) -> u64 {
-        self.crash_ctl.tick();
+        let bits = self.epoch_bits(EP_LOAD_SLOW);
+        if bits == 0 {
+            return self.words[a.word()].load(Ordering::Acquire);
+        }
+        self.load_slow(a, bits)
+    }
+
+    #[cold]
+    fn load_slow(&self, a: PAddr, bits: u64) -> u64 {
+        if bits & EP_CRASH != 0 {
+            self.crash_ctl.tick();
+        }
         let v = self.words[a.word()].load(Ordering::Acquire);
-        if self.observing() {
+        if bits & EP_TRACE != 0 {
             self.observe_load(a);
         }
         v
@@ -283,9 +359,24 @@ impl PmemPool {
 
     #[inline]
     fn store_raw(&self, a: PAddr, v: u64, site: u8) {
-        self.crash_ctl.tick();
+        let bits = self.epoch_bits(EP_DATA_SLOW);
+        if bits == 0 {
+            self.words[a.word()].store(v, Ordering::Release);
+            return;
+        }
+        self.store_slow(a, v, site, bits);
+    }
+
+    #[cold]
+    fn store_slow(&self, a: PAddr, v: u64, site: u8, bits: u64) {
+        if bits & EP_CRASH != 0 {
+            self.crash_ctl.tick();
+        }
         self.words[a.word()].store(v, Ordering::Release);
-        if self.observing() {
+        if bits & EP_FOOT != 0 {
+            self.note_line(a.line());
+        }
+        if bits & (EP_TRACE | EP_LINT) != 0 {
             self.observe_write(a, EventKind::Store, site);
         }
     }
@@ -319,9 +410,28 @@ impl PmemPool {
 
     #[inline]
     fn cas_raw(&self, a: PAddr, old: u64, new: u64, site: u8) -> Result<u64, u64> {
-        self.crash_ctl.tick();
+        let bits = self.epoch_bits(EP_DATA_SLOW);
+        if bits == 0 {
+            return self.words[a.word()].compare_exchange(
+                old,
+                new,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+        self.cas_slow(a, old, new, site, bits)
+    }
+
+    #[cold]
+    fn cas_slow(&self, a: PAddr, old: u64, new: u64, site: u8, bits: u64) -> Result<u64, u64> {
+        if bits & EP_CRASH != 0 {
+            self.crash_ctl.tick();
+        }
         let r = self.words[a.word()].compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst);
-        if self.observing() {
+        if r.is_ok() && bits & EP_FOOT != 0 {
+            self.note_line(a.line());
+        }
+        if bits & (EP_TRACE | EP_LINT) != 0 {
             self.observe_cas(a, new, r.is_ok(), site);
         }
         r
@@ -335,13 +445,53 @@ impl PmemPool {
     /// attributed to call site `site`. A disabled site is a no-op that is
     /// not counted — the site's code line has been "removed" in the paper's
     /// categorization methodology.
+    ///
+    /// The mask check comes **before** the crash-injection tick: a disabled
+    /// site must be completely invisible to crash-point enumeration (it
+    /// neither ticks, counts, traces, nor flushes), so sweeps over a masked
+    /// workload see exactly the events the masked program would execute.
     #[inline]
     pub fn pwb(&self, a: PAddr, site: SiteId) {
-        if !self.mask.site_enabled(site) {
+        let bits = self.epoch_bits(EP_PERSIST_SLOW | EP_MASK);
+        if bits == 0 {
+            self.stats.count_pwb(site);
+            self.pwb_backend(a);
             return;
         }
-        self.crash_ctl.tick();
+        self.pwb_slow(a, site, bits);
+    }
+
+    #[cold]
+    fn pwb_slow(&self, a: PAddr, site: SiteId, bits: u64) {
+        // Mask check first, then the tick: a disabled site is invisible to
+        // crash-point enumeration, and a crash firing at this event must
+        // leave the pwb entirely unexecuted (not counted, not flushed,
+        // not snapshotted).
+        if bits & EP_MASK != 0 && !self.mask.site_enabled(site) {
+            return;
+        }
+        if bits & EP_CRASH != 0 {
+            self.crash_ctl.tick();
+        }
         self.stats.count_pwb(site);
+        self.pwb_backend(a);
+        if bits & EP_SHADOW != 0 {
+            if let Some(sh) = &self.shadow {
+                sh.pwb(&self.words, a.line());
+            }
+        }
+        if bits & EP_FOOT != 0 {
+            // The pending snapshot just taken may be committed by a later
+            // psync, silently changing this line's persisted image.
+            self.note_line(a.line());
+        }
+        if bits & (EP_TRACE | EP_LINT) != 0 {
+            self.observe_pwb(a, site);
+        }
+    }
+
+    #[inline]
+    fn pwb_backend(&self, a: PAddr) {
         match self.backend {
             Backend::Clflush => {
                 let line_base = a.line() * WORDS_PER_LINE;
@@ -349,12 +499,6 @@ impl PmemPool {
             }
             Backend::Delay { pwb_ns, .. } => persist::busy_wait_ns(pwb_ns),
             Backend::Noop => {}
-        }
-        if let Some(sh) = &self.shadow {
-            sh.pwb(&self.words, a.line());
-        }
-        if self.observing() {
-            self.observe_pwb(a, site);
         }
     }
 
@@ -373,29 +517,52 @@ impl PmemPool {
     /// implemented exactly as `psync`.
     #[inline]
     pub fn pfence(&self) {
-        if !self.mask.psync_enabled() {
+        let bits = self.epoch_bits(EP_PERSIST_SLOW | EP_MASK);
+        if bits == 0 {
+            self.stats.count_pfence();
+            self.fence_backend();
             return;
         }
-        self.crash_ctl.tick();
-        self.stats.count_pfence();
-        self.fence_backend();
-        if self.observing() {
-            self.observe_fence(EventKind::Pfence);
-        }
+        self.fence_slow(EventKind::Pfence, bits);
     }
 
     /// `psync`: waits until all preceding `pwb`s have reached persistent
     /// memory.
     #[inline]
     pub fn psync(&self) {
-        if !self.mask.psync_enabled() {
+        let bits = self.epoch_bits(EP_PERSIST_SLOW | EP_MASK);
+        if bits == 0 {
+            self.stats.count_psync();
+            self.fence_backend();
             return;
         }
-        self.crash_ctl.tick();
-        self.stats.count_psync();
+        self.fence_slow(EventKind::Psync, bits);
+    }
+
+    #[cold]
+    fn fence_slow(&self, kind: EventKind, bits: u64) {
+        // Mask check first, then the tick: a disabled fence is invisible to
+        // crash-point enumeration, and a crash at this event must leave the
+        // fence unexecuted (nothing committed to the shadow's persisted
+        // image, not counted).
+        if bits & EP_MASK != 0 && !self.mask.psync_enabled() {
+            return;
+        }
+        if bits & EP_CRASH != 0 {
+            self.crash_ctl.tick();
+        }
+        match kind {
+            EventKind::Pfence => self.stats.count_pfence(),
+            _ => self.stats.count_psync(),
+        }
         self.fence_backend();
-        if self.observing() {
-            self.observe_fence(EventKind::Psync);
+        if bits & EP_SHADOW != 0 {
+            if let Some(sh) = &self.shadow {
+                sh.psync();
+            }
+        }
+        if bits & (EP_TRACE | EP_LINT) != 0 {
+            self.observe_fence(kind);
         }
     }
 
@@ -405,9 +572,6 @@ impl PmemPool {
             Backend::Clflush => persist::hw_sfence(),
             Backend::Delay { psync_ns, .. } => persist::busy_wait_ns(psync_ns),
             Backend::Noop => {}
-        }
-        if let Some(sh) = &self.shadow {
-            sh.psync();
         }
     }
 
@@ -427,11 +591,13 @@ impl PmemPool {
     /// Enables/disables one `pwb` call site.
     pub fn set_site_enabled(&self, site: SiteId, on: bool) {
         self.mask.set_site(site, on);
+        self.refresh_mask_epoch();
     }
 
     /// Replaces the whole site mask (bit *i* = site *i* enabled).
     pub fn set_sites_mask(&self, mask: u64) {
         self.mask.set_mask(mask);
+        self.refresh_mask_epoch();
     }
 
     /// Current site mask.
@@ -443,6 +609,14 @@ impl PmemPool {
     /// Figures 3c/4c).
     pub fn set_psync_enabled(&self, on: bool) {
         self.mask.set_psync(on);
+        self.refresh_mask_epoch();
+    }
+
+    /// Re-derives [`EP_MASK`] from the current mask state, so the unmasked
+    /// fast paths never consult the mask at all.
+    fn refresh_mask_epoch(&self) {
+        let masked = self.mask.mask() != u64::MAX || !self.mask.psync_enabled();
+        self.set_epoch_bit(EP_MASK, masked);
     }
 
     /// Snapshot of the persistence-instruction counters.
@@ -464,23 +638,21 @@ impl PmemPool {
     // Observation: persistence-event trace + flush lint
     // ------------------------------------------------------------------
 
-    /// Is any observer (trace or lint) on? One relaxed load on the hot path.
-    #[inline]
-    fn observing(&self) -> bool {
-        self.obs_on.load(Ordering::Relaxed)
-    }
-
-    fn refresh_obs(&self) {
-        self.obs_on.store(
-            self.trace.enabled() || self.lint.enabled(),
-            Ordering::SeqCst,
-        );
+    /// Mirrors an observer toggle into the fused epoch word. SeqCst for the
+    /// same reason as arming a crash: enabling an observer is a rare
+    /// control action that must not reorder with the workload it brackets.
+    fn set_epoch_bit(&self, bit: u64, on: bool) {
+        if on {
+            self.epoch.fetch_or(bit, Ordering::SeqCst);
+        } else {
+            self.epoch.fetch_and(!bit, Ordering::SeqCst);
+        }
     }
 
     /// Enables/disables the persistence-event trace (see [`crate::trace`]).
     pub fn set_trace_enabled(&self, on: bool) {
         self.trace.set_enabled(on);
-        self.refresh_obs();
+        self.set_epoch_bit(EP_TRACE, on);
     }
 
     /// Is the trace currently recording?
@@ -502,7 +674,7 @@ impl PmemPool {
     /// Enables/disables the flush lint (see [`crate::lint`]).
     pub fn set_lint_enabled(&self, on: bool) {
         self.lint.set_enabled(on);
-        self.refresh_obs();
+        self.set_epoch_bit(EP_LINT, on);
     }
 
     /// Is the lint currently recording findings?
@@ -529,17 +701,18 @@ impl PmemPool {
     pub fn register_site_names(&self, names: &[(SiteId, &'static str)]) {
         let mut tbl = self
             .site_names
-            .lock()
+            .write()
             .unwrap_or_else(PoisonError::into_inner);
         for (site, name) in names {
             tbl[site.idx()] = Some(name);
         }
     }
 
-    /// The registered name of `site`, if any.
+    /// The registered name of `site`, if any. Read-locked only: concurrent
+    /// report rendering never serializes against other readers.
     pub fn site_name(&self, site: SiteId) -> Option<&'static str> {
         self.site_names
-            .lock()
+            .read()
             .unwrap_or_else(PoisonError::into_inner)[site.idx()]
     }
 
@@ -552,6 +725,13 @@ impl PmemPool {
                 self.site_name(SiteId(s))
             }
         })
+    }
+
+    /// Records a mutated line in the replay footprint (slow paths only,
+    /// gated on [`EP_FOOT`]).
+    #[cold]
+    fn note_line(&self, line: usize) {
+        lock_foot(&self.foot).lines.push(line);
     }
 
     #[cold]
@@ -656,11 +836,51 @@ impl PmemPool {
         // Only lines up to the allocation watermark can differ between the
         // volatile and persisted views.
         let nlines = self.next.load(Ordering::Relaxed).div_ceil(WORDS_PER_LINE);
-        sh.crash(&self.words, adversary, nlines);
+        let mut foot = lock_foot(&self.foot);
+        if foot.live {
+            // Footprint tracking bounds the scan: a line absent from the
+            // checkpoint's hot set, the mutation record and the pending map
+            // has identical views, exactly the lines the full scan skips.
+            // Ascending order keeps seeded adversaries bit-compatible with
+            // the full scan.
+            let mut scan: Vec<usize> = foot
+                .hot
+                .iter()
+                .chain(foot.lines.iter())
+                .copied()
+                .chain(sh.pending_lines())
+                .collect();
+            scan.sort_unstable();
+            scan.dedup();
+            sh.crash_bounded(&self.words, adversary, &scan);
+            // Resolution rewrote the scanned lines: they now diverge from
+            // the restored checkpoint.
+            foot.lines.extend_from_slice(&scan);
+        } else {
+            drop(foot);
+            sh.crash(&self.words, adversary, nlines);
+        }
         // Lines still dirty at the crash are exactly the losses the
         // adversary could pick; record them as permanent findings and reset
-        // the lint's view (volatile == persisted after resolution).
-        self.lint.on_crash(self.trace.next_seq());
+        // the lint's view (volatile == persisted after resolution). Both
+        // matter only to the observers — a dark replay (no trace, no lint)
+        // skips the walk, and the next restore re-imports the line states.
+        if self.trace.enabled() || self.lint.enabled() {
+            self.lint.on_crash(self.trace.next_seq());
+        }
+    }
+
+    /// Puts the shadow crash model to sleep, or wakes it (Model mode only;
+    /// a no-op otherwise). While dormant, `pwb`/`psync` stop maintaining
+    /// the pending and persisted images. The crash-sweep verdict phase uses
+    /// this right after [`Self::crash`] resolves: no further crash can be
+    /// injected before the pool is restored or rebuilt, so the bookkeeping
+    /// would be dead weight on every recovery/observation event.
+    /// [`Self::restore`] re-arms the model automatically.
+    pub fn set_crash_model_dormant(&self, dormant: bool) {
+        if self.shadow.is_some() {
+            self.set_epoch_bit(EP_SHADOW, !dormant);
+        }
     }
 
     /// Reads the *persisted* image of a word (Model mode test introspection).
@@ -669,6 +889,209 @@ impl PmemPool {
             .as_ref()
             .expect("persisted_load requires Model mode")
             .persisted_load(a.word())
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore (checkpointed replay)
+    // ------------------------------------------------------------------
+
+    /// Exact number of trace events recorded since the last
+    /// [`Self::trace_clear`] (retained plus dropped), without merging the
+    /// per-thread rings. The sweep engine samples this at operation
+    /// boundaries to place checkpoints.
+    pub fn trace_event_total(&self) -> u64 {
+        self.trace.total()
+    }
+
+    /// Captures the pool's complete persistent-memory state: the volatile
+    /// word image up to the allocation watermark, the shadow's persisted
+    /// image and pending `pwb` snapshots (Model mode), the allocation
+    /// cursor, the site mask, and the trace sequence counter. Root cells
+    /// and per-thread recovery slots live inside the word image, so they
+    /// are covered automatically.
+    ///
+    /// Requires quiescence (no concurrent pool operations) — the intended
+    /// caller is the crash-sweep engine between scripted operations.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        let next = self.next.load(Ordering::SeqCst);
+        let words: Vec<u64> = (0..next)
+            .map(|i| self.words[i].load(Ordering::Acquire))
+            .collect();
+        let (persisted, pending) = match &self.shadow {
+            Some(sh) => {
+                let (p, pend) = sh.export(next);
+                (Some(p), pend)
+            }
+            None => (None, Vec::new()),
+        };
+        let (lint_lines, lint_flushed) = self.lint.export_state();
+        // Hot lines: views differ or a pwb is pending — the only lines a
+        // crash resolution of this exact state could touch, precomputed
+        // once here so replays from this checkpoint can scan just them.
+        let mut hot_lines: Vec<usize> = Vec::new();
+        if let Some(p) = &persisted {
+            for line in 0..next.div_ceil(WORDS_PER_LINE) {
+                let base = line * WORDS_PER_LINE;
+                let end = (base + WORDS_PER_LINE).min(next);
+                if (base..end).any(|w| words[w] != p[w]) {
+                    hot_lines.push(line);
+                }
+            }
+            hot_lines.extend(pending.iter().map(|&(l, _)| l));
+            hot_lines.sort_unstable();
+            hot_lines.dedup();
+        }
+        static NEXT_SNAP_ID: AtomicU64 = AtomicU64::new(1);
+        PoolSnapshot {
+            id: NEXT_SNAP_ID.fetch_add(1, Ordering::Relaxed),
+            next,
+            words,
+            persisted,
+            pending,
+            hot_lines,
+            lint_lines,
+            lint_flushed,
+            trace_seq: self.trace.seq(),
+            sites_mask: self.mask.mask(),
+            psync_on: self.mask.psync_enabled(),
+        }
+    }
+
+    /// Rewinds the pool to a state captured by [`Self::snapshot`] — words,
+    /// shadow images, allocation cursor, site mask and trace sequence
+    /// counter. Memory the pool dirtied *after* the snapshot (words between
+    /// the snapshot's and the current allocation watermark) is zeroed in
+    /// both the volatile and persisted images, so re-allocation hands out
+    /// freshly zeroed lines exactly as a fresh pool would. Crash injection
+    /// is disarmed and the trace/lint observers are cleared (their enable
+    /// flags are left alone — the caller decides what to observe next).
+    ///
+    /// Requires quiescence, and the snapshot must come from this pool (the
+    /// allocation watermark may only have grown since it was taken).
+    pub fn restore(&self, snap: &PoolSnapshot) {
+        let cur_next = self.next.load(Ordering::SeqCst);
+        assert!(
+            snap.next <= cur_next && snap.next <= self.words.len(),
+            "restore: snapshot does not belong to this pool"
+        );
+        let mut foot = lock_foot(&self.foot);
+        // Restoring the same snapshot again? Then everything that diverged
+        // since the last restore is in the footprint (mutating slow paths
+        // record lines while EP_FOOT is set, and `crash` records the lines
+        // it resolved), so rewriting just those lines — instead of the
+        // whole allocated prefix — reproduces the snapshot exactly. This is
+        // the per-crash-point hot path of the checkpointed sweep engine.
+        let incremental = foot.live && foot.snap_id == snap.id;
+        if incremental {
+            foot.lines.sort_unstable();
+            foot.lines.dedup();
+            for &line in &foot.lines {
+                let base = line * WORDS_PER_LINE;
+                for w in base..base + WORDS_PER_LINE {
+                    // Lines allocated after the capture rewind to zero, as
+                    // a fresh pool would hand them out.
+                    let v = snap.words.get(w).copied().unwrap_or(0);
+                    self.words[w].store(v, Ordering::Release);
+                }
+            }
+            if let Some(sh) = &self.shadow {
+                let persisted = snap
+                    .persisted
+                    .as_ref()
+                    .expect("restore: snapshot from a non-shadow pool into Model mode");
+                sh.import_lines(&foot.lines, persisted, &snap.pending);
+            }
+        } else {
+            for (i, w) in snap.words.iter().enumerate() {
+                self.words[i].store(*w, Ordering::Release);
+            }
+            for i in snap.next..cur_next {
+                self.words[i].store(0, Ordering::Release);
+            }
+            if let Some(sh) = &self.shadow {
+                let persisted = snap
+                    .persisted
+                    .as_ref()
+                    .expect("restore: snapshot from a non-shadow pool into Model mode");
+                sh.import(persisted, &snap.pending, cur_next);
+            }
+            foot.hot = snap.hot_lines.clone();
+        }
+        self.next.store(snap.next, Ordering::SeqCst);
+        self.mask.set_mask(snap.sites_mask);
+        self.mask.set_psync(snap.psync_on);
+        self.refresh_mask_epoch();
+        self.crash_ctl.disarm();
+        // Findings and counters reset, but the line-state machine is put
+        // back exactly as captured: it feeds the `dirty` annotation of
+        // traced events, and a replay from this checkpoint must reproduce
+        // the original timeline's annotations byte for byte. Re-importing
+        // is skipped when nothing has touched the table since the last
+        // import of this same snapshot (dark replays drive neither the
+        // trace nor the lint).
+        let lint_gen = self.lint.generation();
+        if !(incremental && foot.lint_gen == lint_gen) {
+            self.lint.clear();
+            self.lint.import_state(&snap.lint_lines, &snap.lint_flushed);
+            foot.lint_gen = self.lint.generation();
+        }
+        self.trace.clear();
+        self.trace.set_seq(snap.trace_seq);
+        // Arm footprint tracking for the replay that follows. Seeding with
+        // the snapshot's pending lines covers the one mutation a replay can
+        // make without a recording slow path firing for that line: a psync
+        // committing a pending snapshot it inherited from the checkpoint.
+        foot.live = true;
+        foot.snap_id = snap.id;
+        foot.lines.clear();
+        foot.lines.extend(snap.pending.iter().map(|&(l, _)| l));
+        drop(foot);
+        self.set_epoch_bit(EP_FOOT, true);
+        // Wake the crash model if the verdict phase of the previous crash
+        // point put it to sleep (see `set_crash_model_dormant`).
+        if self.shadow.is_some() {
+            self.set_epoch_bit(EP_SHADOW, true);
+        }
+    }
+}
+
+/// A point-in-time copy of a pool's full persistent state (see
+/// [`PmemPool::snapshot`]). Opaque outside the crate; the sweep engine
+/// stores these as replay checkpoints.
+pub struct PoolSnapshot {
+    /// Process-unique id, so a pool can recognize "restoring the same
+    /// snapshot as last time" and take the incremental path.
+    id: u64,
+    /// Allocation cursor (words) at capture time.
+    next: usize,
+    /// Volatile word image `[0, next)`.
+    words: Vec<u64>,
+    /// Shadow persisted image `[0, next)` (Model mode pools only).
+    persisted: Option<Vec<u64>>,
+    /// Shadow pending `pwb` snapshots, sorted by line.
+    pending: Vec<(usize, LineSnap)>,
+    /// Lines whose views differed (or had a pending snapshot) at capture
+    /// time, ascending — the scan set for crash resolution during replays.
+    hot_lines: Vec<usize>,
+    /// Flush-lint line states, sorted by line (feeds trace `dirty` flags).
+    lint_lines: Vec<(usize, LineState)>,
+    /// Flush-lint flushed-awaiting-fence worklist.
+    lint_flushed: Vec<usize>,
+    /// Global trace sequence counter at capture time.
+    trace_seq: u64,
+    /// Site mask at capture time.
+    sites_mask: u64,
+    /// `psync`/`pfence` enable flag at capture time.
+    psync_on: bool,
+}
+
+impl PoolSnapshot {
+    /// Approximate heap size of this snapshot in bytes (capacity planning
+    /// for checkpoint schedules).
+    pub fn approx_bytes(&self) -> usize {
+        self.words.len() * 8
+            + self.persisted.as_ref().map_or(0, |p| p.len() * 8)
+            + self.pending.len() * (8 + std::mem::size_of::<LineSnap>())
     }
 }
 
@@ -1017,6 +1440,194 @@ mod tests {
         let text = p.lint_report_text();
         assert!(text.contains("redundant-pwb"), "{text}");
         assert!(text.contains("site 2 (new-node)"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_words_and_cursor() {
+        let p = model_pool();
+        let a = p.alloc_lines(1);
+        p.store(a, 11);
+        p.pwb(a, SiteId(0));
+        p.psync();
+        let snap = p.snapshot();
+        assert!(snap.approx_bytes() > 0);
+
+        // Diverge: new allocation, new volatile + persisted state.
+        let b = p.alloc_lines(1);
+        p.store(a, 99);
+        p.store(b, 7);
+        p.pwb(b, SiteId(0));
+        p.psync();
+
+        p.restore(&snap);
+        assert_eq!(p.load(a), 11, "volatile image rewound");
+        assert_eq!(p.persisted_load(a), 11, "persisted image rewound");
+        // The post-snapshot allocation is rolled back and its memory is
+        // zeroed: re-allocating hands out the same (clean) address.
+        let b2 = p.alloc_lines(1);
+        assert_eq!(b2.word(), b.word());
+        assert_eq!(p.load(b2), 0);
+        assert_eq!(p.persisted_load(b2), 0);
+    }
+
+    #[test]
+    fn restore_rewinds_lint_line_state_for_dirty_flags() {
+        // The lint's line-state machine feeds the `dirty` annotation of
+        // traced events; a replay from a checkpoint must reproduce the
+        // original timeline's annotations exactly.
+        let p = PmemPool::new(PoolCfg {
+            trace: true,
+            ..PoolCfg::model(1 << 20)
+        });
+        let a = p.alloc_lines(1);
+        p.store(a, 1); // line dirty at snapshot time
+        let snap = p.snapshot();
+        p.pwb(a, SiteId(0));
+        p.psync(); // line clean on the diverged timeline
+        p.restore(&snap);
+        p.pwb(a, SiteId(0));
+        let t = p.trace_snapshot();
+        let ev = t.events.last().unwrap();
+        assert_eq!(ev.seq, snap.trace_seq, "sequence counter rewound");
+        assert!(ev.dirty, "restored lint state remembers the dirty line");
+    }
+
+    #[test]
+    fn restore_rewinds_pending_pwbs() {
+        // A pwb pending (not yet psync'd) at snapshot time must be pending
+        // again after restore: a later crash resolves it exactly as the
+        // original timeline would have.
+        let p = model_pool();
+        let a = p.alloc_lines(1);
+        p.store(a, 5);
+        p.pwb(a, SiteId(0)); // pending, never synced
+        let snap = p.snapshot();
+        p.psync(); // diverge: commit it
+        p.restore(&snap);
+        struct PickPending;
+        impl CrashAdversary for PickPending {
+            fn choose(&mut self, _: usize, has_pending: bool) -> crate::CrashChoice {
+                assert!(has_pending, "pending snapshot must be restored");
+                crate::CrashChoice::Pending
+            }
+        }
+        p.crash(&mut PickPending);
+        assert_eq!(p.load(a), 5);
+    }
+
+    #[test]
+    fn restore_disarms_crash_and_rewinds_trace_seq() {
+        let p = PmemPool::new(PoolCfg {
+            trace: true,
+            ..PoolCfg::model(1 << 20)
+        });
+        let a = p.alloc_lines(1);
+        p.store(a, 1);
+        let snap = p.snapshot();
+        let seq_before = p.trace_snapshot().events.last().unwrap().seq;
+        p.store(a, 2);
+        p.crash_ctl().arm_after(1000);
+        p.restore(&snap);
+        assert!(!p.crash_ctl().armed(), "restore disarms injection");
+        assert_eq!(p.trace_event_total(), 0, "restore clears the trace");
+        p.store(a, 3);
+        let e = p.trace_snapshot().events[0];
+        assert_eq!(
+            e.seq,
+            seq_before + 1,
+            "replay re-issues the original sequence numbers"
+        );
+    }
+
+    #[test]
+    fn restore_preserves_site_mask_from_snapshot() {
+        let p = model_pool();
+        let a = p.alloc_lines(1);
+        p.set_site_enabled(SiteId(4), false);
+        let snap = p.snapshot();
+        p.set_site_enabled(SiteId(4), true);
+        p.set_psync_enabled(false);
+        p.restore(&snap);
+        p.pwb(a, SiteId(4));
+        assert_eq!(p.stats().pwb_at(SiteId(4)), 0, "mask restored (site off)");
+        p.store(a, 1);
+        p.pwb(a, SiteId(0));
+        p.psync();
+        assert_eq!(p.stats().psync, 1, "psync enable restored");
+    }
+
+    #[test]
+    fn incremental_restore_matches_full_copy() {
+        let p = model_pool();
+        let a = p.alloc_lines(1);
+        let b = p.alloc_lines(1);
+        p.store(a, 1);
+        p.pwb(a, SiteId(0));
+        p.psync();
+        p.store(b, 2); // dirty at capture: a hot line
+        let snap = p.snapshot();
+        // The first restore takes the full-copy path and arms footprint
+        // tracking (EP_FOOT).
+        p.restore(&snap);
+        assert_ne!(p.epoch.load(Ordering::SeqCst) & EP_FOOT, 0);
+        // Mutate broadly: overwrite, allocate fresh lines, persist them,
+        // and resolve a crash — every footprint source at once.
+        p.store(a, 9);
+        let c = p.alloc_lines(1);
+        p.store(c, 7);
+        p.pwb(c, SiteId(1));
+        p.psync();
+        p.crash(&mut crate::PessimistAdversary);
+        assert_eq!(p.load(c), 7, "flushed-and-synced line survives the crash");
+        // The second restore of the same snapshot takes the incremental
+        // path; the pool must still equal the snapshot exactly.
+        p.restore(&snap);
+        assert_eq!(p.load(a), 1);
+        assert_eq!(p.load(b), 2);
+        assert_eq!(p.persisted_load(a), 1);
+        assert_eq!(
+            p.persisted_load(b),
+            0,
+            "b was dirty and unflushed at capture"
+        );
+        assert_eq!(p.load(c), 0, "post-capture allocation rewound to zero");
+        assert_eq!(p.persisted_load(c), 0);
+        assert_eq!(p.alloc_lines(1), c, "allocation cursor rewound");
+        // A crash right after the restore resolves to the capture state.
+        p.crash(&mut crate::PessimistAdversary);
+        assert_eq!(p.load(a), 1, "a was persisted at capture");
+        assert_eq!(p.load(b), 0, "pessimist drops b's unflushed store");
+    }
+
+    #[test]
+    fn fused_epoch_tracks_arm_and_observers() {
+        // White-box: the fast paths only work if every control action
+        // maintains its epoch bit.
+        let p = model_pool();
+        assert_eq!(p.epoch.load(Ordering::SeqCst), EP_SHADOW);
+        p.crash_ctl().arm_after(5);
+        assert_eq!(p.epoch.load(Ordering::SeqCst), EP_SHADOW | EP_CRASH);
+        p.crash_ctl().disarm();
+        p.set_trace_enabled(true);
+        p.set_lint_enabled(true);
+        assert_eq!(
+            p.epoch.load(Ordering::SeqCst),
+            EP_SHADOW | EP_TRACE | EP_LINT
+        );
+        p.set_trace_enabled(false);
+        p.set_lint_enabled(false);
+        assert_eq!(p.epoch.load(Ordering::SeqCst), EP_SHADOW);
+    }
+
+    #[test]
+    fn fired_countdown_clears_epoch_bit() {
+        // Auto-disarm on firing must clear EP_CRASH, or every later event
+        // would keep taking the slow path.
+        let p = model_pool();
+        let a = p.alloc_lines(1);
+        p.crash_ctl().arm_after(0);
+        assert!(crate::crash::run_crashable(|| p.store(a, 1)).is_none());
+        assert_eq!(p.epoch.load(Ordering::SeqCst) & EP_CRASH, 0);
     }
 
     #[test]

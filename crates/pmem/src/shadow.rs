@@ -118,7 +118,7 @@ impl CrashAdversary for SeededAdversary {
     }
 }
 
-type LineSnap = [u64; WORDS_PER_LINE];
+pub(crate) type LineSnap = [u64; WORDS_PER_LINE];
 
 /// The shadow images backing Model mode (see module docs).
 pub(crate) struct ShadowMem {
@@ -157,6 +157,39 @@ impl ShadowMem {
         self.persisted[word].load(Ordering::Acquire)
     }
 
+    /// Copies out the shadow state covering the first `nwords` words: the
+    /// persisted image plus every pending `pwb` snapshot. Requires
+    /// quiescence (pool snapshot/restore only).
+    pub(crate) fn export(&self, nwords: usize) -> (Vec<u64>, Vec<(usize, LineSnap)>) {
+        let persisted = (0..nwords)
+            .map(|i| self.persisted[i].load(Ordering::Acquire))
+            .collect();
+        let mut pending: Vec<(usize, LineSnap)> = lock_pending(&self.pending)
+            .iter()
+            .map(|(&line, &snap)| (line, snap))
+            .collect();
+        pending.sort_unstable_by_key(|&(line, _)| line);
+        (persisted, pending)
+    }
+
+    /// Restores state exported by [`ShadowMem::export`]: writes back the
+    /// persisted prefix, zeroes the persisted image up to `zero_to` words
+    /// (space the restored-from pool had not yet allocated but the current
+    /// one dirtied), and replaces the pending map. Requires quiescence.
+    pub(crate) fn import(&self, persisted: &[u64], pending: &[(usize, LineSnap)], zero_to: usize) {
+        for (i, w) in persisted.iter().enumerate() {
+            self.persisted[i].store(*w, Ordering::Release);
+        }
+        for i in persisted.len()..zero_to {
+            self.persisted[i].store(0, Ordering::Release);
+        }
+        let mut pend = lock_pending(&self.pending);
+        pend.clear();
+        for &(line, snap) in pending {
+            pend.insert(line, snap);
+        }
+    }
+
     /// Resolves a crash: rewrites both the volatile and persisted views of
     /// every line per the adversary's choices. Requires quiescence (no
     /// concurrent pool operations) — callers crash/join all worker threads
@@ -170,28 +203,93 @@ impl ShadowMem {
     ) {
         let mut pend = lock_pending(&self.pending);
         for line in 0..nlines {
+            self.resolve_line(volatile, adversary, line, &mut pend);
+        }
+    }
+
+    /// [`ShadowMem::crash`] over an explicit ascending line list instead of
+    /// the whole allocated prefix. The caller (pool footprint tracking)
+    /// guarantees the list covers every line whose views can differ and
+    /// every pending snapshot; lines are visited in the same ascending
+    /// order as the full scan and clean lines consume no adversary choice,
+    /// so a seeded adversary resolves both scans identically.
+    pub(crate) fn crash_bounded(
+        &self,
+        volatile: &[AtomicU64],
+        adversary: &mut dyn CrashAdversary,
+        lines: &[usize],
+    ) {
+        let mut pend = lock_pending(&self.pending);
+        for &line in lines {
+            self.resolve_line(volatile, adversary, line, &mut pend);
+        }
+        debug_assert!(pend.is_empty(), "crash_bounded missed a pending line");
+    }
+
+    /// One line of crash resolution (shared by the full and bounded scans):
+    /// skip if both views agree and nothing is pending, otherwise let the
+    /// adversary pick the surviving image and write it to both views.
+    fn resolve_line(
+        &self,
+        volatile: &[AtomicU64],
+        adversary: &mut dyn CrashAdversary,
+        line: usize,
+        pend: &mut HashMap<usize, LineSnap>,
+    ) {
+        let base = line * WORDS_PER_LINE;
+        let pending = pend.remove(&line);
+        let differs = (0..WORDS_PER_LINE).any(|i| {
+            volatile[base + i].load(Ordering::Acquire)
+                != self.persisted[base + i].load(Ordering::Acquire)
+        });
+        if !differs && pending.is_none() {
+            return;
+        }
+        let choice = adversary.choose(line, pending.is_some());
+        let image: LineSnap = match (choice, pending) {
+            (CrashChoice::Volatile, _) => {
+                std::array::from_fn(|i| volatile[base + i].load(Ordering::Acquire))
+            }
+            (CrashChoice::Pending, Some(snap)) => snap,
+            // Pending without a snapshot degrades to the persisted image
+            _ => std::array::from_fn(|i| self.persisted[base + i].load(Ordering::Acquire)),
+        };
+        for (i, w) in image.iter().enumerate() {
+            volatile[base + i].store(*w, Ordering::Release);
+            self.persisted[base + i].store(*w, Ordering::Release);
+        }
+    }
+
+    /// Lines that currently hold a pending `pwb` snapshot, ascending.
+    pub(crate) fn pending_lines(&self) -> Vec<usize> {
+        let mut lines: Vec<usize> = lock_pending(&self.pending).keys().copied().collect();
+        lines.sort_unstable();
+        lines
+    }
+
+    /// Incremental counterpart of [`ShadowMem::import`]: rewrites the
+    /// persisted image of just `lines` (from `persisted`, zero past its
+    /// end) and replaces the pending map. Correct only when every other
+    /// line's persisted image already equals the snapshot's — the pool's
+    /// footprint tracking establishes exactly that.
+    pub(crate) fn import_lines(
+        &self,
+        lines: &[usize],
+        persisted: &[u64],
+        pending: &[(usize, LineSnap)],
+    ) {
+        for &line in lines {
             let base = line * WORDS_PER_LINE;
-            let pending = pend.remove(&line);
-            let differs = (0..WORDS_PER_LINE).any(|i| {
-                volatile[base + i].load(Ordering::Acquire)
-                    != self.persisted[base + i].load(Ordering::Acquire)
-            });
-            if !differs && pending.is_none() {
-                continue;
+            for i in 0..WORDS_PER_LINE {
+                let w = base + i;
+                let v = persisted.get(w).copied().unwrap_or(0);
+                self.persisted[w].store(v, Ordering::Release);
             }
-            let choice = adversary.choose(line, pending.is_some());
-            let image: LineSnap = match (choice, pending) {
-                (CrashChoice::Volatile, _) => {
-                    std::array::from_fn(|i| volatile[base + i].load(Ordering::Acquire))
-                }
-                (CrashChoice::Pending, Some(snap)) => snap,
-                // Pending without a snapshot degrades to the persisted image
-                _ => std::array::from_fn(|i| self.persisted[base + i].load(Ordering::Acquire)),
-            };
-            for (i, w) in image.iter().enumerate() {
-                volatile[base + i].store(*w, Ordering::Release);
-                self.persisted[base + i].store(*w, Ordering::Release);
-            }
+        }
+        let mut pend = lock_pending(&self.pending);
+        pend.clear();
+        for &(line, snap) in pending {
+            pend.insert(line, snap);
         }
     }
 }

@@ -112,7 +112,7 @@ impl EventKind {
 }
 
 /// One recorded pool event.
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Event {
     /// Global sequence number (total order over all threads of the pool).
     pub seq: u64,
@@ -180,6 +180,11 @@ pub(crate) struct Trace {
     seq: AtomicU64,
     rings: Box<[Mutex<Ring>]>,
     dropped: AtomicU64,
+    /// Any event recorded since the last clear? Lets [`Trace::clear`] skip
+    /// the ring sweep entirely for runs that recorded nothing — the common
+    /// case for the sweep engine's dark (untraced) replays, which clear the
+    /// trace on every pool restore.
+    nonempty: AtomicBool,
 }
 
 impl Trace {
@@ -196,6 +201,7 @@ impl Trace {
                 })
                 .collect(),
             dropped: AtomicU64::new(0),
+            nonempty: AtomicBool::new(false),
         }
     }
 
@@ -217,6 +223,7 @@ impl Trace {
 
     /// Appends an event to the calling thread's ring (bounded).
     pub(crate) fn record(&self, seq: u64, kind: EventKind, site: u8, addr: u64, dirty: bool) {
+        self.nonempty.store(true, Ordering::Relaxed);
         let tid = trace_tid();
         let mut ring = lock_ring(&self.rings[tid % N_RINGS]);
         if ring.events.len() >= self.capacity {
@@ -235,6 +242,31 @@ impl Trace {
         });
     }
 
+    /// Exact number of events recorded since the last clear (retained plus
+    /// dropped), without merging/sorting the rings — the cheap counterpart
+    /// of `snapshot().total()` used by the sweep engine to mark operation
+    /// boundaries.
+    pub(crate) fn total(&self) -> u64 {
+        let mut n = self.dropped.load(Ordering::Relaxed);
+        for ring in self.rings.iter() {
+            n += lock_ring(ring).events.len() as u64;
+        }
+        n
+    }
+
+    /// Current value of the global sequence counter (the next seq that
+    /// [`Trace::next_seq`] would hand out).
+    pub(crate) fn seq(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// Rewinds the global sequence counter (pool snapshot/restore only —
+    /// replaying from a restored checkpoint must re-issue the same sequence
+    /// numbers the original run used past that point).
+    pub(crate) fn set_seq(&self, v: u64) {
+        self.seq.store(v, Ordering::SeqCst);
+    }
+
     pub(crate) fn snapshot(&self) -> TraceSnapshot {
         let mut events: Vec<Event> = Vec::new();
         for ring in self.rings.iter() {
@@ -248,6 +280,12 @@ impl Trace {
     }
 
     pub(crate) fn clear(&self) {
+        // `swap` rather than `load`: quiescent callers (pool restore) see an
+        // exact flag, and clearing it here means the next clear after a run
+        // that recorded nothing is one relaxed atomic op, not 64 mutexes.
+        if !self.nonempty.swap(false, Ordering::Relaxed) {
+            return;
+        }
         for ring in self.rings.iter() {
             lock_ring(ring).events.clear();
         }

@@ -1,0 +1,81 @@
+//! Checkpoint-engine equivalence, per structure family.
+//!
+//! The checkpointed sweep engine (`bench::sweep` with `cfg.checkpoint`)
+//! replays each crash point from a pool snapshot instead of rebuilding the
+//! structure from scratch, and its restore path is *incremental*: only the
+//! cache lines the previous replay touched are rewritten, and crash
+//! resolution scans only that footprint. These tests assert the strongest
+//! available equivalence for every structure family: with `paranoia = 1.0`
+//! every single replayed point is re-run from scratch, traced, and the two
+//! engines must agree on the verdict *and* produce byte-identical
+//! pre-crash event streams. Any divergence — a stale line the incremental
+//! restore missed, an adversary RNG stream shifted by the bounded crash
+//! scan — lands in `violations` and fails the run.
+
+use bench::sweep::{run_sweep, AdversaryKind, SweepCfg};
+use bench::{AlgoKind, StructureKind};
+
+fn assert_engines_equivalent(structure: StructureKind, algo: AlgoKind, adversary: AdversaryKind) {
+    let mut cfg = SweepCfg::new(structure, algo);
+    cfg.script_len = 5;
+    cfg.pool_bytes = 4 << 20;
+    cfg.adversary = adversary;
+    cfg.checkpoint = true;
+    cfg.paranoia = 1.0;
+    let ck = run_sweep(&cfg);
+    assert!(
+        ck.ok(),
+        "{}/{}: checkpointed sweep diverged or failed: {:?}",
+        structure.name(),
+        algo.name(),
+        ck.violations
+    );
+    assert_eq!(
+        ck.paranoia_checked, ck.points_run,
+        "paranoia 1.0 must cross-check every replayed point"
+    );
+
+    // The from-scratch engine over the same space agrees on its shape.
+    let scratch = run_sweep(&SweepCfg {
+        checkpoint: false,
+        paranoia: 0.0,
+        ..cfg
+    });
+    assert!(scratch.ok());
+    assert_eq!(ck.total_events, scratch.total_events);
+    assert_eq!(ck.points_run, scratch.points_run);
+}
+
+/// List family, seeded adversary: partial-line survival exercises the
+/// bounded crash scan's "clean lines consume no adversary choice"
+/// invariant — a scan-order difference between the engines would shift
+/// the RNG stream and change crash resolutions.
+#[test]
+fn list_checkpoint_engine_is_equivalent() {
+    assert_engines_equivalent(
+        StructureKind::List,
+        AlgoKind::Tracking,
+        AdversaryKind::Seeded,
+    );
+}
+
+/// Queue family, pessimist adversary (maximal loss of unflushed lines).
+#[test]
+fn queue_checkpoint_engine_is_equivalent() {
+    assert_engines_equivalent(
+        StructureKind::Queue,
+        AlgoKind::Tracking,
+        AdversaryKind::Pessimist,
+    );
+}
+
+/// Exchanger family: the deepest per-op event streams (two-sided
+/// handshake), and the family whose checkpoints are sparsest.
+#[test]
+fn exchanger_checkpoint_engine_is_equivalent() {
+    assert_engines_equivalent(
+        StructureKind::Exchanger,
+        AlgoKind::Tracking,
+        AdversaryKind::Pessimist,
+    );
+}

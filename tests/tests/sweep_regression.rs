@@ -85,3 +85,64 @@ fn seeded_adversary_sampled_sweep_is_clean() {
         report.violations
     );
 }
+
+/// Masked-site pins: disabling a `pwb` site removes exactly its events
+/// from the crash-point space, and the resulting total is stable. The
+/// masked totals are pinned absolutely (not just as deltas) so that a
+/// placement change hiding behind a compensating change elsewhere still
+/// trips a pin.
+#[test]
+fn masked_site_event_totals_are_pinned() {
+    let mut cfg = pinned_cfg(StructureKind::List, AlgoKind::Tracking);
+    cfg.sample = 0.0; // count only
+    let full = run_sweep(&cfg);
+    assert_eq!(full.total_events, 316, "unmasked pin moved");
+
+    cfg.site_mask = !(1 << tracking::sites::S_CP.0);
+    let masked = run_sweep(&cfg);
+    assert_eq!(masked.total_events, 305, "masked S_CP pin moved");
+
+    cfg.site_mask = !(1 << tracking::sites::S_RESULT.0);
+    let masked = run_sweep(&cfg);
+    assert_eq!(masked.total_events, 313, "masked S_RESULT pin moved");
+}
+
+/// A masked site is invisible at the substrate level, not just in sweep
+/// accounting: its `pwb` neither ticks the crash countdown, nor records a
+/// trace event, nor counts in the per-site stats.
+#[test]
+fn masked_site_is_invisible_at_pool_level() {
+    use pmem::{run_crashable, PmemPool, PoolCfg, SiteId};
+    let pool = PmemPool::new(PoolCfg {
+        trace: true,
+        ..PoolCfg::model(1 << 20)
+    });
+    let a = pool.alloc_lines(1);
+    pool.store(a, 1);
+    let site = SiteId(7);
+    pool.set_site_enabled(site, false);
+
+    let events_before = pool.trace_snapshot().total();
+    pool.crash_ctl().arm_after(0); // the very next counted event fires
+    pool.pwb(a, site); // masked: must not be that event
+    assert!(
+        !pool.crash_ctl().raised(),
+        "masked pwb ticked the crash countdown"
+    );
+    assert_eq!(
+        pool.trace_snapshot().total(),
+        events_before,
+        "masked pwb recorded a trace event"
+    );
+    assert_eq!(pool.stats().pwb_at(site), 0, "masked pwb was counted");
+
+    // The countdown is still pending: the next *unmasked* event fires it
+    // (and the crash preempts the fence, so nothing is traced for it).
+    assert!(run_crashable(|| pool.psync()).is_none());
+
+    // Re-enabled, the same call is visible again.
+    pool.set_site_enabled(site, true);
+    pool.pwb(a, site);
+    assert_eq!(pool.stats().pwb_at(site), 1);
+    assert_eq!(pool.trace_snapshot().total(), events_before + 1); // the pwb
+}
