@@ -105,6 +105,20 @@ impl AlgoKind {
             AlgoKind::RedoOpt,
         ]
     }
+
+    /// Can this implementation run under the cooperative schedule explorer
+    /// (`bench::explore`), which parks every virtual thread except one?
+    ///
+    /// `false` only for Romulus, on two counts: its writer side takes an OS
+    /// mutex (a parked lock holder deadlocks every other writer the
+    /// scheduler grants), and its reader side spins on the volatile seqlock
+    /// version word — not a pool access, so the spin contains no yield point
+    /// and the granted reader livelocks waiting for a parked writer. Both
+    /// are inherent to its blocking design, not bugs; the explorer simply
+    /// requires obstruction-free progress, which every other competitor has.
+    pub fn schedulable(self) -> bool {
+        !matches!(self, AlgoKind::Romulus)
+    }
 }
 
 /// The recoverable structure shapes the crash sweep verifies.
@@ -173,6 +187,15 @@ impl StructureKind {
             StructureKind::Bst => vec![AlgoKind::TrackingBst],
             _ => vec![AlgoKind::Tracking],
         }
+    }
+
+    /// [`Self::lineup`] restricted to the implementations the schedule
+    /// explorer can serialize (see [`AlgoKind::schedulable`]).
+    pub fn explore_lineup(self) -> Vec<AlgoKind> {
+        self.lineup()
+            .into_iter()
+            .filter(|a| a.schedulable())
+            .collect()
     }
 }
 

@@ -1,0 +1,240 @@
+//! CLI driving the deterministic concurrent-schedule explorer
+//! (`bench::explore`).
+//!
+//! ```text
+//! explore [options]
+//!   --structure list|bst|queue|stack|exchanger|all   shape(s) to explore (default all)
+//!   --algo tracking|capsules|...|all                 implementation(s) (default all =
+//!                                                    the shape's schedulable lineup;
+//!                                                    Romulus is excluded — blocking)
+//!   --threads N            virtual threads per schedule (default 2)
+//!   --ops N                scripted operations per thread (default 4)
+//!   --schedules N          schedules per strategy (default 4)
+//!   --strategy rr|random|pct|all                     strategies to run (default all)
+//!   --crash off|sampled    crash injection (default sampled)
+//!   --crash-samples N      crash points per schedule in sampled mode (default 2)
+//!   --adversary pessimist|seeded                     crash model (default pessimist)
+//!   --seed S               script/strategy/sampling seed
+//!   --shard I/N            run only (strategy, schedule) cells with index % N == I
+//!   --pool-mb M            pool size (default 64)
+//!   --out DIR              CSV directory (default results/explore)
+//!   --smoke                quick CI tier: 1 schedule per strategy, 1 crash sample
+//! ```
+//!
+//! Exit status is non-zero if any executed schedule produced a
+//! non-linearizable history (or a schedule replay diverged). One CSV per
+//! structure × algorithm pair is written under `--out`.
+
+use bench::explore::{run_explore, CrashMode, ExploreCfg, StrategyKind};
+use bench::sweep::AdversaryKind;
+use bench::{AlgoKind, StructureKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut structures: Vec<StructureKind> = StructureKind::all().to_vec();
+    let mut algo: Option<AlgoKind> = None;
+    let mut base = ExploreCfg::new(StructureKind::List, AlgoKind::Tracking);
+    let mut crash_samples = 2u64;
+    let mut crash_on = true;
+    let mut out = std::path::PathBuf::from("results/explore");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--structure" => {
+                i += 1;
+                structures = match args[i].as_str() {
+                    "all" => StructureKind::all().to_vec(),
+                    s => vec![StructureKind::parse(s).unwrap_or_else(|| {
+                        eprintln!("unknown structure '{s}' (list|bst|queue|stack|exchanger|all)");
+                        std::process::exit(2);
+                    })],
+                };
+            }
+            "--algo" => {
+                i += 1;
+                algo = match args[i].as_str() {
+                    "all" => None,
+                    s => Some(AlgoKind::parse(s).unwrap_or_else(|| {
+                        eprintln!("unknown algorithm '{s}'");
+                        std::process::exit(2);
+                    })),
+                };
+            }
+            "--threads" => {
+                i += 1;
+                base.threads = args[i].parse().expect("bad thread count");
+            }
+            "--ops" => {
+                i += 1;
+                base.ops_per_thread = args[i].parse().expect("bad ops count");
+            }
+            "--schedules" => {
+                i += 1;
+                base.schedules = args[i].parse().expect("bad schedule count");
+            }
+            "--strategy" => {
+                i += 1;
+                base.strategies = match args[i].as_str() {
+                    "all" => StrategyKind::all().to_vec(),
+                    s => vec![StrategyKind::parse(s).unwrap_or_else(|| {
+                        eprintln!("unknown strategy '{s}' (rr|random|pct|all)");
+                        std::process::exit(2);
+                    })],
+                };
+            }
+            "--crash" => {
+                i += 1;
+                crash_on = match args[i].as_str() {
+                    "off" => false,
+                    "sampled" => true,
+                    c => {
+                        eprintln!("unknown crash mode '{c}' (off|sampled)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--crash-samples" => {
+                i += 1;
+                crash_samples = args[i].parse().expect("bad crash sample count");
+            }
+            "--adversary" => {
+                i += 1;
+                base.adversary = AdversaryKind::parse(&args[i]).unwrap_or_else(|| {
+                    eprintln!("unknown adversary '{}' (pessimist|seeded)", args[i]);
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                i += 1;
+                base.seed = args[i].parse().expect("bad seed");
+            }
+            "--shard" => {
+                i += 1;
+                let (idx, cnt) = args[i].split_once('/').unwrap_or_else(|| {
+                    eprintln!("--shard expects I/N, e.g. --shard 0/4");
+                    std::process::exit(2);
+                });
+                base.shard_index = idx.parse().expect("bad shard index");
+                base.shard_count = cnt.parse().expect("bad shard count");
+                assert!(
+                    base.shard_count > 0 && base.shard_index < base.shard_count,
+                    "shard index must be in [0, N)"
+                );
+            }
+            "--pool-mb" => {
+                i += 1;
+                base.pool_bytes = args[i].parse::<usize>().expect("bad pool size") << 20;
+            }
+            "--out" => {
+                i += 1;
+                out = args[i].clone().into();
+            }
+            "--smoke" => {
+                base.schedules = 1;
+                crash_samples = 1;
+            }
+            flag => {
+                eprintln!("unknown flag {flag}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    base.crash = if crash_on {
+        CrashMode::Sampled {
+            per_schedule: crash_samples,
+        }
+    } else {
+        CrashMode::Off
+    };
+
+    let mut pairs: Vec<(StructureKind, AlgoKind)> = Vec::new();
+    for s in &structures {
+        match algo {
+            Some(a) if !a.schedulable() => {
+                eprintln!(
+                    "{} cannot run under the cooperative scheduler (blocking design)",
+                    a.name()
+                );
+                std::process::exit(2);
+            }
+            Some(a) if s.explore_lineup().contains(&a) => pairs.push((*s, a)),
+            Some(a) => {
+                if structures.len() == 1 {
+                    eprintln!(
+                        "{} has no {} implementation (available: {})",
+                        s.name(),
+                        a.name(),
+                        s.explore_lineup()
+                            .iter()
+                            .map(|a| a.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+            None => pairs.extend(s.explore_lineup().into_iter().map(|a| (*s, a))),
+        }
+    }
+
+    println!(
+        "schedule explorer: {} pair(s), threads={}, ops/thread={}, schedules={}/strategy, \
+         strategies=[{}], crash={}, adversary={}, shard {}/{}, seed {:#x}",
+        pairs.len(),
+        base.threads,
+        base.ops_per_thread,
+        base.schedules,
+        base.strategies
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        match base.crash {
+            CrashMode::Off => "off".to_string(),
+            CrashMode::Sampled { per_schedule } => format!("sampled({per_schedule}/schedule)"),
+        },
+        base.adversary.name(),
+        base.shard_index,
+        base.shard_count,
+        base.seed,
+    );
+
+    let mut failed = false;
+    let start = std::time::Instant::now();
+    let (mut total_runs, mut total_crash_runs) = (0u64, 0u64);
+    for (structure, algo) in pairs {
+        let cfg = ExploreCfg {
+            structure,
+            algo,
+            ..base.clone()
+        };
+        let report = run_explore(&cfg);
+        println!("{}", report.summary());
+        let path = report.csv.write(&out).expect("writing CSV");
+        println!("  -> {}", path.display());
+        for v in &report.violations {
+            println!(
+                "  VIOLATION: strategy={} schedule={} crash_k={:?}: {}",
+                v.strategy.name(),
+                v.schedule,
+                v.crash_k,
+                v.note
+            );
+        }
+        total_runs += report.runs;
+        total_crash_runs += report.crash_runs;
+        failed |= !report.ok();
+    }
+    println!(
+        "explorer elapsed: {:.3}s ({} schedule runs, {} crash-injected runs)",
+        start.elapsed().as_secs_f64(),
+        total_runs,
+        total_crash_runs,
+    );
+    if failed {
+        eprintln!("schedule exploration FAILED: see violations above");
+        std::process::exit(1);
+    }
+    println!("schedule exploration passed: every executed schedule linearized");
+}

@@ -1,0 +1,1178 @@
+//! Deterministic concurrent-schedule exploration with crash injection.
+//!
+//! The crash sweep ([`crate::sweep`]) proves every *single-threaded* crash
+//! point recovers; this module attacks the other axis: genuinely concurrent
+//! executions. It runs N real OS threads against one structure but
+//! *serializes* them into a deterministic interleaving — a **schedule** —
+//! and checks that the per-thread responses (plus a post-run observation
+//! phase) form a linearizable history of the structure's [`linearize`]
+//! specification. Optionally it crashes the whole system at a chosen event
+//! of a chosen schedule and verifies the recovered responses still
+//! linearize.
+//!
+//! ## How a schedule is executed
+//!
+//! Every instrumented pool event (`load`/`store`/`cas`/`pwb`/`pfence`/
+//! `psync`) is a *yield point*: with the pool's scheduler bit set
+//! ([`pmem::PmemPool::set_sched_enabled`]), each event first invokes the
+//! executing thread's [`pmem::set_yield_hook`] hook. Each worker's hook
+//! calls into a shared scheduler monitor (`Sched`): a mutex/condvar *turn* that exactly one
+//! worker holds at a time. A worker only runs while it holds the turn; at
+//! every yield point the exploration strategy picks who executes the next
+//! event, and the turn is handed over (or kept). The result is a serial
+//! event order that is a deterministic function of `(strategy, seed,
+//! schedule index)` — re-running the same triple replays the identical
+//! interleaving, which is what makes crash points addressable.
+//!
+//! Because the yield points are exactly the crash-countable events (the
+//! hook and [`pmem::CrashCtl`] tick ride the same slow path, in that
+//! order), the event index `k` of a schedule names both "the k-th
+//! scheduling decision" and "the k-th possible crash point": a crash-free
+//! run of a schedule counts its events `E`, and any `k < E` can then be
+//! armed with [`pmem::CrashCtl::arm_after`] to crash that same schedule at
+//! event `k`. The crash unwinds the unlucky worker, which broadcasts
+//! ([`pmem::CrashCtl::raise`]) so every other worker crashes at its next
+//! event — a full-system power failure, as the paper models it. The driver
+//! then resolves the crash model, runs each crashed thread's `recover`
+//! entry point (sequentially, as a restarted system would), and feeds all
+//! completed + recovered operations with their original invocation stamps
+//! to the structure subject's concurrent verdict
+//! (`sweep::CrashSubject::concurrent_verdict`).
+//!
+//! ## Strategies
+//!
+//! * **round-robin** — strict alternation among live threads: maximal
+//!   fine-grained interleaving, the densest overlap structure.
+//! * **random** — each decision picks a live thread uniformly from a
+//!   seeded deterministic generator: unbiased coverage of the
+//!   interleaving space.
+//! * **pct** — PCT-style priority schedules (Burckhardt et al., ASPLOS
+//!   '10): threads get shuffled priorities, the highest-priority live
+//!   thread always runs, and at `d−1` seeded *change points* (event
+//!   indices in a calibrated horizon) the current leader is demoted to
+//!   the bottom. Finds bugs that need long undisturbed runs punctuated
+//!   by a context switch at one precise spot.
+//!
+//! Progress: the structures under exploration are lock-free (Romulus is
+//! excluded — [`crate::adapter::AlgoKind::schedulable`]), so the granted
+//! thread always completes its operation in finitely many events even if
+//! every other thread stays parked; schedules therefore terminate. A fuel
+//! counter aborts the run loudly if that assumption is ever violated.
+//!
+//! The `explore` binary drives this engine over the structure × algorithm ×
+//! strategy matrix and writes one CSV per pair under `results/explore/`.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use linearize::{QueueOp, SetOp, Spec, StackOp};
+use pmem::{run_crashable, PmemPool, PoolCfg, PoolSnapshot, SiteId, ThreadCtx};
+use tracking::{RecoverableExchanger, RecoverableQueue, RecoverableStack};
+
+use crate::adapter::{build, AlgoKind, StructureKind};
+use crate::csv::Csv;
+use crate::sweep::{
+    csv_escape, file_slug, splitmix64, AdversaryKind, CompletedOp, CrashSubject, ExchangerSubject,
+    QueueSubject, Rng, SetSubject, StackSubject, SET_KEYS,
+};
+
+// --------------------------------------------------------------- strategies
+
+/// A schedule-exploration strategy (see the module docs for what each
+/// one is good at).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Strict alternation among live threads.
+    RoundRobin,
+    /// Uniform seeded-random choice per decision.
+    Random,
+    /// PCT-style priority schedules with seeded change points.
+    Pct,
+}
+
+impl StrategyKind {
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<StrategyKind> {
+        Some(match s {
+            "rr" | "round-robin" => StrategyKind::RoundRobin,
+            "random" => StrategyKind::Random,
+            "pct" => StrategyKind::Pct,
+            _ => return None,
+        })
+    }
+
+    /// CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::RoundRobin => "round-robin",
+            StrategyKind::Random => "random",
+            StrategyKind::Pct => "pct",
+        }
+    }
+
+    /// Every strategy, in matrix order.
+    pub fn all() -> [StrategyKind; 3] {
+        [
+            StrategyKind::RoundRobin,
+            StrategyKind::Random,
+            StrategyKind::Pct,
+        ]
+    }
+}
+
+/// PCT safety valve: if the leader is picked this many consecutive times
+/// while others are live, it is demoted anyway. With lock-free subjects a
+/// leader retires long before this; the guard only matters if a future
+/// subject violates the progress assumption.
+const PCT_MAX_BURST: u64 = 100_000;
+
+/// Number of PCT change points (`d − 1` for bug depth `d = 3`).
+const PCT_CHANGE_POINTS: usize = 2;
+
+/// One instantiated strategy: the deterministic decision function of a
+/// single schedule. `pick` is called once per scheduling decision and must
+/// return a live thread.
+enum Strategy {
+    RoundRobin {
+        last: usize,
+    },
+    Random {
+        rng: Rng,
+    },
+    Pct {
+        /// Priority per thread; higher runs. Demotions assign values from
+        /// `floor` downward so the demoted thread ranks below everyone.
+        prio: Vec<i64>,
+        floor: i64,
+        /// Ascending event indices at which the current leader is demoted.
+        change: Vec<u64>,
+        next_change: usize,
+        burst: u64,
+        last: usize,
+    },
+}
+
+impl Strategy {
+    fn new(kind: StrategyKind, n: usize, seed: u64, horizon: u64) -> Strategy {
+        match kind {
+            StrategyKind::RoundRobin => Strategy::RoundRobin { last: n - 1 },
+            StrategyKind::Random => Strategy::Random {
+                rng: Rng(splitmix64(seed) | 1),
+            },
+            StrategyKind::Pct => {
+                let mut rng = Rng(splitmix64(seed) | 1);
+                // Fisher–Yates shuffle of the priorities 1..=n.
+                let mut prio: Vec<i64> = (1..=n as i64).collect();
+                for i in (1..n).rev() {
+                    let j = (rng.next() % (i as u64 + 1)) as usize;
+                    prio.swap(i, j);
+                }
+                let h = horizon.max(16);
+                let mut change: Vec<u64> = (0..PCT_CHANGE_POINTS).map(|_| rng.next() % h).collect();
+                change.sort_unstable();
+                Strategy::Pct {
+                    prio,
+                    floor: 0,
+                    change,
+                    next_change: 0,
+                    burst: 0,
+                    last: usize::MAX,
+                }
+            }
+        }
+    }
+
+    /// Picks the thread that executes the next event. `alive` has at least
+    /// one live entry; `events` counts the events executed so far.
+    fn pick(&mut self, alive: &[bool], events: u64) -> usize {
+        debug_assert!(alive.iter().any(|&a| a));
+        match self {
+            Strategy::RoundRobin { last } => {
+                let n = alive.len();
+                let mut i = (*last + 1) % n;
+                while !alive[i] {
+                    i = (i + 1) % n;
+                }
+                *last = i;
+                i
+            }
+            Strategy::Random { rng } => {
+                let live: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
+                live[(rng.next() % live.len() as u64) as usize]
+            }
+            Strategy::Pct {
+                prio,
+                floor,
+                change,
+                next_change,
+                burst,
+                last,
+            } => {
+                let leader = |prio: &[i64]| {
+                    (0..alive.len())
+                        .filter(|&i| alive[i])
+                        .max_by_key(|&i| prio[i])
+                        .unwrap()
+                };
+                while *next_change < change.len() && events >= change[*next_change] {
+                    let cur = leader(prio);
+                    *floor -= 1;
+                    prio[cur] = *floor;
+                    *next_change += 1;
+                }
+                let mut cur = leader(prio);
+                if cur == *last {
+                    *burst += 1;
+                    if *burst > PCT_MAX_BURST && alive.iter().filter(|&&a| a).count() > 1 {
+                        *floor -= 1;
+                        prio[cur] = *floor;
+                        *burst = 0;
+                        cur = leader(prio);
+                    }
+                } else {
+                    *burst = 0;
+                }
+                *last = cur;
+                cur
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- scheduler
+
+/// Sentinel for "nobody holds the turn" (pre-launch / all retired).
+const NOBODY: usize = usize::MAX;
+
+struct SchedSt {
+    started: bool,
+    /// The virtual thread currently allowed to run.
+    granted: usize,
+    alive: Vec<bool>,
+    live: usize,
+    /// Events executed so far (== crash-countdown ticks in a crash-free
+    /// run: the hook and the tick ride the same instrumented slow path).
+    events: u64,
+    fuel: u64,
+    abort: bool,
+    strategy: Strategy,
+}
+
+/// The cooperative turn: a mutex/condvar protocol serializing N workers
+/// into one deterministic event order. Exactly one worker holds the turn;
+/// it runs until its next yield point, where the strategy decides who
+/// executes the next event.
+struct Sched {
+    st: Mutex<SchedSt>,
+    cv: Condvar,
+}
+
+impl Sched {
+    fn new(n: usize, strategy: Strategy, fuel: u64) -> Sched {
+        Sched {
+            st: Mutex::new(SchedSt {
+                started: false,
+                granted: NOBODY,
+                alive: vec![true; n],
+                live: n,
+                events: 0,
+                fuel,
+                abort: false,
+                strategy,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Poison-tolerant lock: an aborting worker panics while holding the
+    /// mutex, and everyone else must still be able to observe the abort.
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedSt> {
+        self.st.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'a>(
+        &self,
+        g: std::sync::MutexGuard<'a, SchedSt>,
+    ) -> std::sync::MutexGuard<'a, SchedSt> {
+        self.cv.wait(g).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Opens the start gate and grants the strategy's first pick. Called by
+    /// the driver after every worker has been spawned.
+    fn launch(&self) {
+        let mut st = self.lock();
+        st.started = true;
+        let st = &mut *st;
+        st.granted = st.strategy.pick(&st.alive, st.events);
+        self.cv.notify_all();
+    }
+
+    /// Blocks the worker until the exploration has launched *and* it holds
+    /// the turn. Workers call this before touching the pool, so nothing —
+    /// not even a clock stamp — executes outside the serial order.
+    fn gate(&self, me: usize) {
+        let mut st = self.lock();
+        while !(st.started && st.granted == me) {
+            if st.abort {
+                drop(st);
+                panic!("schedule explorer aborted");
+            }
+            st = self.wait(st);
+        }
+    }
+
+    /// The yield point: called (via the thread's yield hook) immediately
+    /// before each of the worker's instrumented events. Decides who
+    /// executes the next event, hands the turn over if it is someone else,
+    /// and blocks until the turn comes back. On return the caller owns the
+    /// event it is about to execute.
+    fn yield_point(&self, me: usize) {
+        let mut st = self.lock();
+        debug_assert_eq!(st.granted, me, "only the turn holder reaches a yield point");
+        let next = {
+            let st = &mut *st;
+            st.strategy.pick(&st.alive, st.events)
+        };
+        if next != me {
+            st.granted = next;
+            self.cv.notify_all();
+            while st.granted != me {
+                if st.abort {
+                    drop(st);
+                    panic!("schedule explorer aborted");
+                }
+                st = self.wait(st);
+            }
+        }
+        if st.abort {
+            drop(st);
+            panic!("schedule explorer aborted");
+        }
+        st.events += 1;
+        if st.events >= st.fuel {
+            st.abort = true;
+            self.cv.notify_all();
+            let fuel = st.fuel;
+            drop(st);
+            panic!(
+                "schedule explorer: fuel exhausted after {fuel} events — \
+                 a subject violated the lock-free progress assumption"
+            );
+        }
+    }
+
+    /// Removes the worker from the schedule (script finished or crash
+    /// unwound) and hands the turn to the strategy's next pick, cascading
+    /// until every worker has retired.
+    fn retire(&self, me: usize) {
+        let mut st = self.lock();
+        if st.alive[me] {
+            st.alive[me] = false;
+            st.live -= 1;
+        }
+        if st.granted == me {
+            st.granted = if st.live == 0 {
+                NOBODY
+            } else {
+                let st = &mut *st;
+                st.strategy.pick(&st.alive, st.events)
+            };
+        }
+        self.cv.notify_all();
+    }
+
+    fn events(&self) -> u64 {
+        self.lock().events
+    }
+}
+
+// ------------------------------------------------------------- per-run data
+
+/// How crash injection is applied to explored schedules.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Crash-free exploration only.
+    Off,
+    /// After each clean schedule run, re-run it with a crash armed at each
+    /// of up to `per_schedule` distinct seeded event indices.
+    Sampled {
+        /// Crash points injected per explored schedule.
+        per_schedule: u64,
+    },
+}
+
+/// Configuration of one exploration (one structure × algorithm pair).
+#[derive(Clone, Debug)]
+pub struct ExploreCfg {
+    /// Which structure shape to explore.
+    pub structure: StructureKind,
+    /// Which implementation (must be [`AlgoKind::schedulable`]).
+    pub algo: AlgoKind,
+    /// Virtual threads per schedule (≥ 2).
+    pub threads: usize,
+    /// Scripted operations per thread.
+    pub ops_per_thread: usize,
+    /// Schedules explored per strategy.
+    pub schedules: u64,
+    /// Strategies to run.
+    pub strategies: Vec<StrategyKind>,
+    /// Crash injection mode.
+    pub crash: CrashMode,
+    /// Crash adversary for injected crashes.
+    pub adversary: AdversaryKind,
+    /// Seed for scripts, strategies, and crash sampling.
+    pub seed: u64,
+    /// This shard's index in `[0, shard_count)`.
+    pub shard_index: u64,
+    /// Number of shards splitting the (strategy, schedule) grid.
+    pub shard_count: u64,
+    /// Pool size.
+    pub pool_bytes: usize,
+    /// Abort backstop: maximum events per schedule run.
+    pub fuel: u64,
+}
+
+impl ExploreCfg {
+    /// Defaults for a pair: 2 threads × 4 ops, 4 schedules per strategy,
+    /// all three strategies, sampled crash injection.
+    pub fn new(structure: StructureKind, algo: AlgoKind) -> ExploreCfg {
+        ExploreCfg {
+            structure,
+            algo,
+            threads: 2,
+            ops_per_thread: 4,
+            schedules: 4,
+            strategies: StrategyKind::all().to_vec(),
+            crash: CrashMode::Sampled { per_schedule: 2 },
+            adversary: AdversaryKind::Pessimist,
+            seed: 0xDE7E_C7AB,
+            shard_index: 0,
+            shard_count: 1,
+            pool_bytes: 64 << 20,
+            fuel: 5_000_000,
+        }
+    }
+}
+
+/// Outcome of one executed schedule (crash-free or crash-injected).
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Strategy that generated the schedule.
+    pub strategy: StrategyKind,
+    /// Schedule index within the strategy.
+    pub schedule: u64,
+    /// Armed crash point, if any.
+    pub crash_k: Option<u64>,
+    /// Instrumented events executed (before the crash, if one fired).
+    pub events: u64,
+    /// Completed + recovered operations fed to the verdict.
+    pub ops_recorded: usize,
+    /// Virtual threads whose in-flight operation was crash-interrupted.
+    pub crashed_threads: usize,
+    /// Did the history linearize and the structure pass its invariants?
+    pub ok: bool,
+    /// Failure detail (empty when the run passed).
+    pub note: String,
+}
+
+/// Result of one full exploration.
+pub struct ExploreReport {
+    /// The configuration that produced this report.
+    pub cfg: ExploreCfg,
+    /// Crash-free schedule runs executed.
+    pub runs: u64,
+    /// Schedule runs skipped by sharding.
+    pub runs_skipped: u64,
+    /// Crash-injected runs executed.
+    pub crash_runs: u64,
+    /// Total events across all executed runs.
+    pub total_events: u64,
+    /// Every failing run.
+    pub violations: Vec<RunOutcome>,
+    /// Per-run CSV (one row per executed run).
+    pub csv: Csv,
+}
+
+impl ExploreReport {
+    /// Did every executed run pass?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line console summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<9} {:<22} t={} runs={:<4} crash-runs={:<4} skipped={:<3} events={:<7} violations={} {}",
+            self.cfg.structure.name(),
+            self.cfg.algo.name(),
+            self.cfg.threads,
+            self.runs,
+            self.crash_runs,
+            self.runs_skipped,
+            self.total_events,
+            self.violations.len(),
+            if self.ok() { "OK" } else { "FAIL" },
+        )
+    }
+}
+
+// ----------------------------------------------------------------- scripts
+
+/// Per-thread set script over the shared key universe — shared keys are the
+/// point: conflicting inserts/deletes of the same key on different threads
+/// are what the linearizability check bites on.
+fn set_script_for(seed: u64, t: usize, len: usize) -> Vec<SetOp> {
+    let mut rng = Rng(splitmix64(seed ^ (t as u64 + 1).wrapping_mul(0xA5A5_1234)) | 1);
+    (0..len)
+        .map(|_| {
+            let r = rng.next();
+            let key = r % SET_KEYS + 1;
+            match (r >> 32) % 8 {
+                0..=3 => SetOp::Insert(key),
+                4..=6 => SetOp::Delete(key),
+                _ => SetOp::Find(key),
+            }
+        })
+        .collect()
+}
+
+/// Per-thread queue script. Values are unique across threads (thread `t`
+/// enqueues from base `(t+1)·1000`) so the checker can tell whose element a
+/// dequeue observed.
+fn queue_script_for(seed: u64, t: usize, len: usize) -> Vec<QueueOp> {
+    let mut rng = Rng(splitmix64(seed ^ (t as u64 + 1).wrapping_mul(0x5EED_4321)) | 1);
+    let mut next = (t as u64 + 1) * 1000;
+    (0..len)
+        .map(|_| {
+            if rng.next() % 5 < 3 {
+                next += 1;
+                QueueOp::Enqueue(next)
+            } else {
+                QueueOp::Dequeue
+            }
+        })
+        .collect()
+}
+
+/// Per-thread stack script; same unique-value scheme as the queue.
+fn stack_script_for(seed: u64, t: usize, len: usize) -> Vec<StackOp> {
+    let mut rng = Rng(splitmix64(seed ^ (t as u64 + 1).wrapping_mul(0x57AC_8765)) | 1);
+    let mut next = (t as u64 + 1) * 1000;
+    (0..len)
+        .map(|_| {
+            if rng.next() % 5 < 3 {
+                next += 1;
+                StackOp::Push(next)
+            } else {
+                StackOp::Pop
+            }
+        })
+        .collect()
+}
+
+/// Per-thread exchanger script: each op offers a globally unique value, so
+/// the pairing oracle's partner map is well-defined.
+fn exchange_script_for(t: usize, len: usize) -> Vec<u64> {
+    (0..len as u64).map(|i| (t as u64 + 1) * 1000 + i).collect()
+}
+
+// ------------------------------------------------------------------ engine
+
+/// What a worker knows about its crash-interrupted operation, harvested
+/// after the unwind for the recovery phase.
+#[derive(Copy, Clone)]
+struct CrashedOp {
+    op_index: usize,
+    /// Did the crash land after `begin_op`'s `CP_q := 0` prologue? Recovery
+    /// functions are only defined past the prologue (see `sweep` docs);
+    /// before it, the system re-invokes from scratch.
+    past_prologue: bool,
+    /// Invocation stamp taken when the operation was invoked — the
+    /// recovered response keeps it, so its interval genuinely spans the
+    /// crash.
+    inv: u64,
+}
+
+/// Everything one worker hands back to the driver.
+struct WorkerOut<S: Spec> {
+    tid: usize,
+    done: Vec<CompletedOp<S>>,
+    crashed: Option<CrashedOp>,
+}
+
+/// One worker's scripted run: gate on the scheduler, execute the script
+/// serially under the turn protocol, harvest the in-flight op if a crash
+/// unwinds it.
+fn worker_body<Sub: CrashSubject>(
+    me: usize,
+    sched: &Arc<Sched>,
+    clock: &AtomicU64,
+    sub: &Sub,
+    ctx: &ThreadCtx,
+    script: &[<Sub::S as Spec>::Op],
+) -> WorkerOut<Sub::S> {
+    let hook_sched = sched.clone();
+    pmem::set_yield_hook(Box::new(move || hook_sched.yield_point(me)));
+    sched.gate(me);
+    let done: RefCell<Vec<CompletedOp<Sub::S>>> = RefCell::new(Vec::new());
+    let cur = Cell::new(CrashedOp {
+        op_index: 0,
+        past_prologue: false,
+        inv: 0,
+    });
+    let out = run_crashable(|| {
+        for (i, op) in script.iter().enumerate() {
+            // All stamps are taken while holding the turn, so the shared
+            // clock's order is exactly the serial order of the schedule.
+            let inv = clock.fetch_add(1, Ordering::Relaxed);
+            cur.set(CrashedOp {
+                op_index: i,
+                past_prologue: false,
+                inv,
+            });
+            ctx.begin_op(SiteId(0));
+            cur.set(CrashedOp {
+                op_index: i,
+                past_prologue: true,
+                inv,
+            });
+            let ret = sub.exec(ctx, op);
+            let res = clock.fetch_add(1, Ordering::Relaxed);
+            done.borrow_mut().push(CompletedOp {
+                tid: me,
+                op: op.clone(),
+                ret,
+                inv,
+                res,
+            });
+        }
+    });
+    pmem::clear_yield_hook();
+    let crashed = if out.is_none() {
+        // Full-system power failure: every other worker crashes at its
+        // next instrumented event. Idempotent across the cascade.
+        ctx.pool().crash_ctl().raise();
+        Some(cur.get())
+    } else {
+        None
+    };
+    sched.retire(me);
+    WorkerOut {
+        tid: me,
+        done: done.into_inner(),
+        crashed,
+    }
+}
+
+/// Object-safe face of one generic [`ExpRunner`].
+trait ExpCase {
+    /// Executes one schedule, crash-free (`crash_k == None`) or with a
+    /// crash armed at event `crash_k`. `horizon` bounds PCT change points;
+    /// the driver fixes it once (from a calibration run) so a crash replay
+    /// constructs the *identical* strategy as the crash-free run it
+    /// replays.
+    fn run_one(
+        &self,
+        cfg: &ExploreCfg,
+        strategy: StrategyKind,
+        schedule: u64,
+        crash_k: Option<u64>,
+        horizon: u64,
+    ) -> RunOutcome;
+}
+
+/// The attach-once exploration context: pool, subject, and per-thread
+/// contexts are built once; every schedule run rewinds the pool to the
+/// `base` snapshot ([`PmemPool::restore`] re-arms the crash model and
+/// leaves the scheduler bit alone).
+struct ExpRunner<Sub: CrashSubject> {
+    pool: Arc<PmemPool>,
+    sub: Sub,
+    ctxs: Vec<ThreadCtx>,
+    scripts: Vec<Vec<<Sub::S as Spec>::Op>>,
+    base: PoolSnapshot,
+}
+
+impl<Sub> ExpRunner<Sub>
+where
+    Sub: CrashSubject + Sync,
+    <Sub::S as Spec>::Op: Send + Sync,
+    <Sub::S as Spec>::Ret: Send,
+{
+    fn new(
+        pool: Arc<PmemPool>,
+        sub: Sub,
+        threads: usize,
+        scripts: Vec<Vec<<Sub::S as Spec>::Op>>,
+    ) -> Self {
+        let ctxs = (0..threads)
+            .map(|t| ThreadCtx::new(pool.clone(), t))
+            .collect();
+        let base = pool.snapshot();
+        ExpRunner {
+            pool,
+            sub,
+            ctxs,
+            scripts,
+            base,
+        }
+    }
+}
+
+impl<Sub> ExpCase for ExpRunner<Sub>
+where
+    Sub: CrashSubject + Sync,
+    <Sub::S as Spec>::Op: Send + Sync,
+    <Sub::S as Spec>::Ret: Send,
+{
+    fn run_one(
+        &self,
+        cfg: &ExploreCfg,
+        strategy: StrategyKind,
+        schedule: u64,
+        crash_k: Option<u64>,
+        horizon: u64,
+    ) -> RunOutcome {
+        let n = cfg.threads;
+        self.pool.restore(&self.base);
+        let sched_seed = splitmix64(
+            cfg.seed
+                ^ (strategy as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ schedule.wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+        );
+        let sched = Arc::new(Sched::new(
+            n,
+            Strategy::new(strategy, n, sched_seed, horizon),
+            cfg.fuel,
+        ));
+        let clock = AtomicU64::new(0);
+        if let Some(k) = crash_k {
+            self.pool.crash_ctl().arm_after(k);
+        } else {
+            self.pool.crash_ctl().disarm();
+        }
+        self.pool.set_sched_enabled(true);
+
+        let mut outs: Vec<WorkerOut<Sub::S>> = Vec::with_capacity(n);
+        let mut worker_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n);
+            for t in 0..n {
+                let sched = &sched;
+                let clock = &clock;
+                let sub = &self.sub;
+                let ctx = &self.ctxs[t];
+                let script = &self.scripts[t];
+                handles.push(
+                    s.spawn(move || worker_body(t, sched, clock, sub, ctx, script.as_slice())),
+                );
+            }
+            sched.launch();
+            for h in handles {
+                match h.join() {
+                    Ok(o) => outs.push(o),
+                    Err(p) => worker_panic = Some(p),
+                }
+            }
+        });
+        self.pool.set_sched_enabled(false);
+        self.pool.crash_ctl().disarm();
+        if let Some(p) = worker_panic {
+            std::panic::resume_unwind(p);
+        }
+        let events = sched.events();
+
+        outs.sort_by_key(|o| o.tid);
+        let crashed: Vec<(usize, CrashedOp)> = outs
+            .iter()
+            .filter_map(|o| o.crashed.map(|c| (o.tid, c)))
+            .collect();
+        let mut recorded: Vec<CompletedOp<Sub::S>> =
+            outs.into_iter().flat_map(|o| o.done).collect();
+
+        let mut outcome = RunOutcome {
+            strategy,
+            schedule,
+            crash_k,
+            events,
+            ops_recorded: recorded.len(),
+            crashed_threads: crashed.len(),
+            ok: true,
+            note: String::new(),
+        };
+
+        match (crash_k, crashed.is_empty()) {
+            (Some(_), true) => {
+                // The count run said event k exists in this schedule, yet
+                // the replay finished — the interleaving diverged, itself a
+                // determinism violation.
+                outcome.ok = false;
+                outcome.note = "armed crash never fired: schedule replay diverged".into();
+                return outcome;
+            }
+            (None, false) => {
+                outcome.ok = false;
+                outcome.note = "crash fired in a crash-free run".into();
+                return outcome;
+            }
+            _ => {}
+        }
+
+        if let Some(k) = crash_k {
+            // Power failure: resolve the crash model, repair the structure,
+            // then recover each interrupted thread the way a restarted
+            // system would — sequentially, by ascending thread id, reusing
+            // each thread's own recovery slots. Recovered responses keep
+            // the original invocation stamp and take a fresh response
+            // stamp, so their intervals span the crash.
+            self.pool
+                .crash(&mut *cfg.adversary.instantiate(k, cfg.seed));
+            self.pool.set_crash_model_dormant(true);
+            self.sub.recover_structure();
+            for (tid, c) in &crashed {
+                let ctx = &self.ctxs[*tid];
+                let op = &self.scripts[*tid][c.op_index];
+                let ret = if c.past_prologue {
+                    self.sub.recover(ctx, op)
+                } else {
+                    ctx.begin_op(SiteId(0));
+                    self.sub.exec(ctx, op)
+                };
+                let res = clock.fetch_add(1, Ordering::Relaxed);
+                recorded.push(CompletedOp {
+                    tid: *tid,
+                    op: op.clone(),
+                    ret,
+                    inv: c.inv,
+                    res,
+                });
+            }
+            outcome.ops_recorded = recorded.len();
+        }
+
+        if let Err(e) = self.sub.concurrent_verdict(&self.ctxs[0], &recorded) {
+            outcome.ok = false;
+            outcome.note = e;
+        }
+        outcome
+    }
+}
+
+fn make_case(cfg: &ExploreCfg) -> Box<dyn ExpCase> {
+    let pool = Arc::new(PmemPool::new(PoolCfg::model(cfg.pool_bytes)));
+    let (n, len, seed) = (cfg.threads, cfg.ops_per_thread, cfg.seed);
+    match cfg.structure {
+        StructureKind::List | StructureKind::Bst => {
+            let algo = build(cfg.algo, pool.clone(), n, SET_KEYS + 4);
+            pool.register_site_names(algo.sites());
+            let scripts = (0..n).map(|t| set_script_for(seed, t, len)).collect();
+            Box::new(ExpRunner::new(pool, SetSubject { algo }, n, scripts))
+        }
+        StructureKind::Queue => {
+            pool.register_site_names(&tracking::sites::SITES);
+            let q = RecoverableQueue::new(pool.clone(), 0);
+            let scripts = (0..n).map(|t| queue_script_for(seed, t, len)).collect();
+            Box::new(ExpRunner::new(pool, QueueSubject { q }, n, scripts))
+        }
+        StructureKind::Stack => {
+            pool.register_site_names(&tracking::sites::SITES);
+            let s = RecoverableStack::new(pool.clone(), 0);
+            let scripts = (0..n).map(|t| stack_script_for(seed, t, len)).collect();
+            Box::new(ExpRunner::new(pool, StackSubject { s }, n, scripts))
+        }
+        StructureKind::Exchanger => {
+            pool.register_site_names(&tracking::sites::SITES);
+            let x = RecoverableExchanger::new(pool.clone(), 0);
+            let scripts = (0..n).map(|t| exchange_script_for(t, len)).collect();
+            Box::new(ExpRunner::new(pool, ExchangerSubject { x }, n, scripts))
+        }
+    }
+}
+
+/// Decorrelates crash-point sampling from every other seeded stream.
+const CRASH_SALT: u64 = 0xCAFE_F00D_BAAD_5EED;
+
+/// Up to `per_schedule` distinct seeded crash points in `[0, events)`.
+fn crash_points(seed: u64, strategy: StrategyKind, schedule: u64, events: u64, n: u64) -> Vec<u64> {
+    let mut ks = Vec::new();
+    if events == 0 {
+        return ks;
+    }
+    let base =
+        splitmix64(seed ^ CRASH_SALT ^ (strategy as u64 + 1).wrapping_mul(0x517C_C1B7_2722_0A95))
+            ^ schedule;
+    let mut draw = 0u64;
+    while (ks.len() as u64) < n.min(events) {
+        let k = splitmix64(base ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % events;
+        if !ks.contains(&k) {
+            ks.push(k);
+        }
+        draw += 1;
+        if draw > 16 * n {
+            break; // tiny event spaces: accept fewer points
+        }
+    }
+    ks.sort_unstable();
+    ks
+}
+
+/// Runs one full exploration per [`ExploreCfg`] and returns its report.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid: fewer than 2 threads, an
+/// implementation the explorer cannot serialize
+/// ([`AlgoKind::schedulable`]), or a history too large for the
+/// [`linearize`] checker's 63-operation bitmask (recorded operations plus
+/// the observation phase).
+pub fn run_explore(cfg: &ExploreCfg) -> ExploreReport {
+    assert!(cfg.threads >= 2, "exploration needs at least 2 threads");
+    assert!(
+        cfg.algo.schedulable(),
+        "{} cannot run under the cooperative scheduler (blocking design)",
+        cfg.algo.name()
+    );
+    // Worst-case history: every scripted op recorded, plus the observation
+    // phase (12 finds for sets, one drain op per completed push/enqueue
+    // plus the final empty witness for queue/stack, none for the
+    // exchanger). The linearize DFS indexes operations in a u64 bitmask.
+    let scripted = cfg.threads * cfg.ops_per_thread;
+    assert!(
+        2 * scripted < 63 && scripted + SET_KEYS as usize <= 63,
+        "history too large for the linearize checker: {} threads x {} ops",
+        cfg.threads,
+        cfg.ops_per_thread
+    );
+
+    let case = make_case(cfg);
+    // Calibrate the PCT horizon with one throwaway crash-free round-robin
+    // run (also a cheap end-to-end smoke of the pair before the matrix).
+    // Fixed once for the whole exploration: a crash replay must construct
+    // the identical strategy as the crash-free run it replays, and shards
+    // must generate the same schedules as an unsharded run.
+    let horizon = case
+        .run_one(cfg, StrategyKind::RoundRobin, 0, None, 0)
+        .events;
+
+    let mut csv = Csv::new(
+        &format!(
+            "explore_{}_{}_t{}",
+            cfg.structure.name(),
+            file_slug(cfg.algo.name()),
+            cfg.threads
+        ),
+        &[
+            "strategy",
+            "schedule",
+            "threads",
+            "crash_k",
+            "events",
+            "ops_recorded",
+            "crashed_threads",
+            "ok",
+            "note",
+        ],
+    );
+    let mut violations = Vec::new();
+    let (mut runs, mut runs_skipped, mut crash_runs, mut total_events) = (0u64, 0u64, 0u64, 0u64);
+    let record = |csv: &mut Csv, r: &RunOutcome, violations: &mut Vec<RunOutcome>| {
+        csv.push(&[
+            r.strategy.name().to_string(),
+            r.schedule.to_string(),
+            cfg.threads.to_string(),
+            r.crash_k.map(|k| k.to_string()).unwrap_or_default(),
+            r.events.to_string(),
+            r.ops_recorded.to_string(),
+            r.crashed_threads.to_string(),
+            r.ok.to_string(),
+            csv_escape(&r.note),
+        ]);
+        if !r.ok {
+            violations.push(r.clone());
+        }
+    };
+
+    for (si, &strategy) in cfg.strategies.iter().enumerate() {
+        for schedule in 0..cfg.schedules {
+            let grid_index = si as u64 * cfg.schedules + schedule;
+            if cfg.shard_count > 1 && grid_index % cfg.shard_count != cfg.shard_index {
+                runs_skipped += 1;
+                continue;
+            }
+            let free = case.run_one(cfg, strategy, schedule, None, horizon);
+            runs += 1;
+            total_events += free.events;
+            let clean = free.ok;
+            let events = free.events;
+            record(&mut csv, &free, &mut violations);
+            if let CrashMode::Sampled { per_schedule } = cfg.crash {
+                if clean {
+                    for k in crash_points(cfg.seed, strategy, schedule, events, per_schedule) {
+                        let r = case.run_one(cfg, strategy, schedule, Some(k), horizon);
+                        crash_runs += 1;
+                        total_events += r.events;
+                        record(&mut csv, &r, &mut violations);
+                    }
+                }
+            }
+        }
+    }
+
+    ExploreReport {
+        cfg: cfg.clone(),
+        runs,
+        runs_skipped,
+        crash_runs,
+        total_events,
+        violations,
+        csv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_alternates_and_skips_dead_threads() {
+        let mut s = Strategy::new(StrategyKind::RoundRobin, 3, 1, 0);
+        let alive = [true, true, true];
+        let picks: Vec<usize> = (0..6).map(|e| s.pick(&alive, e)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        let partial = [true, false, true];
+        let picks: Vec<usize> = (0..4).map(|e| s.pick(&partial, e)).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn random_strategy_is_deterministic_and_live() {
+        let alive = [true, true, true, true];
+        let mut a = Strategy::new(StrategyKind::Random, 4, 99, 0);
+        let mut b = Strategy::new(StrategyKind::Random, 4, 99, 0);
+        let pa: Vec<usize> = (0..64).map(|e| a.pick(&alive, e)).collect();
+        let pb: Vec<usize> = (0..64).map(|e| b.pick(&alive, e)).collect();
+        assert_eq!(pa, pb);
+        // A different seed explores a different schedule.
+        let mut c = Strategy::new(StrategyKind::Random, 4, 100, 0);
+        let pc: Vec<usize> = (0..64).map(|e| c.pick(&alive, e)).collect();
+        assert_ne!(pa, pc);
+        // Every pick is a live thread, and over 64 picks all 4 appear.
+        let mut seen = [false; 4];
+        for &p in &pa {
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn pct_runs_leader_until_change_point_demotes_it() {
+        let alive = [true, true];
+        let mut s = Strategy::new(StrategyKind::Pct, 2, 7, 64);
+        let picks: Vec<usize> = (0..64).map(|e| s.pick(&alive, e)).collect();
+        // The leader runs in long bursts; a change point flips it at most
+        // PCT_CHANGE_POINTS times.
+        let switches = picks.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(
+            switches <= PCT_CHANGE_POINTS,
+            "PCT switched {switches} times: {picks:?}"
+        );
+    }
+
+    #[test]
+    fn crash_points_are_distinct_in_range_and_deterministic() {
+        let a = crash_points(42, StrategyKind::Random, 3, 100, 5);
+        let b = crash_points(42, StrategyKind::Random, 3, 100, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        let mut uniq = a.clone();
+        uniq.dedup();
+        assert_eq!(uniq, a, "points must be distinct and sorted");
+        assert!(a.iter().all(|&k| k < 100));
+        // Tiny event spaces yield fewer (but never duplicate) points.
+        let tiny = crash_points(42, StrategyKind::Pct, 0, 3, 8);
+        assert!(tiny.len() <= 3);
+        assert!(crash_points(42, StrategyKind::Pct, 0, 0, 8).is_empty());
+    }
+
+    #[test]
+    fn two_thread_queue_schedule_linearizes_and_replays_identically() {
+        let mut cfg = ExploreCfg::new(StructureKind::Queue, AlgoKind::Tracking);
+        cfg.pool_bytes = 8 << 20;
+        cfg.schedules = 2;
+        cfg.crash = CrashMode::Off;
+        let a = run_explore(&cfg);
+        assert!(a.ok(), "violations: {:?}", a.violations);
+        assert_eq!(a.runs, cfg.strategies.len() as u64 * cfg.schedules);
+        let b = run_explore(&cfg);
+        assert_eq!(
+            a.csv.to_text(),
+            b.csv.to_text(),
+            "identical cfg must replay identical schedules"
+        );
+        assert_eq!(a.total_events, b.total_events);
+    }
+
+    #[test]
+    fn crash_injected_exchanger_schedules_recover() {
+        let mut cfg = ExploreCfg::new(StructureKind::Exchanger, AlgoKind::Tracking);
+        cfg.pool_bytes = 8 << 20;
+        cfg.ops_per_thread = 2;
+        cfg.schedules = 2;
+        cfg.crash = CrashMode::Sampled { per_schedule: 3 };
+        let r = run_explore(&cfg);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert!(r.crash_runs > 0, "sampled mode must inject crashes");
+    }
+
+    #[test]
+    fn three_thread_list_exploration_is_clean() {
+        let mut cfg = ExploreCfg::new(StructureKind::List, AlgoKind::Tracking);
+        cfg.pool_bytes = 8 << 20;
+        cfg.threads = 3;
+        cfg.ops_per_thread = 3;
+        cfg.schedules = 1;
+        cfg.crash = CrashMode::Sampled { per_schedule: 1 };
+        let r = run_explore(&cfg);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert!(r.crash_runs >= 1);
+    }
+
+    #[test]
+    fn sharding_partitions_the_schedule_grid() {
+        let mut cfg = ExploreCfg::new(StructureKind::Stack, AlgoKind::Tracking);
+        cfg.pool_bytes = 8 << 20;
+        cfg.schedules = 2;
+        cfg.crash = CrashMode::Off;
+        cfg.shard_count = 3;
+        let mut runs = 0;
+        for i in 0..3 {
+            cfg.shard_index = i;
+            let r = run_explore(&cfg);
+            assert!(r.ok(), "violations: {:?}", r.violations);
+            runs += r.runs;
+        }
+        let full = run_explore(&ExploreCfg {
+            shard_count: 1,
+            shard_index: 0,
+            ..cfg
+        });
+        assert_eq!(runs, full.runs, "shards must cover the whole grid");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run under the cooperative scheduler")]
+    fn romulus_is_rejected() {
+        let cfg = ExploreCfg::new(StructureKind::List, AlgoKind::Romulus);
+        run_explore(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "history too large")]
+    fn oversized_history_is_rejected() {
+        let mut cfg = ExploreCfg::new(StructureKind::Queue, AlgoKind::Tracking);
+        cfg.threads = 8;
+        cfg.ops_per_thread = 8;
+        run_explore(&cfg);
+    }
+}

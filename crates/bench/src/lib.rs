@@ -18,11 +18,18 @@
 //!   scripted workload at every instrumented persistence event, then check
 //!   detectability and durable linearizability of the recovered state
 //!   against the [`linearize`] specifications;
+//! * [`explore`] — the deterministic concurrent-schedule explorer:
+//!   serialize N virtual threads through the pool's instrumented events
+//!   under round-robin / seeded-random / PCT strategies, optionally crash
+//!   at any (schedule, event) point, and check the concurrent history
+//!   linearizes after recovery;
 //! * `bin/figures` — the CLI that writes one CSV per figure into
 //!   `results/`;
 //! * `bin/crashsweep` — the CLI driving [`sweep`] over the full
 //!   structure × algorithm matrix, writing one CSV per pair into
 //!   `results/crashsweep/`;
+//! * `bin/explore` — the CLI driving [`explore`] over the schedulable
+//!   matrix, writing one CSV per pair into `results/explore/`;
 //! * [`baseline`] / `bin/baseline` — the tracked perf baseline: fixed
 //!   per-structure/per-competitor micro-workloads plus an
 //!   instrumentation-overhead benchmark, emitted as `BENCH_*.json` at the
@@ -38,10 +45,12 @@
 pub mod adapter;
 pub mod baseline;
 pub mod csv;
+pub mod explore;
 pub mod figures;
 pub mod sweep;
 pub mod workload;
 
 pub use adapter::{build, AlgoKind, SetAlgo, StructureKind};
+pub use explore::{run_explore, CrashMode, ExploreCfg, ExploreReport, StrategyKind};
 pub use sweep::{run_sweep, SweepCfg, SweepReport};
 pub use workload::{run, Mix, RunCfg, RunResult};

@@ -80,8 +80,9 @@ use crate::csv::Csv;
 pub const SET_KEYS: u64 = 12;
 
 /// Threads parameter passed to [`build`] (sizes per-thread tables of the
-/// algorithms that need them; the sweep itself is single-threaded so the
-/// interleaving is deterministic and the model unambiguous).
+/// algorithms that need them; the sweep itself is single-threaded so that
+/// exhaustive crash-point enumeration is deterministic and the model
+/// unambiguous — concurrent interleavings are [`crate::explore`]'s job).
 const SWEEP_THREADS: usize = 2;
 
 /// Crash adversary applied when resolving each injected crash.
@@ -113,7 +114,7 @@ impl AdversaryKind {
         }
     }
 
-    fn instantiate(self, k: u64, seed: u64) -> Box<dyn CrashAdversary> {
+    pub(crate) fn instantiate(self, k: u64, seed: u64) -> Box<dyn CrashAdversary> {
         match self {
             AdversaryKind::Pessimist => Box::new(PessimistAdversary),
             AdversaryKind::Seeded => Box::new(SeededAdversary::new(
@@ -294,10 +295,10 @@ impl SweepReport {
 
 /// xorshift64* — the same tiny deterministic generator the integration
 /// tests use; reproduced here so `bench` stays dependency-free.
-struct Rng(u64);
+pub(crate) struct Rng(pub(crate) u64);
 
 impl Rng {
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         let mut x = self.0;
         x ^= x << 13;
         x ^= x >> 7;
@@ -307,7 +308,7 @@ impl Rng {
     }
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -315,7 +316,7 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// Deterministic membership test for `--sample p`.
-fn sampled(seed: u64, k: u64, p: f64) -> bool {
+pub(crate) fn sampled(seed: u64, k: u64, p: f64) -> bool {
     let r = splitmix64(seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     ((r >> 11) as f64 / (1u64 << 53) as f64) < p
 }
@@ -374,17 +375,51 @@ fn stack_script(seed: u64, len: usize) -> Vec<StackOp> {
 /// function; `observe` runs the post-recovery read-only phase, appending
 /// what it sees to the history and checking quiescent structural
 /// invariants.
-trait CrashSubject {
+pub(crate) trait CrashSubject {
     type S: Spec + Default;
 
     fn exec(&self, ctx: &ThreadCtx, op: &<Self::S as Spec>::Op) -> <Self::S as Spec>::Ret;
     fn recover(&self, ctx: &ThreadCtx, op: &<Self::S as Spec>::Op) -> <Self::S as Spec>::Ret;
     fn recover_structure(&self) {}
     fn observe(&self, ctx: &ThreadCtx, h: &mut History<Self::S>) -> Result<(), String>;
+
+    /// Verdict over a genuinely concurrent execution (the schedule
+    /// explorer's oracle): the per-thread completed operations — including
+    /// recovered responses of crash-interrupted ones — must, together with
+    /// the post-run observation phase, form a linearizable history, and the
+    /// structure must pass its quiescent invariants. The default is exactly
+    /// that; the exchanger overrides it with a pairing oracle, because its
+    /// sequential spec (`exchange → None`) only describes isolated threads.
+    fn concurrent_verdict(
+        &self,
+        ctx: &ThreadCtx,
+        recorded: &[CompletedOp<Self::S>],
+    ) -> Result<(), String> {
+        let mut h: History<Self::S> = History::new();
+        for r in recorded {
+            h.record_on(r.tid, r.op.clone(), r.ret.clone(), r.inv, r.res);
+        }
+        self.observe(ctx, &mut h)?;
+        h.check(Self::S::default())
+            .map(|_| ())
+            .map_err(|e| format!("not linearizable: {e}"))
+    }
 }
 
-struct SetSubject {
-    algo: Arc<dyn SetAlgo>,
+/// One completed (or crash-recovered) operation of a concurrent execution,
+/// as fed to [`CrashSubject::concurrent_verdict`].
+pub(crate) struct CompletedOp<S: Spec> {
+    /// Logical (virtual) thread that ran the operation.
+    pub(crate) tid: usize,
+    pub(crate) op: S::Op,
+    pub(crate) ret: S::Ret,
+    /// Invocation / response stamps from the shared [`linearize::Clock`].
+    pub(crate) inv: u64,
+    pub(crate) res: u64,
+}
+
+pub(crate) struct SetSubject {
+    pub(crate) algo: Arc<dyn SetAlgo>,
 }
 
 impl CrashSubject for SetSubject {
@@ -428,8 +463,8 @@ impl CrashSubject for SetSubject {
     }
 }
 
-struct QueueSubject {
-    q: RecoverableQueue,
+pub(crate) struct QueueSubject {
+    pub(crate) q: RecoverableQueue,
 }
 
 impl CrashSubject for QueueSubject {
@@ -474,8 +509,8 @@ impl CrashSubject for QueueSubject {
     }
 }
 
-struct StackSubject {
-    s: RecoverableStack,
+pub(crate) struct StackSubject {
+    pub(crate) s: RecoverableStack,
 }
 
 impl CrashSubject for StackSubject {
@@ -522,7 +557,7 @@ impl CrashSubject for StackSubject {
 /// unmatched (`None`) and leave the slot free — which is exactly what a
 /// detectably-recovered exchange must also conclude after a crash.
 #[derive(Clone, Default)]
-struct ExchangeSpec;
+pub(crate) struct ExchangeSpec;
 
 impl Spec for ExchangeSpec {
     type Op = u64;
@@ -538,10 +573,10 @@ impl Spec for ExchangeSpec {
 
 /// Spin budget for exchanger ops (small: keeps the event count per op, and
 /// therefore the sweep, short while still exercising the wait loop).
-const EXCHANGE_SPIN: usize = 6;
+pub(crate) const EXCHANGE_SPIN: usize = 6;
 
-struct ExchangerSubject {
-    x: RecoverableExchanger,
+pub(crate) struct ExchangerSubject {
+    pub(crate) x: RecoverableExchanger,
 }
 
 impl CrashSubject for ExchangerSubject {
@@ -558,6 +593,51 @@ impl CrashSubject for ExchangerSubject {
     fn observe(&self, _ctx: &ThreadCtx, _h: &mut History<ExchangeSpec>) -> Result<(), String> {
         if !self.x.is_free() {
             return Err("structural check: exchanger slot not free after recovery".into());
+        }
+        Ok(())
+    }
+
+    /// Pairing oracle: every exchange that returned `Some(v)` must have a
+    /// unique partner — the operation that offered `v` — whose own result
+    /// is this operation's offer, on a *different* thread, with genuinely
+    /// overlapping intervals (a rendezvous has no sequential witness).
+    /// Offers are unique across the run, so the partner map is well-defined.
+    /// Unmatched (`None`) results carry no obligation; the slot must end
+    /// free either way.
+    fn concurrent_verdict(
+        &self,
+        _ctx: &ThreadCtx,
+        recorded: &[CompletedOp<ExchangeSpec>],
+    ) -> Result<(), String> {
+        for r in recorded {
+            let Some(got) = r.ret else { continue };
+            let partner = recorded
+                .iter()
+                .find(|p| p.op == got)
+                .ok_or_else(|| format!("t{} exchanged value {got} nobody offered", r.tid))?;
+            if partner.tid == r.tid {
+                return Err(format!(
+                    "t{} exchanged value {got} with itself (offer {})",
+                    r.tid, r.op
+                ));
+            }
+            if partner.ret != Some(r.op) {
+                return Err(format!(
+                    "asymmetric pairing: t{} offered {} and got {got}, but t{} \
+                     offering {got} got {:?}",
+                    r.tid, r.op, partner.tid, partner.ret
+                ));
+            }
+            if !(r.inv < partner.res && partner.inv < r.res) {
+                return Err(format!(
+                    "t{} [{}, {}] paired with t{} [{}, {}] without overlapping — \
+                     a rendezvous must be concurrent",
+                    r.tid, r.inv, r.res, partner.tid, partner.inv, partner.res
+                ));
+            }
+        }
+        if !self.x.is_free() {
+            return Err("structural check: exchanger slot not free after the run".into());
         }
         Ok(())
     }
@@ -1000,7 +1080,7 @@ fn make_case(cfg: &SweepCfg) -> Box<dyn Case> {
     }
 }
 
-fn file_slug(s: &str) -> String {
+pub(crate) fn file_slug(s: &str) -> String {
     s.chars()
         .map(|ch| {
             if ch.is_ascii_alphanumeric() {
@@ -1108,7 +1188,7 @@ pub fn run_sweep(cfg: &SweepCfg) -> SweepReport {
 }
 
 /// Keeps failure notes inside one CSV cell.
-fn csv_escape(s: &str) -> String {
+pub(crate) fn csv_escape(s: &str) -> String {
     s.replace(',', ";").replace('\n', " ")
 }
 

@@ -1,14 +1,19 @@
 //! # linearize — a small linearizability checker
 //!
 //! Records concurrent histories (invocation/response intervals stamped by a
-//! global logical clock) and decides whether a history is linearizable with
-//! respect to a sequential specification, using the classic Wing–Gong
-//! search with Lowe-style memoization.
+//! global logical clock, attributed to logical threads) and decides whether
+//! a history is linearizable with respect to a sequential specification,
+//! using the classic Wing–Gong search with Lowe-style memoization plus
+//! program-order frontier pruning: a thread is sequential, so only the
+//! first remaining operation of each thread can linearize next, and the
+//! interval-order bound (no operation may linearize after one that
+//! completed before it was invoked) is computed over that frontier.
 //!
-//! Intended for the integration tests of this repository: histories of a
-//! few dozen operations from a handful of threads over the recoverable
-//! sets/queues/stacks, checked exactly. The search is exponential in the
-//! worst case — keep recorded histories small (≲ 30 operations).
+//! Intended for the integration tests and the schedule explorer of this
+//! repository: histories of a few dozen operations from a handful of
+//! threads over the recoverable sets/queues/stacks, checked exactly. The
+//! search is exponential in the worst case — keep recorded histories small
+//! (≲ 30 operations from 3–4 threads finish in microseconds).
 //!
 //! ## As a durable-linearizability oracle
 //!
@@ -59,6 +64,9 @@ pub trait Spec: Clone {
 /// One completed operation in a recorded history.
 #[derive(Clone, Debug)]
 struct Entry<S: Spec> {
+    /// Recording thread, or `None` for operations recorded without one
+    /// (each such entry forms its own program-order class).
+    tid: Option<usize>,
     op: S::Op,
     ret: Option<S::Ret>,
     inv: u64,
@@ -73,8 +81,10 @@ pub struct Token(usize);
 ///
 /// Thread-safety note: this recorder is deliberately simple — concurrent
 /// tests collect per-thread `(inv, res, op, ret)` tuples with a shared
-/// [`Clock`] and merge them via [`History::record`]; the `invoke`/`ret`
-/// pair is the single-threaded convenience API.
+/// [`Clock`] and merge them via [`History::record_on`]; the `invoke`/`ret`
+/// pair is the convenience API for histories assembled by one recording
+/// thread (which may still describe many *logical* threads, as the
+/// schedule explorer's serialized executions do).
 #[derive(Clone, Debug, Default)]
 pub struct History<S: Spec> {
     entries: Vec<Entry<S>>,
@@ -90,11 +100,32 @@ impl<S: Spec> History<S> {
         }
     }
 
-    /// Records an invocation (single-threaded recording API).
-    pub fn invoke(&mut self, _thread: usize, op: S::Op) -> Token {
+    /// Records an invocation by logical thread `thread`, stamped by the
+    /// history's internal clock. A thread is sequential: invoking while the
+    /// same thread already has a pending (un-returned) operation panics —
+    /// overlapping operations belong to distinct threads.
+    ///
+    /// ```
+    /// use linearize::{History, SetOp, SetSpec};
+    /// let mut h = History::new();
+    /// let a = h.invoke(0, SetOp::Insert(7)); // thread 0 pending…
+    /// let b = h.invoke(1, SetOp::Find(7)); // …so the overlap is thread 1
+    /// h.ret(a, true);
+    /// h.ret(b, false); // find may linearize before the overlapping insert
+    /// assert!(h.check(SetSpec::default()).is_ok());
+    /// ```
+    pub fn invoke(&mut self, thread: usize, op: S::Op) -> Token {
+        assert!(
+            !self
+                .entries
+                .iter()
+                .any(|e| e.tid == Some(thread) && e.ret.is_none()),
+            "thread {thread} invoked with an operation still pending"
+        );
         let inv = self.clock;
         self.clock += 1;
         self.entries.push(Entry {
+            tid: Some(thread),
             op,
             ret: None,
             inv,
@@ -113,11 +144,31 @@ impl<S: Spec> History<S> {
         e.res = res;
     }
 
-    /// Records a pre-timestamped completed operation (multi-threaded
-    /// recording: threads stamp `inv`/`res` with a shared [`Clock`]).
+    /// Records a pre-timestamped completed operation with no thread
+    /// attribution (each such entry is its own program-order class — sound,
+    /// but it denies the checker the per-thread pruning structure
+    /// [`Self::record_on`] provides).
     pub fn record(&mut self, op: S::Op, ret: S::Ret, inv: u64, res: u64) {
+        self.push_stamped(None, op, ret, inv, res);
+    }
+
+    /// Records a pre-timestamped completed operation of logical thread
+    /// `thread` (multi-threaded recording: threads stamp `inv`/`res` with a
+    /// shared [`Clock`] and their tuples are merged here afterwards).
+    /// Operations of one thread must not overlap; [`Self::check`] rejects
+    /// histories that violate this.
+    pub fn record_on(&mut self, thread: usize, op: S::Op, ret: S::Ret, inv: u64, res: u64) {
+        self.push_stamped(Some(thread), op, ret, inv, res);
+    }
+
+    fn push_stamped(&mut self, tid: Option<usize>, op: S::Op, ret: S::Ret, inv: u64, res: u64) {
         assert!(inv < res, "invocation must precede response");
+        // Keep the internal clock ahead of every external stamp, so
+        // `invoke`/`ret` can append (e.g. a post-crash observation phase)
+        // after a batch of recorded tuples without colliding intervals.
+        self.clock = self.clock.max(res + 1);
         self.entries.push(Entry {
+            tid,
             op,
             ret: Some(ret),
             inv,
@@ -138,6 +189,35 @@ impl<S: Spec> History<S> {
     /// Decides linearizability against `initial`. `Ok(order)` returns one
     /// witness linearization (indices into recording order); `Err(msg)`
     /// explains the failure.
+    ///
+    /// A genuinely concurrent 2-thread history that linearizes — the find
+    /// overlaps the insert, so it may take effect before it:
+    ///
+    /// ```
+    /// use linearize::{Clock, History, SetOp, SetSpec};
+    /// let clock = Clock::new();
+    /// let (i0, i1) = (clock.now(), clock.now()); // both ops invoke…
+    /// let (r0, r1) = (clock.now(), clock.now()); // …before either returns
+    /// let mut h = History::new();
+    /// h.record_on(0, SetOp::Insert(5), true, i0, r0);
+    /// h.record_on(1, SetOp::Find(5), false, i1, r1);
+    /// assert!(h.check(SetSpec::default()).is_ok());
+    /// ```
+    ///
+    /// And one that does not: here the insert *completed* before the find
+    /// began, so real-time precedence pins insert → find and `false`
+    /// contradicts the spec:
+    ///
+    /// ```
+    /// use linearize::{Clock, History, SetOp, SetSpec};
+    /// let clock = Clock::new();
+    /// let (i0, r0) = (clock.now(), clock.now()); // insert returns…
+    /// let (i1, r1) = (clock.now(), clock.now()); // …before find invokes
+    /// let mut h = History::new();
+    /// h.record_on(0, SetOp::Insert(5), true, i0, r0);
+    /// h.record_on(1, SetOp::Find(5), false, i1, r1);
+    /// assert!(h.check(SetSpec::default()).is_err());
+    /// ```
     pub fn check(&self, initial: S) -> Result<Vec<usize>, String> {
         let n = self.entries.len();
         for (i, e) in self.entries.iter().enumerate() {
@@ -165,26 +245,75 @@ impl<S: Spec> History<S> {
             return Ok((0..n).collect());
         }
         assert!(n <= 63, "history too large for the bitmask search");
-        // precedence: a must be linearized before b if a.res < b.inv
+        // Program-order classes: entries of one thread, ascending by
+        // invocation; thread-less entries are singleton classes. A thread
+        // is sequential, so within a class intervals must be disjoint and
+        // both inv and res ascend — which is what makes frontier iteration
+        // below sound.
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        {
+            let mut by_tid: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::new();
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by_key(|&i| self.entries[i].inv);
+            for i in idx {
+                match self.entries[i].tid {
+                    None => classes.push(vec![i]),
+                    Some(t) => match by_tid.get(&t) {
+                        Some(&c) => {
+                            let prev = *classes[c].last().unwrap();
+                            if self.entries[prev].res >= self.entries[i].inv {
+                                return Err(format!(
+                                    "thread {t} has overlapping operations {prev} and {i}: \
+                                     a thread is sequential (is the recording mis-attributed?)"
+                                ));
+                            }
+                            classes[c].push(i);
+                        }
+                        None => {
+                            by_tid.insert(t, classes.len());
+                            classes.push(vec![i]);
+                        }
+                    },
+                }
+            }
+        }
         let mut seen: HashSet<(u64, S::Digest)> = HashSet::new();
         let mut order = Vec::with_capacity(n);
-        if self.dfs(initial, (1u64 << n) - 1, &mut seen, &mut order) {
+        if self.dfs(initial, (1u64 << n) - 1, &classes, &mut seen, &mut order) {
             Ok(order)
         } else {
             Err(format!(
                 "history of {n} operations is not linearizable: {:?}",
                 self.entries
                     .iter()
-                    .map(|e| format!("{:?}->{:?} [{} {}]", e.op, e.ret, e.inv, e.res))
+                    .enumerate()
+                    .map(|(i, e)| format!(
+                        "t{}#{i} {:?}->{:?} [{} {}]",
+                        e.tid.map(|t| t.to_string()).unwrap_or_else(|| "?".into()),
+                        e.op,
+                        e.ret,
+                        e.inv,
+                        e.res
+                    ))
                     .collect::<Vec<_>>()
             ))
         }
     }
 
+    /// The Wing–Gong search over program-order *frontiers*: only the first
+    /// remaining operation of each thread can be the next linearization
+    /// candidate (its same-thread successors are pinned behind it by
+    /// real-time precedence), so each node scans `O(threads)` candidates
+    /// instead of `O(n)`. Within a thread `res` ascends, hence the minimal
+    /// remaining response — the interval-order bound that prunes candidates
+    /// invoked after some remaining operation completed — is also attained
+    /// on the frontier.
     fn dfs(
         &self,
         state: S,
         remaining: u64,
+        classes: &[Vec<usize>],
         seen: &mut HashSet<(u64, S::Digest)>,
         order: &mut Vec<usize>,
     ) -> bool {
@@ -194,16 +323,11 @@ impl<S: Spec> History<S> {
         if !seen.insert((remaining, state.digest())) {
             return false; // configuration already refuted
         }
-        // earliest response among remaining ops bounds which ops are minimal
-        let min_res = (0..self.entries.len())
-            .filter(|i| remaining & (1 << i) != 0)
-            .map(|i| self.entries[i].res)
-            .min()
-            .unwrap();
-        for i in 0..self.entries.len() {
-            if remaining & (1 << i) == 0 {
-                continue;
-            }
+        let frontier = classes
+            .iter()
+            .filter_map(|c| c.iter().find(|&&i| remaining & (1 << i) != 0).copied());
+        let min_res = frontier.clone().map(|i| self.entries[i].res).min().unwrap();
+        for i in frontier {
             let e = &self.entries[i];
             if e.inv > min_res {
                 continue; // some remaining op completed before this started
@@ -214,7 +338,7 @@ impl<S: Spec> History<S> {
                 continue; // spec disagrees with the observed response
             }
             order.push(i);
-            if self.dfs(next, remaining & !(1 << i), seen, order) {
+            if self.dfs(next, remaining & !(1 << i), classes, seen, order) {
                 return true;
             }
             order.pop();
@@ -534,5 +658,104 @@ mod tests {
         let mut h: History<SetSpec> = History::new();
         let _ = h.invoke(0, SetOp::Insert(1));
         assert!(h.check(SetSpec::default()).is_err());
+    }
+
+    // --- regression: `invoke` must actually use its thread id ---
+
+    #[test]
+    #[should_panic(expected = "still pending")]
+    fn same_thread_overlap_via_invoke_panics() {
+        // Before the fix, `invoke` ignored its thread argument and happily
+        // recorded one thread invoking twice with no response in between.
+        let mut h: History<SetSpec> = History::new();
+        let _a = h.invoke(3, SetOp::Insert(1));
+        let _b = h.invoke(3, SetOp::Insert(2));
+    }
+
+    #[test]
+    fn cross_thread_overlap_accepted_contradiction_rejected() {
+        // Two threads, genuinely overlapping intervals recorded with a
+        // shared clock. delete(1) overlaps insert(1): true/true is fine
+        // (insert then delete)…
+        let clock = Clock::new();
+        let (i0, i1) = (clock.now(), clock.now());
+        let (r0, r1) = (clock.now(), clock.now());
+        let mut h: History<SetSpec> = History::new();
+        h.record_on(0, SetOp::Insert(1), true, i0, r0);
+        h.record_on(1, SetOp::Delete(1), true, i1, r1);
+        assert!(h.check(SetSpec::default()).is_ok());
+        // …but a find that *follows* both and still sees the key
+        // contradicts every linearization.
+        let (i2, r2) = (clock.now(), clock.now());
+        h.record_on(0, SetOp::Find(1), true, i2, r2);
+        assert!(h.check(SetSpec::default()).is_err());
+    }
+
+    #[test]
+    fn same_thread_overlap_via_record_on_rejected() {
+        let mut h: History<SetSpec> = History::new();
+        h.record_on(2, SetOp::Insert(1), true, 0, 5);
+        h.record_on(2, SetOp::Delete(1), true, 3, 8); // overlaps on thread 2
+        let err = h.check(SetSpec::default()).unwrap_err();
+        assert!(err.contains("thread 2 has overlapping operations"), "{err}");
+    }
+
+    #[test]
+    fn frontier_pruning_respects_program_order() {
+        // Thread 0: insert(1) then find(1); thread 1: delete(1) overlapping
+        // both. find=false forces delete to linearize between its thread-0
+        // neighbours — the frontier search must find that order.
+        let mut h: History<SetSpec> = History::new();
+        h.record_on(0, SetOp::Insert(1), true, 0, 2);
+        h.record_on(1, SetOp::Delete(1), true, 1, 10);
+        h.record_on(0, SetOp::Find(1), false, 4, 6);
+        let order = h.check(SetSpec::default()).unwrap();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn mixed_record_then_invoke_stays_well_stamped() {
+        // An observation phase appended with invoke/ret after recorded
+        // tuples must land *after* them on the clock.
+        let mut h: History<SetSpec> = History::new();
+        h.record_on(0, SetOp::Insert(1), true, 7, 9);
+        let t = h.invoke(1, SetOp::Find(1));
+        h.ret(t, true);
+        assert_eq!(h.check(SetSpec::default()).unwrap(), vec![0, 1]);
+        // A find claiming the key vanished must fail — i.e. the appended op
+        // cannot have slipped before the recorded insert.
+        let mut h2: History<SetSpec> = History::new();
+        h2.record_on(0, SetOp::Insert(1), true, 7, 9);
+        let t = h2.invoke(1, SetOp::Find(1));
+        h2.ret(t, false);
+        assert!(h2.check(SetSpec::default()).is_err());
+    }
+
+    #[test]
+    fn three_thread_concurrent_history_checks_fast() {
+        // 3 threads × 7 ops, all pairwise overlapping across threads: the
+        // frontier search with memoization must decide this instantly.
+        let mut h: History<SetSpec> = History::new();
+        let mut t = 0u64;
+        let mut stamps = || {
+            t += 1;
+            t
+        };
+        for op in 0..7u64 {
+            // Interleave so ops of different threads overlap heavily.
+            let i0 = stamps();
+            let i1 = stamps();
+            let i2 = stamps();
+            let r0 = stamps();
+            let r1 = stamps();
+            let r2 = stamps();
+            let k = op % 3;
+            h.record_on(0, SetOp::Insert(k), op == 0, i0, r0);
+            h.record_on(1, SetOp::Find(k), true, i1, r1);
+            h.record_on(2, SetOp::Delete(k + 10), false, i2, r2);
+        }
+        // Responses above are not all consistent; just exercise the search
+        // terminating quickly either way.
+        let _ = h.check(SetSpec::default());
     }
 }

@@ -11,8 +11,9 @@
 //!
 //! Bit owners: [`crate::crash::CrashCtl`] maintains [`EP_CRASH`] from its
 //! arm/disarm/auto-disarm transitions; [`crate::PmemPool`] maintains
-//! [`EP_TRACE`]/[`EP_LINT`] from the observer toggles and
-//! [`EP_SHADOW`] from construction plus the dormant-model toggle.
+//! [`EP_TRACE`]/[`EP_LINT`] from the observer toggles,
+//! [`EP_SHADOW`] from construction plus the dormant-model toggle, and
+//! [`EP_SCHED`] from the schedule explorer's enable toggle.
 //!
 //! Ordering: *setting* bits uses SeqCst (arming a crash or enabling an
 //! observer is a rare control action that must not reorder with the
@@ -46,6 +47,12 @@ pub(crate) const EP_FOOT: u64 = 1 << 4;
 /// path, which checks the mask *before* the crash tick so a disabled site
 /// stays completely invisible to crash-point enumeration.
 pub(crate) const EP_MASK: u64 = 1 << 5;
+/// Cooperative-scheduler yield points armed ([`crate::sched`]): every
+/// instrumented event first calls the calling thread's registered yield
+/// hook, which the schedule explorer uses to serialize virtual threads
+/// deterministically. Set by [`crate::PmemPool::set_sched_enabled`]; like
+/// every other bit, costs nothing when clear.
+pub(crate) const EP_SCHED: u64 = 1 << 6;
 
 /// The shared epoch word. An `Arc` because the pool and its [`CrashCtl`]
 /// both write it ([`CrashCtl`] must clear [`EP_CRASH`] when a fired

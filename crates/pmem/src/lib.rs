@@ -106,6 +106,7 @@ mod epoch;
 pub mod lint;
 pub mod persist;
 pub mod pool;
+pub mod sched;
 pub mod shadow;
 pub mod stats;
 pub mod thread;
@@ -116,6 +117,7 @@ pub use crash::{run_crashable, CrashCtl, CrashPoint};
 pub use lint::{Diagnostic, LintKind, LintReport};
 pub use persist::{Backend, SiteId, MAX_SITES};
 pub use pool::{PmemPool, PoolCfg, PoolSnapshot, NUM_ROOTS};
+pub use sched::{clear_yield_hook, has_yield_hook, set_yield_hook};
 pub use shadow::{
     CrashAdversary, CrashChoice, OptimistAdversary, PessimistAdversary, SeededAdversary,
 };

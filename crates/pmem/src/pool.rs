@@ -6,7 +6,9 @@ use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
 
 use crate::addr::{PAddr, WORDS_PER_LINE};
 use crate::crash::CrashCtl;
-use crate::epoch::{new_epoch, Epoch, EP_CRASH, EP_FOOT, EP_LINT, EP_MASK, EP_SHADOW, EP_TRACE};
+use crate::epoch::{
+    new_epoch, Epoch, EP_CRASH, EP_FOOT, EP_LINT, EP_MASK, EP_SCHED, EP_SHADOW, EP_TRACE,
+};
 use crate::lint::{FlushLint, LineState, LintReport};
 use crate::persist::{self, Backend, SiteId, SiteMask, MAX_SITES};
 use crate::shadow::{CrashAdversary, LineSnap, ShadowMem};
@@ -14,14 +16,14 @@ use crate::stats::{Stats, StatsSnapshot};
 use crate::trace::{trace_tid, EventKind, Trace, TraceSnapshot, NO_SITE};
 
 /// Epoch bits that force `load` off its fast path. Lint ignores reads, so
-/// only crash injection and the trace are relevant.
-const EP_LOAD_SLOW: u64 = EP_CRASH | EP_TRACE;
+/// only crash injection, the trace and the scheduler are relevant.
+const EP_LOAD_SLOW: u64 = EP_CRASH | EP_TRACE | EP_SCHED;
 /// Epoch bits that force `store`/`cas` off their fast paths (the lint
 /// tracks writes, the replay footprint tracks written lines).
-const EP_DATA_SLOW: u64 = EP_CRASH | EP_TRACE | EP_LINT | EP_FOOT;
+const EP_DATA_SLOW: u64 = EP_CRASH | EP_TRACE | EP_LINT | EP_FOOT | EP_SCHED;
 /// Epoch bits that force `pwb`/`pfence`/`psync` off their fast paths (the
 /// shadow crash model additionally hooks persistence instructions).
-const EP_PERSIST_SLOW: u64 = EP_CRASH | EP_TRACE | EP_LINT | EP_SHADOW | EP_FOOT;
+const EP_PERSIST_SLOW: u64 = EP_CRASH | EP_TRACE | EP_LINT | EP_SHADOW | EP_FOOT | EP_SCHED;
 
 /// Number of root-directory cells (each on its own cache line).
 pub const NUM_ROOTS: usize = 16;
@@ -322,6 +324,11 @@ impl PmemPool {
 
     #[cold]
     fn load_slow(&self, a: PAddr, bits: u64) -> u64 {
+        // Yield before the tick: the scheduler decides who runs this event,
+        // and an armed crash must fire on whichever thread it granted.
+        if bits & EP_SCHED != 0 {
+            crate::sched::yield_now();
+        }
         if bits & EP_CRASH != 0 {
             self.crash_ctl.tick();
         }
@@ -369,6 +376,9 @@ impl PmemPool {
 
     #[cold]
     fn store_slow(&self, a: PAddr, v: u64, site: u8, bits: u64) {
+        if bits & EP_SCHED != 0 {
+            crate::sched::yield_now();
+        }
         if bits & EP_CRASH != 0 {
             self.crash_ctl.tick();
         }
@@ -424,6 +434,9 @@ impl PmemPool {
 
     #[cold]
     fn cas_slow(&self, a: PAddr, old: u64, new: u64, site: u8, bits: u64) -> Result<u64, u64> {
+        if bits & EP_SCHED != 0 {
+            crate::sched::yield_now();
+        }
         if bits & EP_CRASH != 0 {
             self.crash_ctl.tick();
         }
@@ -469,6 +482,12 @@ impl PmemPool {
         // not snapshotted).
         if bits & EP_MASK != 0 && !self.mask.site_enabled(site) {
             return;
+        }
+        // After the mask check — a masked site is no yield point, exactly as
+        // it is no crash point — and before the tick, so the scheduler
+        // decides who runs the event an armed crash would land on.
+        if bits & EP_SCHED != 0 {
+            crate::sched::yield_now();
         }
         if bits & EP_CRASH != 0 {
             self.crash_ctl.tick();
@@ -547,6 +566,9 @@ impl PmemPool {
         // image, not counted).
         if bits & EP_MASK != 0 && !self.mask.psync_enabled() {
             return;
+        }
+        if bits & EP_SCHED != 0 {
+            crate::sched::yield_now();
         }
         if bits & EP_CRASH != 0 {
             self.crash_ctl.tick();
@@ -632,6 +654,16 @@ impl PmemPool {
     /// Crash-injection controls (see [`CrashCtl`]).
     pub fn crash_ctl(&self) -> &CrashCtl {
         &self.crash_ctl
+    }
+
+    /// Arms or disarms the cooperative-scheduler yield points (see
+    /// [`crate::sched`]): while armed, every instrumented event first calls
+    /// the executing thread's registered yield hook. Threads without a hook
+    /// (e.g. the main thread running recovery after an explored crash) fall
+    /// straight through. Survives [`Self::restore`], so the schedule
+    /// explorer arms it once per pool and rewinds freely between schedules.
+    pub fn set_sched_enabled(&self, on: bool) {
+        self.set_epoch_bit(EP_SCHED, on);
     }
 
     // ------------------------------------------------------------------

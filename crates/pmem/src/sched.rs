@@ -1,0 +1,157 @@
+//! Per-thread *yield hook* for deterministic cooperative scheduling.
+//!
+//! The schedule explorer (`bench::explore`) serializes N real OS threads
+//! into one deterministic interleaving by parking every thread except one
+//! and handing the "run token" around at well-defined yield points. The
+//! yield points are exactly the pool's instrumented memory events —
+//! `load`/`store`/`cas`/`pwb`/`pfence`/`psync` — the same event stream that
+//! crash injection counts, so a schedule's event index *k* names both "the
+//! k-th yield decision" and "the k-th possible crash point".
+//!
+//! Mechanically this module is just a thread-local `FnMut()` slot. A worker
+//! thread registers its hook with [`set_yield_hook`] before touching the
+//! pool; when the pool's scheduler epoch bit (`EP_SCHED`) is set, every
+//! instrumented event invokes the hook *immediately before* the event executes (and,
+//! for maskable persistence instructions, *after* the site-mask check, so
+//! masked sites stay invisible to scheduling exactly as they are invisible
+//! to crash-point enumeration). A thread with no registered hook — the main
+//! thread during recovery, or any thread outside an exploration — falls
+//! straight through.
+//!
+//! The hook is taken out of the slot while it runs: if the hook itself
+//! triggers a pool event (it should not, but a scheduler bug must not
+//! recurse into itself), the nested call sees an empty slot and returns.
+//!
+//! Zero-cost when off: the only cost on the pool's fast paths is the one
+//! fused epoch load they already perform; `EP_SCHED` rides along in the
+//! slow-path masks.
+
+use std::cell::RefCell;
+
+thread_local! {
+    /// This thread's yield hook, if it is participating in an exploration.
+    static YIELD_HOOK: RefCell<Option<Box<dyn FnMut()>>> = const { RefCell::new(None) };
+}
+
+/// Registers `hook` as the calling thread's yield hook. It will be invoked
+/// immediately before every instrumented pool event this thread executes
+/// while the pool's scheduler bit is set (see
+/// [`PmemPool::set_sched_enabled`](crate::PmemPool::set_sched_enabled)).
+/// Replaces any previously registered hook.
+///
+/// The hook typically blocks (on a condvar) until a scheduler grants this
+/// thread the right to execute its pending event — that is what makes the
+/// interleaving deterministic. It must not touch the pool itself; a nested
+/// pool event from inside the hook sees an empty slot and does not recurse.
+pub fn set_yield_hook(hook: Box<dyn FnMut()>) {
+    YIELD_HOOK.with(|h| *h.borrow_mut() = Some(hook));
+}
+
+/// Removes the calling thread's yield hook, if any. Safe to call when none
+/// is registered. Worker threads call this after their scripted run so
+/// later pool use (teardown asserts, panics unwinding into drops) cannot
+/// block on a scheduler that has already moved on.
+pub fn clear_yield_hook() {
+    YIELD_HOOK.with(|h| *h.borrow_mut() = None);
+}
+
+/// Does the calling thread currently have a yield hook registered?
+pub fn has_yield_hook() -> bool {
+    YIELD_HOOK.with(|h| h.borrow().is_some())
+}
+
+/// Invokes the calling thread's yield hook, if one is registered. Called
+/// from the pool's slow paths when [`EP_SCHED`](crate::epoch::EP_SCHED) is
+/// set; a no-op for threads without a hook. The hook is removed from its
+/// slot for the duration of the call (re-entrancy guard) and put back
+/// afterwards; if the hook panics (e.g. a scheduler fuel-exhaustion abort)
+/// the slot simply stays empty while the panic unwinds the thread.
+pub(crate) fn yield_now() {
+    let hook = YIELD_HOOK.with(|h| h.borrow_mut().take());
+    if let Some(mut f) = hook {
+        f();
+        YIELD_HOOK.with(|h| {
+            let mut slot = h.borrow_mut();
+            // Keep a replacement the hook may have installed for itself.
+            if slot.is_none() {
+                *slot = Some(f);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn hook_fires_and_clears() {
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        set_yield_hook(Box::new(move || h.set(h.get() + 1)));
+        assert!(has_yield_hook());
+        yield_now();
+        yield_now();
+        assert_eq!(hits.get(), 2);
+        clear_yield_hook();
+        assert!(!has_yield_hook());
+        yield_now(); // no hook: falls through
+        assert_eq!(hits.get(), 2);
+    }
+
+    #[test]
+    fn hook_does_not_recurse() {
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        set_yield_hook(Box::new(move || {
+            h.set(h.get() + 1);
+            yield_now(); // nested: slot is empty, must not recurse
+        }));
+        yield_now();
+        assert_eq!(hits.get(), 1);
+        // The hook is restored after the call.
+        yield_now();
+        assert_eq!(hits.get(), 2);
+        clear_yield_hook();
+    }
+
+    #[test]
+    fn pool_events_reach_the_hook_only_when_armed() {
+        use crate::{PmemPool, PoolCfg, SiteId};
+        let pool = PmemPool::new(PoolCfg::model(1 << 16));
+        let a = pool.alloc_lines(1);
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        set_yield_hook(Box::new(move || h.set(h.get() + 1)));
+
+        // Scheduler bit clear: instrumented events bypass the hook.
+        pool.store(a, 1);
+        pool.load(a);
+        assert_eq!(hits.get(), 0);
+
+        pool.set_sched_enabled(true);
+        pool.store(a, 2); // 1
+        pool.load(a); // 2
+        let _ = pool.cas(a, 2, 3); // 3
+        pool.pwb(a, SiteId(0)); // 4
+        pool.pfence(); // 5
+        pool.psync(); // 6
+        assert_eq!(hits.get(), 6);
+
+        // Masked sites stay invisible to scheduling, exactly as they are
+        // invisible to crash-point enumeration.
+        pool.set_site_enabled(SiteId(0), false);
+        pool.pwb(a, SiteId(0));
+        assert_eq!(hits.get(), 6);
+        pool.set_psync_enabled(false);
+        pool.psync();
+        assert_eq!(hits.get(), 6);
+
+        pool.set_sched_enabled(false);
+        pool.store(a, 4);
+        assert_eq!(hits.get(), 6);
+        clear_yield_hook();
+    }
+}
