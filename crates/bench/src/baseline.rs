@@ -13,6 +13,9 @@
 //!   persistence-instruction and instrumented-event densities;
 //! * **per-structure Tracking workloads** — the queue, stack, and
 //!   exchanger shapes the crash sweep verifies;
+//! * **allocator phases** — the recoverable free-list allocator's pop,
+//!   retire, and drain paths (`pmem::palloc`), timed over a full recycling
+//!   cycle on a `reclaim` pool;
 //! * **instrumentation overhead** — a pure pool-primitive loop
 //!   (load/store/cas/pwb/psync over a handful of lines) with every observer
 //!   off versus trace+lint on. The *off* number is the cost the substrate
@@ -273,6 +276,107 @@ fn bench_structure(structure: StructureKind, ops: u64) -> BenchRow {
     }
 }
 
+/// Times the recoverable free-list allocator (`pmem::palloc`) phase by
+/// phase over `ops` class-1 blocks: free-list pops (`palloc/alloc`), limbo
+/// pushes (`palloc/retire`), and the quiescent limbo→free-list drain
+/// (`palloc/drain`, reported per drained block). The pool is pre-cycled so
+/// the timed alloc phase pops recycled blocks rather than bumping the
+/// arena — the number under test is the recycling path the bump arena
+/// doesn't have.
+fn bench_palloc(ops: u64) -> Vec<BenchRow> {
+    const TID: usize = 0;
+    fn cycle(
+        pool: &Arc<PmemPool>,
+        ctx: &ThreadCtx,
+        n: u64,
+        mut mark: impl FnMut(&str),
+    ) -> Vec<pmem::PAddr> {
+        // Prime: push n blocks through a full retire+drain cycle so the
+        // free list holds exactly n class-1 blocks.
+        let mut blocks: Vec<pmem::PAddr> = (0..n).map(|_| ctx.palloc(1)).collect();
+        for b in &blocks {
+            ctx.retire(*b, 1);
+        }
+        pool.palloc_drain(TID);
+        mark("primed");
+        blocks.clear();
+        for _ in 0..n {
+            blocks.push(ctx.palloc(1));
+        }
+        mark("alloc");
+        for b in &blocks {
+            ctx.retire(*b, 1);
+        }
+        mark("retire");
+        pool.palloc_drain(TID);
+        mark("drain");
+        blocks
+    }
+
+    // Timed run: Perf mode, real flushes, observers off.
+    let pool = Arc::new(PmemPool::new(PoolCfg {
+        max_threads: 8,
+        reclaim: true,
+        ..PoolCfg::perf(256 << 20)
+    }));
+    let ctx = ThreadCtx::new(pool.clone(), TID);
+    let mut marks: Vec<(std::time::Duration, u64, u64)> = Vec::new();
+    {
+        let mut last = Instant::now();
+        let pool2 = pool.clone();
+        cycle(&pool, &ctx, ops, |_| {
+            let stats = pool2.stats();
+            marks.push((
+                last.elapsed(),
+                stats.pwb_total(),
+                stats.psync + stats.pfence,
+            ));
+            pool2.stats_reset();
+            last = Instant::now();
+        });
+    }
+
+    // Event density: the same cycle traced on a short Model-mode run.
+    let ev_ops = ops.min(512);
+    let tp = Arc::new(PmemPool::new(PoolCfg {
+        trace: true,
+        max_threads: 8,
+        reclaim: true,
+        trace_capacity: 64,
+        ..PoolCfg::model(64 << 20)
+    }));
+    let tctx = ThreadCtx::new(tp.clone(), TID);
+    let mut events: Vec<u64> = Vec::new();
+    {
+        let tp2 = tp.clone();
+        cycle(&tp, &tctx, ev_ops, |_| {
+            events.push(tp2.trace_snapshot().total());
+            tp2.trace_clear();
+        });
+    }
+
+    // marks[0]/events[0] are the untimed priming pass; phases follow.
+    ["alloc", "retire", "drain"]
+        .iter()
+        .enumerate()
+        .map(|(i, phase)| {
+            let (elapsed, pwb, psync) = marks[i + 1];
+            let ns = elapsed.as_nanos() as f64 / ops as f64;
+            BenchRow {
+                name: format!("palloc/{phase}"),
+                structure: "palloc",
+                algo: "palloc".to_string(),
+                ops,
+                ns_per_op: ns,
+                ops_per_sec: 1e9 / ns,
+                events_per_op: events[i + 1] as f64 / ev_ops as f64,
+                pwb_per_op: pwb as f64 / ops as f64,
+                psync_per_op: psync as f64 / ops as f64,
+            }
+        })
+        .collect()
+}
+
 /// The primitive loop of the overhead benchmark: 4 loads, 2 stores, 1 CAS,
 /// 1 pwb, 1 psync per iteration over four resident lines — the instruction
 /// mix of a short traversal plus one persisted update.
@@ -345,6 +449,7 @@ pub fn run_baseline(cfg: &BaselineCfg) -> BaselineReport {
     ] {
         rows.push(bench_structure(structure, cfg.ops));
     }
+    rows.extend(bench_palloc(cfg.ops));
     let overhead = bench_overhead(cfg.overhead_iters);
     BaselineReport {
         cfg: cfg.clone(),
@@ -502,7 +607,11 @@ mod tests {
         cfg.overhead_iters = 2_000;
         cfg.prev_off_ns_per_op = Some(12.5);
         let report = run_baseline(&cfg);
-        assert_eq!(report.rows.len(), 9, "6 list competitors + 3 structures");
+        assert_eq!(
+            report.rows.len(),
+            12,
+            "6 list competitors + 3 structures + 3 allocator phases"
+        );
         for r in &report.rows {
             assert!(r.ns_per_op > 0.0, "{} measured nothing", r.name);
             assert!(r.events_per_op > 0.0, "{} counted no events", r.name);

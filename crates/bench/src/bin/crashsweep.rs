@@ -18,6 +18,14 @@
 //!   --paranoia P           cross-check each replayed point with probability P:
 //!                          both engines re-run it traced and must agree on the
 //!                          verdict and the event stream (checkpoint engine only)
+//!   --churn                allocator-churn mode: reclaim pools (structures
+//!                          retire removed nodes, boundaries drain limbo, every
+//!                          verdict audits the free lists), plus the allocator's
+//!                          own crash sweep; CSVs gain a churn_ prefix
+//!   --palloc               sweep only the allocator itself (implies reclaim)
+//!   --smoke                CI tier: the churn matrix over the retiring pairs
+//!                          with a short script and sampled points (fast,
+//!                          deterministic; combines with --shard/--seed)
 //!   --out DIR              CSV directory (default results/crashsweep)
 //! ```
 //!
@@ -26,7 +34,7 @@
 //! structure × algorithm pair is written under `--out`; the first failing
 //! point (if any) is minimized and its final trace window printed.
 
-use bench::sweep::{run_sweep, AdversaryKind, SweepCfg};
+use bench::sweep::{run_palloc_sweep, run_sweep, AdversaryKind, SweepCfg, SweepReport};
 use bench::{AlgoKind, StructureKind};
 
 fn main() {
@@ -35,11 +43,14 @@ fn main() {
     let mut algo: Option<AlgoKind> = None;
     let mut base = SweepCfg::new(StructureKind::List, AlgoKind::Tracking);
     let mut out = std::path::PathBuf::from("results/crashsweep");
+    let (mut churn, mut palloc_only, mut smoke) = (false, false, false);
+    let mut structures_named = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--structure" => {
                 i += 1;
+                structures_named = true;
                 structures = match args[i].as_str() {
                     "all" => StructureKind::all().to_vec(),
                     s => vec![StructureKind::parse(s).unwrap_or_else(|| {
@@ -117,6 +128,9 @@ fn main() {
                     "paranoia must be in [0, 1]"
                 );
             }
+            "--churn" => churn = true,
+            "--palloc" => palloc_only = true,
+            "--smoke" => smoke = true,
             "--out" => {
                 i += 1;
                 out = args[i].clone().into();
@@ -129,31 +143,62 @@ fn main() {
         i += 1;
     }
 
+    if smoke {
+        // CI tier: churn matrix over the pairs that actually retire nodes,
+        // short script, sampled points. ~seconds, still covering alloc,
+        // retire, drain and recover_allocator paths end to end.
+        churn = true;
+        base.script_len = base.script_len.min(8);
+        base.sample = base.sample.min(0.25);
+        if !structures_named {
+            structures = vec![
+                StructureKind::List,
+                StructureKind::Queue,
+                StructureKind::Stack,
+            ];
+        }
+    }
+    if churn || palloc_only {
+        base.reclaim = true;
+    }
+
     let mut pairs: Vec<(StructureKind, AlgoKind)> = Vec::new();
-    for s in &structures {
-        match (s, algo) {
-            // An explicit --algo narrows the list lineup; the other shapes
-            // exist only as Tracking structures, so the explicit algo must
-            // match their lineup or the pair is skipped (with a note when
-            // it was named explicitly).
-            (StructureKind::List, Some(a)) => pairs.push((*s, a)),
-            (_, Some(a)) if s.lineup().contains(&a) => pairs.push((*s, a)),
-            (_, Some(a)) => {
-                if structures.len() == 1 {
-                    eprintln!(
-                        "{} has no {} implementation (available: {})",
-                        s.name(),
-                        a.name(),
-                        s.lineup()
-                            .iter()
-                            .map(|a| a.name())
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    );
-                    std::process::exit(2);
+    if smoke && algo.is_none() && !structures_named {
+        // Only the pairs that actually retire nodes on a reclaim pool.
+        pairs = vec![
+            (StructureKind::List, AlgoKind::Tracking),
+            (StructureKind::List, AlgoKind::Capsules),
+            (StructureKind::List, AlgoKind::CapsulesOpt),
+            (StructureKind::Queue, AlgoKind::Tracking),
+            (StructureKind::Stack, AlgoKind::Tracking),
+        ];
+    }
+    if pairs.is_empty() {
+        for s in &structures {
+            match (s, algo) {
+                // An explicit --algo narrows the list lineup; the other shapes
+                // exist only as Tracking structures, so the explicit algo must
+                // match their lineup or the pair is skipped (with a note when
+                // it was named explicitly).
+                (StructureKind::List, Some(a)) => pairs.push((*s, a)),
+                (_, Some(a)) if s.lineup().contains(&a) => pairs.push((*s, a)),
+                (_, Some(a)) => {
+                    if structures.len() == 1 {
+                        eprintln!(
+                            "{} has no {} implementation (available: {})",
+                            s.name(),
+                            a.name(),
+                            s.lineup()
+                                .iter()
+                                .map(|a| a.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        std::process::exit(2);
+                    }
                 }
+                (_, None) => pairs.extend(s.lineup().into_iter().map(|a| (*s, a))),
             }
-            (_, None) => pairs.extend(s.lineup().into_iter().map(|a| (*s, a))),
         }
     }
 
@@ -172,13 +217,7 @@ fn main() {
     let mut failed = false;
     let engine_start = std::time::Instant::now();
     let (mut total_points, mut total_paranoia) = (0u64, 0u64);
-    for (structure, algo) in pairs {
-        let cfg = SweepCfg {
-            structure,
-            algo,
-            ..base.clone()
-        };
-        let report = run_sweep(&cfg);
+    let mut emit = |report: SweepReport, failed: &mut bool| {
         println!("{}", report.summary());
         let path = report.csv.write(&out).expect("writing CSV");
         println!("  -> {}", path.display());
@@ -187,7 +226,21 @@ fn main() {
         }
         total_points += report.points_run;
         total_paranoia += report.paranoia_checked;
-        failed |= !report.ok();
+        *failed |= !report.ok();
+    };
+    if !palloc_only {
+        for (structure, algo) in pairs {
+            let cfg = SweepCfg {
+                structure,
+                algo,
+                ..base.clone()
+            };
+            emit(run_sweep(&cfg), &mut failed);
+        }
+    }
+    if churn || palloc_only {
+        // The allocator's own crash sweep rides along with every churn run.
+        emit(run_palloc_sweep(&base), &mut failed);
     }
     // Engine-only wall clock (excludes process startup/compilation noise) —
     // the number the A/B `--engine` timing comparison records.

@@ -431,6 +431,13 @@ pub struct ExploreCfg {
     pub pool_bytes: usize,
     /// Abort backstop: maximum events per schedule run.
     pub fuel: u64,
+    /// Build the pool with the recoverable free-list allocator
+    /// ([`pmem::PoolCfg::reclaim`]): structures retire removed nodes,
+    /// recovery runs [`PmemPool::recover_allocator`] before structure
+    /// recovery, the end of every schedule drains limbo (a quiescent
+    /// point), and every verdict additionally audits the allocator's lists.
+    /// Default `false`.
+    pub reclaim: bool,
 }
 
 impl ExploreCfg {
@@ -451,6 +458,7 @@ impl ExploreCfg {
             shard_count: 1,
             pool_bytes: 64 << 20,
             fuel: 5_000_000,
+            reclaim: false,
         }
     }
 }
@@ -472,6 +480,10 @@ pub struct RunOutcome {
     pub crashed_threads: usize,
     /// Did the history linearize and the structure pass its invariants?
     pub ok: bool,
+    /// A worker panicked with the pool's exhaustion message: a capacity
+    /// problem, not a schedule finding. `note` carries the actionable
+    /// message and `ok` is `false`.
+    pub exhausted: bool,
     /// Failure detail (empty when the run passed).
     pub note: String,
 }
@@ -599,6 +611,11 @@ struct WorkerOut<S: Spec> {
     tid: usize,
     done: Vec<CompletedOp<S>>,
     crashed: Option<CrashedOp>,
+    /// A panic other than the injected [`pmem::CrashPoint`] (pool
+    /// exhaustion, assertion failure). Harvested — not propagated — so the
+    /// worker still retires from the scheduler and the sibling workers,
+    /// cascaded into crashing, can be joined; the driver classifies it.
+    panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
 /// One worker's scripted run: gate on the scheduler, execute the script
@@ -621,47 +638,57 @@ fn worker_body<Sub: CrashSubject>(
         past_prologue: false,
         inv: 0,
     });
-    let out = run_crashable(|| {
-        for (i, op) in script.iter().enumerate() {
-            // All stamps are taken while holding the turn, so the shared
-            // clock's order is exactly the serial order of the schedule.
-            let inv = clock.fetch_add(1, Ordering::Relaxed);
-            cur.set(CrashedOp {
-                op_index: i,
-                past_prologue: false,
-                inv,
-            });
-            ctx.begin_op(SiteId(0));
-            cur.set(CrashedOp {
-                op_index: i,
-                past_prologue: true,
-                inv,
-            });
-            let ret = sub.exec(ctx, op);
-            let res = clock.fetch_add(1, Ordering::Relaxed);
-            done.borrow_mut().push(CompletedOp {
-                tid: me,
-                op: op.clone(),
-                ret,
-                inv,
-                res,
-            });
-        }
-    });
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_crashable(|| {
+            for (i, op) in script.iter().enumerate() {
+                // All stamps are taken while holding the turn, so the shared
+                // clock's order is exactly the serial order of the schedule.
+                let inv = clock.fetch_add(1, Ordering::Relaxed);
+                cur.set(CrashedOp {
+                    op_index: i,
+                    past_prologue: false,
+                    inv,
+                });
+                ctx.begin_op(SiteId(0));
+                cur.set(CrashedOp {
+                    op_index: i,
+                    past_prologue: true,
+                    inv,
+                });
+                let ret = sub.exec(ctx, op);
+                let res = clock.fetch_add(1, Ordering::Relaxed);
+                done.borrow_mut().push(CompletedOp {
+                    tid: me,
+                    op: op.clone(),
+                    ret,
+                    inv,
+                    res,
+                });
+            }
+        })
+    }));
     pmem::clear_yield_hook();
-    let crashed = if out.is_none() {
-        // Full-system power failure: every other worker crashes at its
-        // next instrumented event. Idempotent across the cascade.
-        ctx.pool().crash_ctl().raise();
-        Some(cur.get())
-    } else {
-        None
+    // Any abnormal exit — the injected crash or a harvested panic — raises
+    // the cascade: every other worker crashes at its next instrumented
+    // event, so nobody waits forever on a turn this worker will never take.
+    // Idempotent across the cascade.
+    let (crashed, panic) = match out {
+        Ok(Some(())) => (None, None),
+        Ok(None) => {
+            ctx.pool().crash_ctl().raise();
+            (Some(cur.get()), None)
+        }
+        Err(p) => {
+            ctx.pool().crash_ctl().raise();
+            (Some(cur.get()), Some(p))
+        }
     };
     sched.retire(me);
     WorkerOut {
         tid: me,
         done: done.into_inner(),
         crashed,
+        panic,
     }
 }
 
@@ -778,12 +805,32 @@ where
         });
         self.pool.set_sched_enabled(false);
         self.pool.crash_ctl().disarm();
-        if let Some(p) = worker_panic {
-            std::panic::resume_unwind(p);
-        }
         let events = sched.events();
 
         outs.sort_by_key(|o| o.tid);
+        // Harvested worker panics: pool exhaustion becomes a distinct
+        // `exhausted` outcome with the actionable capacity message (it used
+        // to surface as an opaque worker panic killing the exploration);
+        // anything else is a real bug and resumes unwinding.
+        if worker_panic.is_none() {
+            worker_panic = outs.iter_mut().find_map(|o| o.panic.take());
+        }
+        if let Some(p) = worker_panic {
+            let Some(msg) = pmem::exhaustion_message(p.as_ref()) else {
+                std::panic::resume_unwind(p);
+            };
+            return RunOutcome {
+                strategy,
+                schedule,
+                crash_k,
+                events,
+                ops_recorded: 0,
+                crashed_threads: 0,
+                ok: false,
+                exhausted: true,
+                note: format!("pool exhausted: {msg}"),
+            };
+        }
         let crashed: Vec<(usize, CrashedOp)> = outs
             .iter()
             .filter_map(|o| o.crashed.map(|c| (o.tid, c)))
@@ -799,6 +846,7 @@ where
             ops_recorded: recorded.len(),
             crashed_threads: crashed.len(),
             ok: true,
+            exhausted: false,
             note: String::new(),
         };
 
@@ -829,6 +877,10 @@ where
             self.pool
                 .crash(&mut *cfg.adversary.instantiate(k, cfg.seed));
             self.pool.set_crash_model_dormant(true);
+            // Allocator recovery first, as a restarted system would order
+            // it: per-thread structure recovery below may allocate and must
+            // not see a half-linked free list (no-op on bump pools).
+            self.pool.recover_allocator();
             self.sub.recover_structure();
             for (tid, c) in &crashed {
                 let ctx = &self.ctxs[*tid];
@@ -851,16 +903,30 @@ where
             outcome.ops_recorded = recorded.len();
         }
 
+        // The run is quiescent — every worker retired, every interrupted op
+        // recovered — so this is a legal drain point: retired blocks become
+        // re-issuable, and the audit below must find limbo resolvable.
+        self.pool.palloc_drain_all();
+
         if let Err(e) = self.sub.concurrent_verdict(&self.ctxs[0], &recorded) {
             outcome.ok = false;
             outcome.note = e;
+        }
+        // Allocator audit (reclaim pools; `Ok(())` on bump pools).
+        if let Err(e) = self.pool.palloc_check() {
+            outcome.ok = false;
+            outcome.note.push_str("; allocator audit: ");
+            outcome.note.push_str(&e);
         }
         outcome
     }
 }
 
 fn make_case(cfg: &ExploreCfg) -> Box<dyn ExpCase> {
-    let pool = Arc::new(PmemPool::new(PoolCfg::model(cfg.pool_bytes)));
+    let pool = Arc::new(PmemPool::new(PoolCfg {
+        reclaim: cfg.reclaim,
+        ..PoolCfg::model(cfg.pool_bytes)
+    }));
     let (n, len, seed) = (cfg.threads, cfg.ops_per_thread, cfg.seed);
     match cfg.structure {
         StructureKind::List | StructureKind::Bst => {
@@ -957,7 +1023,8 @@ pub fn run_explore(cfg: &ExploreCfg) -> ExploreReport {
 
     let mut csv = Csv::new(
         &format!(
-            "explore_{}_{}_t{}",
+            "explore_{}{}_{}_t{}",
+            if cfg.reclaim { "churn_" } else { "" },
             cfg.structure.name(),
             file_slug(cfg.algo.name()),
             cfg.threads
@@ -1136,6 +1203,69 @@ mod tests {
         let r = run_explore(&cfg);
         assert!(r.ok(), "violations: {:?}", r.violations);
         assert!(r.crash_runs >= 1);
+    }
+
+    #[test]
+    fn reclaim_queue_exploration_recovers_and_audits_clean() {
+        // Allocator-churn exploration: concurrent enqueues/dequeues retire
+        // nodes, crashes land anywhere (including inside palloc protocols),
+        // recovery runs recover_allocator first, and every verdict audits
+        // the free lists. The CSV name gains the churn_ prefix.
+        let mut cfg = ExploreCfg::new(StructureKind::Queue, AlgoKind::Tracking);
+        cfg.pool_bytes = 8 << 20;
+        cfg.ops_per_thread = 3;
+        cfg.schedules = 2;
+        cfg.crash = CrashMode::Sampled { per_schedule: 3 };
+        cfg.reclaim = true;
+        let r = run_explore(&cfg);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert!(r.crash_runs > 0);
+        assert!(r.csv.to_text().starts_with("strategy") || !r.csv.to_text().is_empty());
+    }
+
+    #[test]
+    fn exhausted_worker_is_classified_not_a_panic() {
+        // A per-thread script that overruns a deliberately tiny pool: the
+        // run must come back as an `exhausted` outcome carrying the pool's
+        // capacity message instead of unwinding out of the explorer (and
+        // the sibling worker, gated on the scheduler, must still shut down
+        // cleanly via the crash cascade rather than deadlocking).
+        // The layout reserves 1 + NUM_ROOTS + MAX_THREADS = 145 lines, so a
+        // 160-line pool leaves ~14 heap lines: small enough that a modest
+        // enqueue-heavy script overruns it mid-schedule, large enough that
+        // pool and queue construction succeed.
+        let mut cfg = ExploreCfg::new(StructureKind::Queue, AlgoKind::Tracking);
+        cfg.pool_bytes = 10 << 10;
+        cfg.schedules = 1;
+        cfg.strategies = vec![StrategyKind::RoundRobin];
+        cfg.crash = CrashMode::Off;
+        let mut hit = None;
+        for ops in [4usize, 8, 12, 15] {
+            cfg.ops_per_thread = ops;
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_explore(&cfg)));
+            match r {
+                Ok(rep) => {
+                    if rep.violations.iter().any(|v| v.exhausted) {
+                        hit = Some(rep);
+                        break;
+                    }
+                }
+                Err(p) => {
+                    // A panic reaching us means classification failed.
+                    panic!(
+                        "exhaustion escaped as a panic: {:?}",
+                        pmem::exhaustion_message(p.as_ref())
+                    );
+                }
+            }
+        }
+        let rep = hit.expect("no script size exhausted the 128 KiB pool");
+        let v = rep.violations.iter().find(|v| v.exhausted).unwrap();
+        assert!(
+            v.note.contains(pmem::EXHAUSTED_PREFIX),
+            "note must carry the actionable message: {}",
+            v.note
+        );
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub mod workload;
 
 pub use adapter::{build, AlgoKind, SetAlgo, StructureKind};
 pub use explore::{run_explore, CrashMode, ExploreCfg, ExploreReport, StrategyKind};
-pub use sweep::{run_sweep, SweepCfg, SweepReport};
+pub use sweep::{run_palloc_sweep, run_sweep, SweepCfg, SweepReport};
 pub use workload::{run, Mix, RunCfg, RunResult};

@@ -67,8 +67,8 @@ use linearize::{
     History, QueueOp, QueueRet, QueueSpec, SetOp, SetSpec, Spec, StackOp, StackRet, StackSpec,
 };
 use pmem::{
-    run_crashable, CrashAdversary, Event, PessimistAdversary, PmemPool, PoolCfg, PoolSnapshot,
-    SeededAdversary, SiteId, ThreadCtx,
+    run_crashable, CrashAdversary, Event, PAddr, PessimistAdversary, PmemPool, PoolCfg,
+    PoolSnapshot, SeededAdversary, SiteId, ThreadCtx,
 };
 use tracking::{RecoverableExchanger, RecoverableQueue, RecoverableStack};
 
@@ -165,6 +165,15 @@ pub struct SweepCfg {
     /// invisible to crash-point enumeration — they neither tick the crash
     /// countdown nor trace. Default `u64::MAX` (all sites enabled).
     pub site_mask: u64,
+    /// Build pools with the recoverable free-list allocator
+    /// ([`pmem::PoolCfg::reclaim`]): structures retire removed nodes, the
+    /// harness drains limbo at every operation boundary (a quiescent
+    /// point), each drain step is itself a swept crash point, recovery
+    /// runs [`PmemPool::recover_allocator`] before structure recovery, and
+    /// every verdict additionally audits the allocator's lists
+    /// ([`PmemPool::palloc_check`]). Default `false` (bump arena; event
+    /// streams bit-identical to before this knob existed).
+    pub reclaim: bool,
 }
 
 impl SweepCfg {
@@ -184,6 +193,7 @@ impl SweepCfg {
             checkpoint: true,
             paranoia: 0.0,
             site_mask: u64::MAX,
+            reclaim: false,
         }
     }
 }
@@ -205,6 +215,10 @@ pub struct PointOutcome {
     pub detect_ok: bool,
     /// Did the full history linearize and the quiescent state check out?
     pub durable_ok: bool,
+    /// The replay panicked with the pool's exhaustion message instead of
+    /// reaching a verdict: a capacity problem, not a crash-consistency
+    /// finding. `note` carries the actionable message.
+    pub exhausted: bool,
     /// Failure detail (empty when the point passed).
     pub note: String,
     /// Rendered trace window (traced re-runs only).
@@ -214,7 +228,7 @@ pub struct PointOutcome {
 impl PointOutcome {
     /// Did this crash point pass both obligations?
     pub fn ok(&self) -> bool {
-        self.crashed && self.detect_ok && self.durable_ok
+        self.crashed && self.detect_ok && self.durable_ok && !self.exhausted
     }
 }
 
@@ -253,6 +267,9 @@ impl FailureReport {
 pub struct SweepReport {
     /// The configuration that produced this report.
     pub cfg: SweepCfg,
+    /// Report/CSV label: `structure_algo`, with a `churn_` prefix on
+    /// reclaim sweeps, or `churn_palloc` for the allocator's own sweep.
+    pub label: String,
     /// Total instrumented events `N` of the crash-free script.
     pub total_events: u64,
     /// Crash points actually replayed.
@@ -279,9 +296,8 @@ impl SweepReport {
     /// One-line console summary.
     pub fn summary(&self) -> String {
         format!(
-            "{:<9} {:<22} events={:<5} run={:<5} skipped={:<5} violations={} {}",
-            self.cfg.structure.name(),
-            self.cfg.algo.name(),
+            "{:<32} events={:<5} run={:<5} skipped={:<5} violations={} {}",
+            self.label,
             self.total_events,
             self.points_run,
             self.points_skipped,
@@ -643,10 +659,197 @@ impl CrashSubject for ExchangerSubject {
     }
 }
 
+// ------------------------------------------------------- palloc subject
+
+/// Unnamed site used by the palloc subject's own bookkeeping stores.
+const P_WORK: SiteId = SiteId(60);
+
+/// Payload stamp written into word 2 of every owned block; a block handed
+/// out twice is zeroed by the second allocation, destroying the stamp.
+const OWNED_PATTERN: u64 = 0xA110_C47E_D000_0000;
+
+/// One step of the allocator-churn script swept by [`run_palloc_sweep`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum PallocOp {
+    /// Allocate a block of this class (1..=[`pmem::MAX_CLASS`] lines) and
+    /// push it, durably, onto the subject's owned list.
+    Alloc(usize),
+    /// Durably pop the owned-list head and retire it to the limbo list.
+    Retire,
+    /// Drain every thread's limbo list ([`PmemPool::palloc_drain_all`]).
+    Drain,
+}
+
+/// Trivial sequential spec: allocator steps have no observable response —
+/// the verdict is entirely the structural audit in
+/// [`PallocSubject::observe`] plus the engine's [`PmemPool::palloc_check`].
+#[derive(Clone, Default)]
+pub(crate) struct PallocSpec;
+
+impl Spec for PallocSpec {
+    type Op = PallocOp;
+    type Ret = bool;
+    type Digest = ();
+
+    fn apply(&mut self, _op: &PallocOp) -> bool {
+        true
+    }
+
+    fn digest(&self) {}
+}
+
+/// Sweeps the allocator *itself*: the script allocates, retires and drains
+/// blocks through the instrumented palloc protocols, keeping every live
+/// block on a persistent singly-linked "owned" list anchored at a root
+/// cell. After each injected crash plus [`PmemPool::recover_allocator`],
+/// [`PallocSubject::observe`] audits the heap: every owned block's payload
+/// stamp must be intact (a block issued twice is zeroed by the second
+/// allocation) and no owned block may overlap a free-list or limbo block —
+/// the no-double-allocate obligation at every possible crash point.
+pub(crate) struct PallocSubject {
+    owned: PAddr,
+}
+
+impl PallocSubject {
+    /// `(address, class)` of every block on the owned list.
+    fn owned_blocks(&self, pool: &PmemPool) -> Result<Vec<(u64, usize)>, String> {
+        let mut out = Vec::new();
+        let mut p = pool.load(self.owned);
+        while p != 0 {
+            if out.len() > 100_000 {
+                return Err("owned list cycles".into());
+            }
+            let b = PAddr(p);
+            let class = pool.load(b.add(1)) as usize;
+            if !(1..=pmem::MAX_CLASS).contains(&class) {
+                return Err(format!("owned block {p:#x} carries class {class}"));
+            }
+            if pool.load(b.add(2)) != OWNED_PATTERN ^ p {
+                return Err(format!(
+                    "owned block {p:#x} payload stamp clobbered — issued twice?"
+                ));
+            }
+            out.push((p, class));
+            p = pool.load(b);
+        }
+        Ok(out)
+    }
+}
+
+impl CrashSubject for PallocSubject {
+    type S = PallocSpec;
+
+    fn exec(&self, ctx: &ThreadCtx, op: &PallocOp) -> bool {
+        let pool = ctx.pool();
+        match *op {
+            PallocOp::Alloc(class) => {
+                let b = ctx.palloc(class);
+                // Link (w0), class (w1) and stamp (w2) are durable before
+                // the head moves, so a durable head implies an intact,
+                // well-formed block; a crash in between leaks at most `b`.
+                pool.store(b, pool.load(self.owned));
+                pool.store(b.add(1), class as u64);
+                pool.store(b.add(2), OWNED_PATTERN ^ b.raw());
+                pool.pwb(b, P_WORK);
+                pool.pfence();
+                pool.store(self.owned, b.raw());
+                pool.pwb(self.owned, P_WORK);
+                pool.psync();
+            }
+            PallocOp::Retire => {
+                let head = pool.load(self.owned);
+                if head != 0 {
+                    let b = PAddr(head);
+                    let class = pool.load(b.add(1)) as usize;
+                    // The pop is durable *before* the block is retired: no
+                    // crash can leave it both owned and on a limbo list.
+                    pool.store(self.owned, pool.load(b));
+                    pool.pwb(self.owned, P_WORK);
+                    pool.psync();
+                    ctx.retire(b, class);
+                }
+            }
+            PallocOp::Drain => pool.palloc_drain_all(),
+        }
+        true
+    }
+
+    fn recover(&self, ctx: &ThreadCtx, op: &PallocOp) -> bool {
+        // Allocator steps are not detectable operations — a restarted
+        // system simply re-invokes them. A crashed step leaks at most its
+        // one in-flight block (the paper's bounded-leak budget), which the
+        // audit tolerates; what it must never do is double-issue.
+        self.exec(ctx, op)
+    }
+
+    fn observe(&self, ctx: &ThreadCtx, _h: &mut History<PallocSpec>) -> Result<(), String> {
+        let pool = ctx.pool();
+        let owned = self
+            .owned_blocks(pool)
+            .map_err(|e| format!("owned audit: {e}"))?;
+        // No owned block may overlap any block the allocator considers
+        // re-issuable (free list or limbo), and owned blocks must not
+        // overlap each other.
+        let mut spans: Vec<(u64, u64, &'static str)> = owned
+            .iter()
+            .map(|&(a, c)| (a, a + (c * pmem::WORDS_PER_LINE) as u64, "owned"))
+            .collect();
+        for (a, c) in pool
+            .palloc_free_blocks()
+            .into_iter()
+            .chain(pool.palloc_limbo_blocks())
+        {
+            spans.push((a, a + (c * pmem::WORDS_PER_LINE) as u64, "recyclable"));
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            let ((a0, end0, k0), (a1, _, k1)) = (w[0], w[1]);
+            if a1 < end0 {
+                return Err(format!(
+                    "blocks overlap: {k0} block {a0:#x} (ends {end0:#x}) and {k1} block {a1:#x}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic allocator-churn script: ~1/2 allocs across every size
+/// class, ~3/8 retires, ~1/8 explicit drains (boundaries drain too).
+fn palloc_script(seed: u64, len: usize) -> Vec<PallocOp> {
+    let mut rng = Rng(splitmix64(seed) | 1);
+    (0..len)
+        .map(|_| {
+            let r = rng.next();
+            match (r >> 32) % 8 {
+                0..=3 => PallocOp::Alloc((r % pmem::MAX_CLASS as u64) as usize + 1),
+                4..=6 => PallocOp::Retire,
+                _ => PallocOp::Drain,
+            }
+        })
+        .collect()
+}
+
+fn make_palloc_case(cfg: &SweepCfg) -> Box<dyn Case> {
+    let c = cfg.clone();
+    Box::new(CaseRunner::new(
+        palloc_script(cfg.seed, cfg.script_len),
+        move |traced| {
+            let pool = pool_for(&c, traced);
+            let ctx = ThreadCtx::new(pool.clone(), 0);
+            let owned = pool.root(0);
+            (pool, PallocSubject { owned }, ctx)
+        },
+    ))
+}
+
 // ---------------------------------------------------------------- engine
 
 fn pool_for(cfg: &SweepCfg, traced: bool) -> Arc<PmemPool> {
-    let base = PoolCfg::model(cfg.pool_bytes);
+    let base = PoolCfg {
+        reclaim: cfg.reclaim,
+        ..PoolCfg::model(cfg.pool_bytes)
+    };
     let pool = Arc::new(PmemPool::new(if traced {
         PoolCfg {
             trace: true,
@@ -749,6 +952,16 @@ where
         for (i, op) in self.script.iter().enumerate().skip(start) {
             at_boundary(i);
             progress.set((i, false));
+            // Operation boundaries are the pool's quiescent points: drain
+            // every thread's limbo list so retired blocks become
+            // re-issuable. On a bump pool this is a plain branch — zero
+            // instrumented events, so legacy event counts are unchanged. On
+            // a reclaim pool each drain step is itself instrumented and
+            // therefore a swept crash point; a crash inside the drain is
+            // attributed to `(i, pre-prologue)`, the same attribution both
+            // engines compute (the checkpoint snapshot at boundary `i` is
+            // taken *before* the drain runs).
+            ctx.pool().palloc_drain_all();
             ctx.begin_op(SiteId(0));
             progress.set((i, true));
             let r = sub.exec(ctx, op);
@@ -782,6 +995,7 @@ where
             crashed,
             detect_ok: true,
             durable_ok: true,
+            exhausted: false,
             note: String::new(),
             trace_tail,
         };
@@ -797,6 +1011,10 @@ where
         // crash model's bookkeeping is dead weight for the rest of the
         // verdict; restore (or the next scratch build) re-arms it.
         pool.set_crash_model_dormant(true);
+        // Allocator recovery runs first, exactly as a restarted system
+        // would order it: structure recovery may allocate, and it must not
+        // see a half-linked free list (no-op on bump pools).
+        pool.recover_allocator();
         sub.recover_structure();
 
         // Ground truth: the sequential model over the completed prefix; the
@@ -846,7 +1064,44 @@ where
                 outcome.note.push_str(&e);
             }
         }
+        // Allocator audit (reclaim pools; `Ok(())` on bump pools): the
+        // recovered free lists must be well-formed — no cycles, no
+        // overlapping or duplicated blocks, no dangling announcements.
+        if let Err(e) = pool.palloc_check() {
+            outcome.durable_ok = false;
+            outcome.note.push_str("allocator audit: ");
+            outcome.note.push_str(&e);
+            outcome.note.push_str("; ");
+        }
         outcome
+    }
+
+    /// A replay panic that is not the injected crash: a pool-exhaustion
+    /// panic becomes a distinct `exhausted` outcome carrying the pool's
+    /// actionable capacity message (it used to masquerade as an opaque
+    /// worker panic killing the whole sweep); anything else is a real bug
+    /// and resumes unwinding.
+    fn classify_panic(
+        &self,
+        k: u64,
+        progress: (usize, bool),
+        payload: Box<dyn std::any::Any + Send>,
+    ) -> PointOutcome {
+        let Some(msg) = pmem::exhaustion_message(payload.as_ref()) else {
+            std::panic::resume_unwind(payload);
+        };
+        let (j, _) = progress;
+        PointOutcome {
+            k,
+            op_index: j,
+            op: self.op_strs[j].clone(),
+            crashed: false,
+            detect_ok: true,
+            durable_ok: true,
+            exhausted: true,
+            note: format!("pool exhausted: {msg}"),
+            trace_tail: Vec::new(),
+        }
     }
 
     /// Scratch engine, also returning the pre-crash event stream when
@@ -857,20 +1112,29 @@ where
         pool.crash_ctl().arm_after(k);
         let progress = Cell::new((0, false));
         let responses = RefCell::new(Vec::new());
-        let done = run_crashable(|| self.run_script(&sub, &ctx, 0, &progress, &responses, |_| {}));
+        let done = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_crashable(|| self.run_script(&sub, &ctx, 0, &progress, &responses, |_| {}))
+        }));
         pool.crash_ctl().disarm();
         let (events, trace_tail) = capture_stream(&pool, cfg, traced);
-        let out = self.finish_point(
-            cfg,
-            k,
-            &pool,
-            &sub,
-            &ctx,
-            progress.get(),
-            &responses,
-            done.is_none(),
-            trace_tail,
-        );
+        let done = match done {
+            Ok(d) => d,
+            Err(p) => return (self.classify_panic(k, progress.get(), p), events),
+        };
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.finish_point(
+                cfg,
+                k,
+                &pool,
+                &sub,
+                &ctx,
+                progress.get(),
+                &responses,
+                done.is_none(),
+                trace_tail,
+            )
+        }))
+        .unwrap_or_else(|p| self.classify_panic(k, progress.get(), p));
         (out, events)
     }
 
@@ -893,22 +1157,31 @@ where
         st.pool.crash_ctl().arm_after(k - cp.events);
         let progress = Cell::new((cp.op_idx, false));
         let responses = RefCell::new(st.responses[..cp.op_idx].to_vec());
-        let done = run_crashable(|| {
-            self.run_script(&st.sub, &st.ctx, cp.op_idx, &progress, &responses, |_| {})
-        });
+        let done = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_crashable(|| {
+                self.run_script(&st.sub, &st.ctx, cp.op_idx, &progress, &responses, |_| {})
+            })
+        }));
         st.pool.crash_ctl().disarm();
         let (events, trace_tail) = capture_stream(&st.pool, cfg, traced);
-        let out = self.finish_point(
-            cfg,
-            k,
-            &st.pool,
-            &st.sub,
-            &st.ctx,
-            progress.get(),
-            &responses,
-            done.is_none(),
-            trace_tail,
-        );
+        let done = match done {
+            Ok(d) => d,
+            Err(p) => return (self.classify_panic(k, progress.get(), p), events),
+        };
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.finish_point(
+                cfg,
+                k,
+                &st.pool,
+                &st.sub,
+                &st.ctx,
+                progress.get(),
+                &responses,
+                done.is_none(),
+                trace_tail,
+            )
+        }))
+        .unwrap_or_else(|p| self.classify_panic(k, progress.get(), p));
         (out, events)
     }
 }
@@ -1096,25 +1369,81 @@ pub(crate) fn file_slug(s: &str) -> String {
 /// from the `--sample` selection).
 const PARANOIA_SALT: u64 = 0x5AFE_C0DE_D00D_F00D;
 
+/// Per-point CSV schema (unchanged since the engine's introduction;
+/// exhausted points are encoded in `note`, not a new column).
+const SWEEP_CSV_COLUMNS: &[&str] = &[
+    "k",
+    "op_index",
+    "op",
+    "crashed",
+    "detect_ok",
+    "durable_ok",
+    "note",
+];
+
 /// Runs one full sweep per [`SweepCfg`] and returns its report.
 pub fn run_sweep(cfg: &SweepCfg) -> SweepReport {
-    let case = make_case(cfg);
-    let total_events = case.count_events(cfg);
+    let label = format!(
+        "{}{}_{}",
+        if cfg.reclaim { "churn_" } else { "" },
+        cfg.structure.name(),
+        file_slug(cfg.algo.name())
+    );
+    run_sweep_case(cfg, make_case(cfg), label)
+}
+
+/// Sweeps the allocator itself (the `PallocSubject` script): forces a reclaim
+/// pool, runs the allocator-churn script, and audits the heap at every
+/// crash point. `cfg.structure`/`cfg.algo` are ignored.
+pub fn run_palloc_sweep(cfg: &SweepCfg) -> SweepReport {
+    let cfg = SweepCfg {
+        reclaim: true,
+        ..cfg.clone()
+    };
+    let case = make_palloc_case(&cfg);
+    run_sweep_case(&cfg, case, "churn_palloc".into())
+}
+
+fn run_sweep_case(cfg: &SweepCfg, case: Box<dyn Case>, label: String) -> SweepReport {
+    // A pool too small for the crash-free script is a configuration
+    // problem, not a crash-consistency finding: classify it as one
+    // `exhausted` violation carrying the pool's actionable capacity
+    // message instead of letting the panic kill the whole matrix.
+    let counted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case.count_events(cfg)));
+    let total_events = match counted {
+        Ok(n) => n,
+        Err(p) => {
+            let Some(msg) = pmem::exhaustion_message(p.as_ref()) else {
+                std::panic::resume_unwind(p);
+            };
+            let out = PointOutcome {
+                k: 0,
+                op_index: 0,
+                op: String::new(),
+                crashed: false,
+                detect_ok: true,
+                durable_ok: true,
+                exhausted: true,
+                note: format!("pool exhausted during the crash-free count run: {msg}"),
+                trace_tail: Vec::new(),
+            };
+            return SweepReport {
+                cfg: cfg.clone(),
+                label: label.clone(),
+                total_events: 0,
+                points_run: 0,
+                points_skipped: 0,
+                paranoia_checked: 0,
+                violations: vec![out],
+                first_failure: None,
+                csv: Csv::new(&label, SWEEP_CSV_COLUMNS),
+            };
+        }
+    };
     if cfg.checkpoint {
         case.prepare(cfg, total_events);
     }
-    let mut csv = Csv::new(
-        &format!("{}_{}", cfg.structure.name(), file_slug(cfg.algo.name())),
-        &[
-            "k",
-            "op_index",
-            "op",
-            "crashed",
-            "detect_ok",
-            "durable_ok",
-            "note",
-        ],
-    );
+    let mut csv = Csv::new(&label, SWEEP_CSV_COLUMNS);
     let mut violations = Vec::new();
     let (mut points_run, mut points_skipped) = (0u64, 0u64);
     let mut paranoia_checked = 0u64;
@@ -1142,6 +1471,7 @@ pub fn run_sweep(cfg: &SweepCfg) -> SweepReport {
                     crashed: p.crashed,
                     detect_ok: false,
                     durable_ok: p.durable_ok,
+                    exhausted: p.exhausted,
                     note: format!("paranoia: {err}"),
                     trace_tail: Vec::new(),
                 });
@@ -1177,6 +1507,7 @@ pub fn run_sweep(cfg: &SweepCfg) -> SweepReport {
     });
     SweepReport {
         cfg: cfg.clone(),
+        label,
         total_events,
         points_run,
         points_skipped,
@@ -1283,6 +1614,75 @@ mod tests {
         assert!(scratch.ok());
         assert_eq!(ck.total_events, scratch.total_events);
         assert_eq!(ck.points_run, scratch.points_run);
+    }
+
+    #[test]
+    fn palloc_sweep_is_clean_under_full_paranoia() {
+        // The allocator's own crash sweep: every alloc/retire/drain step
+        // crashed, recovered, heap audited — under cross-checked engines.
+        let mut cfg = SweepCfg::new(StructureKind::Exchanger, AlgoKind::Tracking);
+        cfg.pool_bytes = 4 << 20;
+        cfg.script_len = 10;
+        cfg.paranoia = 1.0;
+        let r = run_palloc_sweep(&cfg);
+        assert_eq!(r.label, "churn_palloc");
+        assert!(r.total_events > 0);
+        assert_eq!(r.points_run, r.total_events);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert!(r.summary().contains("churn_palloc"));
+    }
+
+    #[test]
+    fn palloc_sweep_survives_the_seeded_adversary() {
+        let mut cfg = SweepCfg::new(StructureKind::Exchanger, AlgoKind::Tracking);
+        cfg.pool_bytes = 4 << 20;
+        cfg.script_len = 10;
+        cfg.adversary = AdversaryKind::Seeded;
+        let r = run_palloc_sweep(&cfg);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+    }
+
+    #[test]
+    fn reclaim_queue_sweep_is_clean_and_adds_drain_events() {
+        let mut cfg = SweepCfg::new(StructureKind::Queue, AlgoKind::Tracking);
+        cfg.pool_bytes = 4 << 20;
+        cfg.script_len = 8;
+        let plain = run_sweep(&cfg);
+        cfg.reclaim = true;
+        let churn = run_sweep(&cfg);
+        assert!(plain.ok(), "violations: {:?}", plain.violations);
+        assert!(churn.ok(), "violations: {:?}", churn.violations);
+        assert_eq!(churn.label, "churn_queue_tracking");
+        assert!(
+            churn.total_events > plain.total_events,
+            "retire + boundary drains must appear in the enumeration \
+             ({} vs {})",
+            churn.total_events,
+            plain.total_events
+        );
+    }
+
+    #[test]
+    fn exhausted_count_run_is_classified_not_a_panic() {
+        // A script that provably overruns the arena: the sweep must return
+        // a report whose single violation carries the pool's capacity
+        // message, instead of unwinding out of the harness.
+        let mut cfg = SweepCfg::new(StructureKind::Queue, AlgoKind::Tracking);
+        cfg.pool_bytes = 1 << 20;
+        cfg.script_len = 30_000;
+        cfg.sample = 0.0;
+        let r = run_sweep(&cfg);
+        assert!(!r.ok());
+        assert_eq!(r.total_events, 0);
+        assert_eq!(r.violations.len(), 1);
+        let v = &r.violations[0];
+        assert!(v.exhausted);
+        assert!(!v.ok());
+        assert!(
+            v.note.contains(pmem::EXHAUSTED_PREFIX),
+            "note must carry the actionable message: {}",
+            v.note
+        );
     }
 
     #[test]

@@ -185,11 +185,11 @@ impl CapsulesList {
         let seq = self.write_capsule1(ctx, OP_INSERT, key);
         loop {
             // --- search capsule ---
-            let s = harris::search(pool, self.head, key, self.policy.search());
+            let s = harris::search(pool, ctx.tid(), self.head, key, self.policy.search());
             if pool.load(s.curr.add(N_KEY)) == key {
                 return self.finish(ctx, OP_INSERT, false);
             }
-            let node = harris::mk_node(pool, key, s.curr.raw());
+            let node = harris::mk_node(pool, ctx.tid(), key, s.curr.raw());
             pool.pwb(node, C_NEWNODE);
             pool.pfence();
             // --- capsule boundary: persist the CAS continuation ---
@@ -233,7 +233,7 @@ impl CapsulesList {
         let seq = self.write_capsule1(ctx, OP_DELETE, key);
         loop {
             // --- search capsule ---
-            let s = harris::search(pool, self.head, key, self.policy.search());
+            let s = harris::search(pool, ctx.tid(), self.head, key, self.policy.search());
             if pool.load(s.curr.add(N_KEY)) != key {
                 return self.finish(ctx, OP_DELETE, false);
             }
@@ -258,11 +258,14 @@ impl CapsulesList {
                 pool.pwb(s.curr.add(N_NEXT), C_CAS);
                 pool.pfence();
                 let r = self.finish(ctx, OP_DELETE, true);
-                // best-effort physical unlink (any traversal can redo it)
+                // best-effort physical unlink (any traversal can redo it);
+                // on success this CAS is the node's unique remover, so it
+                // also retires it once the unlink is durable.
                 let succ = stamped(core(s.curr_next) & !1, NO_TID, 0);
                 if pool.cas(s.pred.add(N_NEXT), s.pred_next, succ).is_ok() {
                     pool.pwb(s.pred.add(N_NEXT), C_CAS);
                     pool.pfence();
+                    ctx.retire(s.curr, 1);
                 }
                 return r;
             }
@@ -283,7 +286,7 @@ impl CapsulesList {
         assert!(key > harris::KEY_MIN && key < harris::KEY_MAX);
         let pool = &*self.pool;
         self.write_capsule1(ctx, OP_FIND, key);
-        let s = harris::search(pool, self.head, key, self.policy.search());
+        let s = harris::search(pool, ctx.tid(), self.head, key, self.policy.search());
         let found = pool.load(s.curr.add(N_KEY)) == key;
         self.finish(ctx, OP_FIND, found)
     }

@@ -66,10 +66,11 @@ pub struct HarrisSearch {
     pub curr_next: u64,
 }
 
-/// Allocates a node. The `next` field is stamped with [`NO_TID`] so the
-/// first notification on it is a no-op.
-pub fn mk_node(pool: &PmemPool, key: u64, next_core: u64) -> PAddr {
-    let n = pool.alloc_lines(1);
+/// Allocates a node under thread `tid`'s identity (recycling a retired
+/// node on a `pmem::PoolCfg::reclaim` pool). The `next` field is stamped
+/// with [`NO_TID`] so the first notification on it is a no-op.
+pub fn mk_node(pool: &PmemPool, tid: usize, key: u64, next_core: u64) -> PAddr {
+    let n = pool.palloc_lines(tid, 1);
     pool.store(n.add(N_KEY), key);
     pool.store(n.add(N_NEXT), stamped(next_core, NO_TID, 0));
     n
@@ -77,8 +78,8 @@ pub fn mk_node(pool: &PmemPool, key: u64, next_core: u64) -> PAddr {
 
 /// Creates the sentinel pair and returns `head`.
 pub fn mk_list(pool: &PmemPool) -> PAddr {
-    let tail = mk_node(pool, KEY_MAX, 0);
-    mk_node(pool, KEY_MIN, tail.raw())
+    let tail = mk_node(pool, 0, KEY_MAX, 0);
+    mk_node(pool, 0, KEY_MIN, tail.raw())
 }
 
 /// Harris' search with physical unlinking of marked nodes.
@@ -86,8 +87,20 @@ pub fn mk_list(pool: &PmemPool) -> PAddr {
 /// Returns `(pred, curr)` with `pred.key < key <= curr.key` and both
 /// unmarked at observation time. Marked nodes between them are unlinked
 /// with a (plain, non-recoverable) CAS — cleanup does not need crash
-/// detection, any thread may redo it.
-pub fn search(pool: &PmemPool, head: PAddr, key: u64, persist: SearchPersist) -> HarrisSearch {
+/// detection, any thread may redo it. On a `pmem::PoolCfg::reclaim` pool a
+/// persisting search also *retires* each node it unlinks (to `tid`'s limbo
+/// list), after flushing the unlink so a crash cannot leave the node
+/// reachable from both the chain and the allocator: the unlink CAS is the
+/// unique remover, so exactly one thread retires each node. Volatile
+/// searches (`SearchPersist::None`) never retire — without the flush the
+/// persisted image could still link the node.
+pub fn search(
+    pool: &PmemPool,
+    tid: usize,
+    head: PAddr,
+    key: u64,
+    persist: SearchPersist,
+) -> HarrisSearch {
     'retry: loop {
         let mut pred = head;
         let mut pred_next = pool.load(pred.add(N_NEXT));
@@ -121,6 +134,11 @@ pub fn search(pool: &PmemPool, head: PAddr, key: u64, persist: SearchPersist) ->
                 if persist != SearchPersist::None {
                     pool.pwb(pred.add(N_NEXT), C_TRAVERSE);
                     pool.pfence();
+                    // The unlink is durable and this CAS was its unique
+                    // remover: retire the node (no-op on a bump pool).
+                    // In-flight traversals standing on it still read its
+                    // key/next words, which retirement leaves intact.
+                    pool.pretire_lines(tid, curr, 1);
                 }
                 pred_next = unlinked;
                 curr = PAddr(succ_core);
@@ -182,7 +200,7 @@ mod tests {
     fn empty_list_search_hits_tail() {
         let p = PmemPool::new(PoolCfg::model(1 << 20));
         let head = mk_list(&p);
-        let s = search(&p, head, 10, SearchPersist::None);
+        let s = search(&p, 0, head, 10, SearchPersist::None);
         assert_eq!(s.pred, head);
         assert_eq!(p.load(s.curr.add(N_KEY)), KEY_MAX);
         assert!(keys(&p, head).is_empty());
@@ -193,10 +211,10 @@ mod tests {
         let p = PmemPool::new(PoolCfg::model(1 << 20));
         let head = mk_list(&p);
         p.stats_reset();
-        search(&p, head, 10, SearchPersist::Full);
+        search(&p, 0, head, 10, SearchPersist::Full);
         assert!(p.stats().pwb_at(C_TRAVERSE) >= 2, "every read flushed");
         p.stats_reset();
-        search(&p, head, 10, SearchPersist::None);
+        search(&p, 0, head, 10, SearchPersist::None);
         assert_eq!(p.stats().pwb_total(), 0);
     }
 
@@ -205,14 +223,14 @@ mod tests {
         let p = PmemPool::new(PoolCfg::model(1 << 20));
         let head = mk_list(&p);
         // hand-build head -> a -> tail, then mark a
-        let s = search(&p, head, 5, SearchPersist::None);
-        let a = mk_node(&p, 5, core(s.pred_next));
+        let s = search(&p, 0, head, 5, SearchPersist::None);
+        let a = mk_node(&p, 0, 5, core(s.pred_next));
         let a_stamped = stamped(a.raw(), 1, 1);
         assert!(p.cas(head.add(N_NEXT), s.pred_next, a_stamped).is_ok());
         let a_next = p.load(a.add(N_NEXT));
         assert!(p.cas(a.add(N_NEXT), a_next, a_next | 1).is_ok()); // mark
         assert!(keys(&p, head).is_empty(), "marked key is logically gone");
-        let s2 = search(&p, head, 5, SearchPersist::None);
+        let s2 = search(&p, 0, head, 5, SearchPersist::None);
         assert_eq!(p.load(s2.curr.add(N_KEY)), KEY_MAX, "a unlinked");
         assert_eq!(
             addr_of(p.load(head.add(N_NEXT))),

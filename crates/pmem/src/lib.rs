@@ -51,10 +51,15 @@
 //! Words 8..8+[`NUM_ROOTS`] form a root directory for data-structure entry
 //! points, followed by a per-thread recovery table (one line per thread
 //! holding the paper's `CP_q` and `RD_q` variables — see [`ThreadCtx`]).
-//! All allocations are line-aligned bump allocations; memory is never
-//! recycled during a run, mirroring the paper's reliance on a garbage
-//! collector (their §7 leaves recoverable memory management to future
-//! work) and discharging ABA concerns by construction.
+//! All allocations are line-aligned. By default they are pure bump
+//! allocations and memory is never recycled during a run, mirroring the
+//! paper's reliance on a garbage collector (their §7 leaves recoverable
+//! memory management to future work) and discharging ABA concerns by
+//! construction. A pool built with [`PoolCfg::reclaim`] layers the
+//! recoverable free-list allocator of the [`palloc`] module on top:
+//! retired blocks park on per-thread limbo lists and are re-issued only
+//! after an epoch quiescence, which preserves the no-reuse-inside-an-
+//! operation-window property the ABA arguments actually need.
 //!
 //! ## The crash-inject → recover loop
 //!
@@ -104,6 +109,7 @@ pub mod addr;
 pub mod crash;
 mod epoch;
 pub mod lint;
+pub mod palloc;
 pub mod persist;
 pub mod pool;
 pub mod sched;
@@ -115,8 +121,9 @@ pub mod trace;
 pub use addr::{is_tagged, tagged, untagged, PAddr, WORDS_PER_LINE};
 pub use crash::{run_crashable, CrashCtl, CrashPoint};
 pub use lint::{Diagnostic, LintKind, LintReport};
+pub use palloc::{MAX_CLASS, PALLOC_SITES};
 pub use persist::{Backend, SiteId, MAX_SITES};
-pub use pool::{PmemPool, PoolCfg, PoolSnapshot, NUM_ROOTS};
+pub use pool::{exhaustion_message, PmemPool, PoolCfg, PoolSnapshot, EXHAUSTED_PREFIX, NUM_ROOTS};
 pub use sched::{clear_yield_hook, has_yield_hook, set_yield_hook};
 pub use shadow::{
     CrashAdversary, CrashChoice, OptimistAdversary, PessimistAdversary, SeededAdversary,

@@ -71,6 +71,13 @@ pub struct PoolCfg {
     /// Per-thread event-ring capacity for the trace (oldest events are
     /// dropped beyond this; see [`TraceSnapshot::dropped`]).
     pub trace_capacity: usize,
+    /// Enable the recoverable free-list allocator (see [`crate::palloc`]):
+    /// reserves one persistent metadata line per thread, makes
+    /// [`PmemPool::palloc_lines`] recycle retired blocks, and arms the
+    /// deferred-reclamation machinery. Off by default — without it the pool
+    /// is the paper's pure bump arena and allocation stays free of
+    /// instrumented events.
+    pub reclaim: bool,
 }
 
 impl Default for PoolCfg {
@@ -83,6 +90,7 @@ impl Default for PoolCfg {
             trace: false,
             lint: false,
             trace_capacity: 4096,
+            reclaim: false,
         }
     }
 }
@@ -141,6 +149,24 @@ pub struct PmemPool {
     mask: SiteMask,
     crash_ctl: CrashCtl,
     recovery_base: usize, // first word of the per-thread recovery table
+    /// First word of the per-thread allocator metadata table (equals
+    /// `heap_base` when the pool was built without `reclaim`).
+    pub(crate) palloc_base: usize,
+    /// First allocatable heap word (everything below is reserved layout).
+    pub(crate) heap_base: usize,
+    /// Free-list allocator armed at construction ([`PoolCfg::reclaim`]).
+    pub(crate) reclaim: bool,
+    /// Volatile count of cache lines currently sitting on class free lists
+    /// (not limbo — those are not yet allocatable). Maintained conservatively
+    /// for [`Self::remaining_lines`]: decremented *before* a pop takes
+    /// effect, incremented only once a push is durable, and recomputed from
+    /// the lists at the quiescent points (`restore`/`crash`/recovery).
+    pub(crate) free_lines: AtomicUsize,
+    /// Debug-only ledger of retired-but-not-yet-quiescent block addresses,
+    /// used to assert that no address is re-issued before a full epoch
+    /// quiescence (see `palloc`).
+    #[cfg(debug_assertions)]
+    pub(crate) retired_debug: Mutex<std::collections::HashSet<u64>>,
     max_threads: usize,
     trace: Trace,
     lint: FlushLint,
@@ -189,20 +215,28 @@ fn lock_foot(m: &Mutex<Footprint>) -> MutexGuard<'_, Footprint> {
 impl PmemPool {
     /// Creates a pool per `cfg`. Layout: line 0 reserved (null), then
     /// [`NUM_ROOTS`] root lines, then `cfg.max_threads` recovery lines,
-    /// then the allocatable heap.
+    /// then (with [`PoolCfg::reclaim`]) `cfg.max_threads` allocator
+    /// metadata lines, then the allocatable heap.
     pub fn new(cfg: PoolCfg) -> Self {
+        let recovery_base = (1 + NUM_ROOTS) * WORDS_PER_LINE;
+        let palloc_base = recovery_base + cfg.max_threads * WORDS_PER_LINE;
+        let heap_base = palloc_base
+            + if cfg.reclaim {
+                cfg.max_threads * WORDS_PER_LINE
+            } else {
+                0
+            };
         let nwords = (cfg.capacity / 8)
             .next_multiple_of(WORDS_PER_LINE)
-            .max((1 + NUM_ROOTS + cfg.max_threads + 16) * WORDS_PER_LINE);
+            .max(heap_base + 16 * WORDS_PER_LINE);
         let words = alloc_zeroed_atomics(nwords);
-        let recovery_base = (1 + NUM_ROOTS) * WORDS_PER_LINE;
-        let heap_base = recovery_base + cfg.max_threads * WORDS_PER_LINE;
+        let reclaim = cfg.reclaim;
         let epoch = new_epoch(
             if cfg.trace { EP_TRACE } else { 0 }
                 | if cfg.lint { EP_LINT } else { 0 }
                 | if cfg.shadow { EP_SHADOW } else { 0 },
         );
-        PmemPool {
+        let pool = PmemPool {
             words,
             next: AtomicUsize::new(heap_base),
             backend: cfg.backend,
@@ -215,13 +249,23 @@ impl PmemPool {
             mask: SiteMask::all_on(),
             crash_ctl: CrashCtl::with_epoch(epoch.clone()),
             recovery_base,
+            palloc_base,
+            heap_base,
+            reclaim: cfg.reclaim,
+            free_lines: AtomicUsize::new(0),
+            #[cfg(debug_assertions)]
+            retired_debug: Mutex::new(std::collections::HashSet::new()),
             max_threads: cfg.max_threads,
             trace: Trace::new(cfg.trace_capacity, cfg.trace),
             lint: FlushLint::new(cfg.lint),
             epoch,
             site_names: RwLock::new([None; MAX_SITES]),
             foot: Mutex::new(Footprint::default()),
+        };
+        if reclaim {
+            pool.register_site_names(&crate::palloc::PALLOC_SITES);
         }
+        pool
     }
 
     /// Address of root cell `i` (data-structure entry points). Each root
@@ -254,11 +298,19 @@ impl PmemPool {
     /// Line-aligned bump allocation of `nlines` cache lines; the memory is
     /// zeroed. Returns `None` when the pool is exhausted.
     ///
-    /// Memory is never recycled — the arena stands in for the garbage
-    /// collector the paper assumes (see crate docs), which also rules out
-    /// ABA from address reuse. The bump pointer lives outside pmem but is
-    /// monotone, which is equivalent to persisting the watermark on every
-    /// allocation.
+    /// The bump arena itself never recycles memory; a bump address is
+    /// always fresh. On a pool built **without** [`PoolCfg::reclaim`] this
+    /// is the only allocation path, the arena stands in for the garbage
+    /// collector the paper assumes (see crate docs), and ABA from address
+    /// reuse is ruled out by construction. On a pool built **with**
+    /// `reclaim`, [`Self::palloc_lines`] layers per-size-class free lists
+    /// on top of this arena and *does* re-issue retired addresses — but
+    /// only after a full epoch quiescence ([`Self::palloc_drain`] moves
+    /// blocks from limbo to the free lists solely at quiescent points, and
+    /// a debug assertion in the pop path checks that no still-retired
+    /// address is ever handed out). The bump pointer lives outside pmem but
+    /// is monotone, which is equivalent to persisting the watermark on
+    /// every allocation.
     pub fn try_alloc_lines(&self, nlines: usize) -> Option<PAddr> {
         let need = nlines * WORDS_PER_LINE;
         let mut cur = self.next.load(Ordering::Relaxed);
@@ -289,10 +341,59 @@ impl PmemPool {
         })
     }
 
-    /// Cache lines still available for allocation.
+    /// A consistent **lower bound** on the cache lines still available for
+    /// allocation: the untouched bump region plus every block currently on
+    /// a class free list (limbo blocks are excluded — they only become
+    /// allocatable at the next quiescence).
+    ///
+    /// Guarantee: the returned value never exceeds the number of lines that
+    /// could actually be allocated at the instant of the call, even under
+    /// concurrent allocation. The bump component uses a `SeqCst` load of a
+    /// monotone cursor (so it can only under-report a racing bump), and the
+    /// free-list component is a counter that is decremented *before* a pop
+    /// takes effect and incremented only once a push is durable — a racing
+    /// reader can miss a block in flight, never count one twice.
     pub fn remaining_lines(&self) -> usize {
-        (self.words.len() - self.next.load(Ordering::Relaxed).min(self.words.len()))
-            / WORDS_PER_LINE
+        let next = self.next.load(Ordering::SeqCst).min(self.words.len());
+        let bump = (self.words.len() - next) / WORDS_PER_LINE;
+        bump + self.free_lines.load(Ordering::SeqCst)
+    }
+
+    /// Total pool size in words (allocation limit).
+    pub(crate) fn nwords(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Current bump-allocation watermark in words.
+    pub(crate) fn alloc_watermark(&self) -> usize {
+        self.next.load(Ordering::SeqCst)
+    }
+
+    /// Uninstrumented word read: no crash tick, no trace event, no yield.
+    /// For harness-internal walks (allocator audits, accounting refresh)
+    /// that must be invisible to crash-point enumeration and replay
+    /// streams.
+    #[inline]
+    pub(crate) fn raw_load(&self, w: usize) -> u64 {
+        self.words[w].load(Ordering::Acquire)
+    }
+
+    /// Uninstrumented zeroing of `[start, start + n)` words. Not a traced
+    /// event, but the mutated lines *are* recorded in the replay footprint
+    /// (incremental restore and bounded crash resolution must see them).
+    /// Durability is the caller's problem: the zeros reach the persisted
+    /// image only through the caller's own `pwb`/`pfence` of those lines.
+    pub(crate) fn raw_zero_words(&self, start: usize, n: usize) {
+        for w in start..start + n {
+            self.words[w].store(0, Ordering::Release);
+        }
+        if self.epoch_bits(EP_FOOT) != 0 {
+            let first = start / WORDS_PER_LINE;
+            let last = (start + n - 1) / WORDS_PER_LINE;
+            for line in first..=last {
+                self.note_line(line);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -815,7 +916,7 @@ impl PmemPool {
     /// only flags targets it has independent evidence are unpersisted.
     fn publish_target(&self, new: u64) -> Option<usize> {
         let w = crate::addr::untagged(new) as usize;
-        let heap_base = self.recovery_base + self.max_threads * WORDS_PER_LINE;
+        let heap_base = self.heap_base;
         if w == 0 || !w.is_multiple_of(WORDS_PER_LINE) || w < heap_base {
             return None;
         }
@@ -899,6 +1000,11 @@ impl PmemPool {
         // skips the walk, and the next restore re-imports the line states.
         if self.trace.enabled() || self.lint.enabled() {
             self.lint.on_crash(self.trace.next_seq());
+        }
+        // Crash resolution may have rewound free-list pushes/pops; rebuild
+        // the volatile allocator accounting from the surviving lists.
+        if self.reclaim {
+            self.refresh_palloc_accounting();
         }
     }
 
@@ -1084,7 +1190,36 @@ impl PmemPool {
         if self.shadow.is_some() {
             self.set_epoch_bit(EP_SHADOW, true);
         }
+        // The restored image carries its own free lists and limbo lists;
+        // rebuild the volatile allocator accounting to match.
+        if self.reclaim {
+            self.refresh_palloc_accounting();
+        }
     }
+}
+
+/// The stable prefix of the panic message [`PmemPool::alloc_lines`] raises
+/// on pool exhaustion, for payload classification.
+pub const EXHAUSTED_PREFIX: &str = "pmem pool exhausted";
+
+/// Recognizes a pool-exhaustion panic payload (the panic raised by
+/// [`PmemPool::alloc_lines`] when the arena is full) and returns its
+/// actionable message. Harnesses use this to classify an exhausted run as
+/// a capacity problem instead of an opaque worker failure:
+///
+/// ```
+/// use pmem::{exhaustion_message, PmemPool, PoolCfg};
+/// let p = PmemPool::new(PoolCfg::model(0)); // minimum-size pool
+/// while p.try_alloc_lines(1).is_some() {}
+/// let err = std::panic::catch_unwind(|| p.alloc_lines(1)).unwrap_err();
+/// assert!(exhaustion_message(err.as_ref()).unwrap().contains("capacity"));
+/// ```
+pub fn exhaustion_message(payload: &(dyn std::any::Any + Send)) -> Option<&str> {
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&'static str>().copied())?;
+    msg.starts_with(EXHAUSTED_PREFIX).then_some(msg)
 }
 
 /// A point-in-time copy of a pool's full persistent state (see

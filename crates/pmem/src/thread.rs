@@ -99,6 +99,22 @@ impl ThreadCtx {
         self.pool.store(self.rd, v);
     }
 
+    /// Allocates `nlines` zeroed cache lines under this thread's identity,
+    /// recycling retired blocks when the pool was built with
+    /// [`crate::PoolCfg::reclaim`] (see [`crate::palloc`]); identical to
+    /// [`PmemPool::alloc_lines`] otherwise.
+    #[inline]
+    pub fn palloc(&self, nlines: usize) -> PAddr {
+        self.pool.palloc_lines(self.tid, nlines)
+    }
+
+    /// Retires a block this thread has durably unlinked from its structure
+    /// (no-op unless the pool was built with [`crate::PoolCfg::reclaim`]).
+    #[inline]
+    pub fn retire(&self, addr: PAddr, nlines: usize) {
+        self.pool.pretire_lines(self.tid, addr, nlines)
+    }
+
     /// The system's pre-invocation step: resets `CP_q` to 0 and persists the
     /// reset, so a crash before the operation's first check-point is
     /// distinguishable from one after it ("the system sets CP_q to 0 just

@@ -85,6 +85,18 @@ pub struct Desc {
 impl Desc {
     /// Allocates a fresh (zeroed) descriptor. `result` is ⊥ (= 0) by
     /// construction.
+    ///
+    /// Descriptors are deliberately bump-allocated — never recycled, even
+    /// on a pool built with `pmem::PoolCfg::reclaim`. Cleanup leaves
+    /// `untagged(desc)` behind as the *info version stamp* of every
+    /// AffectSet node that survives the operation, and that stamp is
+    /// validated by tagging CASes arbitrarily far in the future; re-issuing
+    /// a descriptor address could therefore resurrect an old stamp value on
+    /// a node the new descriptor's operation also affects, and a stale
+    /// tagging CAS would validate against it (ABA across operation
+    /// windows). Only *node* blocks — whose addresses are compared solely
+    /// against values gathered within a single operation window — are safe
+    /// to recycle; see `pmem::palloc`.
     pub fn alloc(pool: &PmemPool) -> Desc {
         Desc {
             addr: pool.alloc_lines(D_LINES),

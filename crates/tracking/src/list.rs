@@ -9,11 +9,19 @@
 //!
 //! * **Insert replaces its successor with a copy** (`newcurr`, Algorithm 3
 //!   lines 1/19): `pred→next` is CASed from `curr` to a fresh `newnd` whose
-//!   `next` is a fresh copy of `curr`. Because every value stored into a
-//!   `next` field is a never-before-seen node address, no `next` field ever
-//!   holds the same value twice — the paper's assumption (a), which makes
-//!   the WriteSet CAS of a *delete* (`pred→next: curr → curr→next`)
-//!   ABA-free as well.
+//!   `next` is a fresh copy of `curr`. On the default bump pool every value
+//!   stored into a `next` field is a never-before-seen node address, so no
+//!   `next` field ever holds the same value twice — the paper's assumption
+//!   (a), which makes the WriteSet CAS of a *delete*
+//!   (`pred→next: curr → curr→next`) ABA-free as well. On a
+//!   `pmem::PoolCfg::reclaim` pool node addresses *can* repeat, but only
+//!   across an epoch quiescence (removed nodes are retired to
+//!   `pmem::palloc` limbo and re-issued only after a drain, which the
+//!   harness runs strictly between operations): every `next` expectation is
+//!   gathered and CASed within one operation window, and no window spans a
+//!   quiescence point, so the CAS still cannot observe a recycled address.
+//!   Descriptors are never recycled (see [`Desc::alloc`]), keeping info
+//!   version stamps unique forever.
 //! * **A deleted (or replaced) node keeps its descriptor tag forever**
 //!   (Figure 1c): its AffectSet entry has `untag_on_cleanup = false`, so any
 //!   thread that still reaches it helps the finished operation and retries,
@@ -204,8 +212,8 @@ impl RecoverableList {
         let pool = &*self.pool;
         // Lines 1–2: the new nodes are allocated once and reused across
         // attempts (they are only published by a successful tagging phase).
-        let newcurr = pool.alloc_lines(1);
-        let newnd = pool.alloc_lines(1);
+        let newcurr = ctx.palloc(1);
+        let newnd = ctx.palloc(1);
         self.prologue(ctx);
         loop {
             // Gather phase (lines 9–13)
@@ -286,13 +294,28 @@ impl RecoverableList {
             // Line 31: read-only outcome returns without Help (unless the
             // read-only optimization is ablated away)
             if dup && self.cfg.read_only_opt {
+                // The pre-built nodes were never published: retire them
+                // (no-op on a bump pool).
+                ctx.retire(newcurr, 1);
+                ctx.retire(newnd, 1);
                 return false;
             }
             // Lines 32–33
             help(pool, desc);
             let r = desc.result(pool);
             if r != BOTTOM {
-                return dec_bool(r);
+                let ok = dec_bool(r);
+                if ok {
+                    // The WriteSet CAS replaced curr with its copy and its
+                    // durability was fenced by help's cleanup: curr left
+                    // the structure for good (it keeps its tag, so late
+                    // readers still help through its intact info word).
+                    ctx.retire(s.curr, 1);
+                } else {
+                    ctx.retire(newcurr, 1);
+                    ctx.retire(newnd, 1);
+                }
+                return ok;
             }
             // Line 34: a new attempt uses a fresh descriptor (allocated at
             // the top of the loop).
@@ -395,7 +418,13 @@ impl RecoverableList {
             help(pool, desc);
             let r = desc.result(pool);
             if r != BOTTOM {
-                return dec_bool(r);
+                let ok = dec_bool(r);
+                if ok {
+                    // curr was durably unlinked (help fenced the WriteSet
+                    // CAS before recording the result): retire it.
+                    ctx.retire(s.curr, 1);
+                }
+                return ok;
             }
         }
     }

@@ -18,8 +18,12 @@
 //!   makes `F` the new sentinel: AffectSet = `{H}` (leaves the structure ⇒
 //!   tagged forever), WriteSet = `{head-cell: H → F}`, response =
 //!   `F.value`. Competing dequeues serialize on `H`'s tag; the head cell
-//!   CAS is ABA-free because sentinels advance through never-reused node
-//!   addresses.
+//!   CAS is ABA-free because sentinels advance through node addresses that
+//!   are never reused *within an operation window* — fresh forever on the
+//!   default bump pool, and on a `pmem::PoolCfg::reclaim` pool re-issued
+//!   only after an epoch quiescence that no window spans (consumed
+//!   sentinels are retired to `pmem::palloc` limbo; descriptors are never
+//!   recycled, so info version stamps stay unique).
 //! * **Empty dequeue** is a read-only outcome: gather `H` (untagged),
 //!   observe `H.next = ⊥`, and re-validate that `H` is still the sentinel —
 //!   head only moves forward, so the queue was empty at the observation.
@@ -126,7 +130,7 @@ impl RecoverableQueue {
         assert!(value <= VALUE_MAX, "value too large to encode");
         let pool = &*self.pool;
         // The new node is allocated once and reused across attempts.
-        let new = pool.alloc_lines(1);
+        let new = ctx.palloc(1);
         pool.store(new.add(N_VALUE), value);
         self.prologue(ctx);
         loop {
@@ -256,6 +260,13 @@ impl RecoverableQueue {
             help(pool, desc);
             let r = desc.result(pool);
             if r != BOTTOM {
+                if r != FALSE {
+                    // The head cell durably moved past h (help fenced the
+                    // WriteSet CAS): the old sentinel is out of the chain.
+                    // It keeps its tag; late dequeuers that gathered h
+                    // still help through its intact info word.
+                    ctx.retire(h, 1);
+                }
                 return if r == FALSE { None } else { Some(dec_val(r)) };
             }
         }

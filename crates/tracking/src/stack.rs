@@ -13,13 +13,16 @@
 //! * **Pop**: AffectSet = `{top-node}` (leaves the structure ⇒ tagged
 //!   forever), WriteSet = `{top: node → node.next}`, response =
 //!   `node.value`. Popping the sentinel is the read-only empty case,
-//!   validated by re-reading `top` (which, unlike a queue head, can ABA
-//!   only through *new* node addresses — never back to an old one, since
-//!   nodes are not recycled).
+//!   validated by re-reading `top` (which can ABA only through node
+//!   addresses not seen earlier in the same operation window — always
+//!   fresh on the default bump pool, and on a `pmem::PoolCfg::reclaim`
+//!   pool recycled only across an epoch quiescence that no window spans;
+//!   popped nodes are retired to `pmem::palloc` limbo).
 //!
-//! The `top` cell's CAS is ABA-free for the same arena reason as
-//! everywhere else in this repository: node addresses are never reused, so
-//! `top` never holds the same value twice... with one subtlety: `top` can
+//! The `top` cell's CAS is ABA-free for the same reason as everywhere else
+//! in this repository: node addresses are never reused within an operation
+//! window, so `top` cannot return to an expected value behind a gathering
+//! thread's back... with one subtlety: `top` can
 //! return to the *sentinel* many times. That is harmless: the sentinel's
 //! AffectSet entry carries its gathered `info` version stamp, and every
 //! push/pop that touches the sentinel bumps it (cleanup leaves
@@ -95,7 +98,7 @@ impl RecoverableStack {
     pub fn push_started(&self, ctx: &ThreadCtx, value: u64) {
         assert!(value <= VALUE_MAX, "value too large to encode");
         let pool = &*self.pool;
-        let new = pool.alloc_lines(1);
+        let new = ctx.palloc(1);
         pool.store(new.add(N_VALUE), value);
         self.prologue(ctx);
         loop {
@@ -222,6 +225,12 @@ impl RecoverableStack {
             help(pool, desc);
             let r = desc.result(pool);
             if r != BOTTOM {
+                if r != FALSE {
+                    // top durably moved past the popped node (help fenced
+                    // the WriteSet CAS): retire it. Its tag and payload
+                    // words stay intact for late helpers.
+                    ctx.retire(top, 1);
+                }
                 return if r == FALSE { None } else { Some(dec_val(r)) };
             }
         }

@@ -12,16 +12,26 @@
 //! restore missed, an adversary RNG stream shifted by the bounded crash
 //! scan — lands in `violations` and fails the run.
 
-use bench::sweep::{run_sweep, AdversaryKind, SweepCfg};
+use bench::sweep::{run_palloc_sweep, run_sweep, AdversaryKind, SweepCfg};
 use bench::{AlgoKind, StructureKind};
 
 fn assert_engines_equivalent(structure: StructureKind, algo: AlgoKind, adversary: AdversaryKind) {
+    assert_engines_equivalent_reclaim(structure, algo, adversary, false)
+}
+
+fn assert_engines_equivalent_reclaim(
+    structure: StructureKind,
+    algo: AlgoKind,
+    adversary: AdversaryKind,
+    reclaim: bool,
+) {
     let mut cfg = SweepCfg::new(structure, algo);
     cfg.script_len = 5;
     cfg.pool_bytes = 4 << 20;
     cfg.adversary = adversary;
     cfg.checkpoint = true;
     cfg.paranoia = 1.0;
+    cfg.reclaim = reclaim;
     let ck = run_sweep(&cfg);
     assert!(
         ck.ok(),
@@ -78,4 +88,49 @@ fn exchanger_checkpoint_engine_is_equivalent() {
         AlgoKind::Tracking,
         AdversaryKind::Pessimist,
     );
+}
+
+/// Allocator-churn list on a reclaim pool: deletes retire nodes into
+/// limbo, op boundaries drain it, and every verdict audits the free
+/// lists — so the allocator's instrumented events join the sweep's event
+/// space and the incremental restore must reproduce the per-thread
+/// allocator metadata lines exactly. A stale free-list head or a drain
+/// replayed against an un-restored limbo line would diverge the engines.
+#[test]
+fn churn_list_checkpoint_engine_is_equivalent() {
+    assert_engines_equivalent_reclaim(
+        StructureKind::List,
+        AlgoKind::Tracking,
+        AdversaryKind::Seeded,
+        true,
+    );
+}
+
+/// The allocator's own crash-sweep subject (alloc/retire/drain script over
+/// a persistent owned list), checkpoint vs scratch with every point
+/// cross-checked.
+#[test]
+fn palloc_checkpoint_engine_is_equivalent() {
+    let mut cfg = SweepCfg::new(StructureKind::List, AlgoKind::Tracking);
+    cfg.script_len = 6;
+    cfg.pool_bytes = 4 << 20;
+    cfg.adversary = AdversaryKind::Seeded;
+    cfg.checkpoint = true;
+    cfg.paranoia = 1.0;
+    let ck = run_palloc_sweep(&cfg);
+    assert!(
+        ck.ok(),
+        "palloc: checkpointed sweep diverged or failed: {:?}",
+        ck.violations
+    );
+    assert_eq!(ck.paranoia_checked, ck.points_run);
+
+    let scratch = run_palloc_sweep(&SweepCfg {
+        checkpoint: false,
+        paranoia: 0.0,
+        ..cfg
+    });
+    assert!(scratch.ok());
+    assert_eq!(ck.total_events, scratch.total_events);
+    assert_eq!(ck.points_run, scratch.points_run);
 }
