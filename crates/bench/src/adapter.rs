@@ -50,6 +50,11 @@ pub enum AlgoKind {
     TrackingNaive,
     /// Ablation: Tracking list without the read-only optimization.
     TrackingNoReadOpt,
+    /// Flat-combining detectable variant of the queue/stack shapes
+    /// (`tracking::CombiningQueue` / `CombiningStack`) — not a set
+    /// implementation; only the queue/stack sweeps and the explorer list
+    /// it (see [`StructureKind::lineup`]).
+    TrackingComb,
     /// Capsules + full durability transformation.
     Capsules,
     /// Hand-tuned Capsules-Opt.
@@ -71,6 +76,7 @@ impl AlgoKind {
             "tracking-bst" => AlgoKind::TrackingBst,
             "tracking-naive" => AlgoKind::TrackingNaive,
             "tracking-no-read-opt" => AlgoKind::TrackingNoReadOpt,
+            "tracking-comb" => AlgoKind::TrackingComb,
             "capsules" => AlgoKind::Capsules,
             "capsules-opt" => AlgoKind::CapsulesOpt,
             "romulus" => AlgoKind::Romulus,
@@ -87,6 +93,7 @@ impl AlgoKind {
             AlgoKind::TrackingBst => "Tracking-BST",
             AlgoKind::TrackingNaive => "Tracking[naive-flush]",
             AlgoKind::TrackingNoReadOpt => "Tracking[no-read-opt]",
+            AlgoKind::TrackingComb => "Tracking-Comb",
             AlgoKind::Capsules => "Capsules",
             AlgoKind::CapsulesOpt => "Capsules-Opt",
             AlgoKind::Romulus => "Romulus",
@@ -116,6 +123,12 @@ impl AlgoKind {
     /// and the granted reader livelocks waiting for a parked writer. Both
     /// are inherent to its blocking design, not bugs; the explorer simply
     /// requires obstruction-free progress, which every other competitor has.
+    ///
+    /// The combining variant *is* schedulable even though a waiter spins:
+    /// it spins on instrumented pool loads (the request/ready words and
+    /// the combiner lock), so every wait-loop iteration is a yield point,
+    /// and a parked combiner's lock is observably free — any granted
+    /// waiter takes over as combiner rather than livelocking.
     pub fn schedulable(self) -> bool {
         !matches!(self, AlgoKind::Romulus)
     }
@@ -185,7 +198,10 @@ impl StructureKind {
         match self {
             StructureKind::List => AlgoKind::paper_lineup().to_vec(),
             StructureKind::Bst => vec![AlgoKind::TrackingBst],
-            _ => vec![AlgoKind::Tracking],
+            StructureKind::Queue | StructureKind::Stack => {
+                vec![AlgoKind::Tracking, AlgoKind::TrackingComb]
+            }
+            StructureKind::Exchanger => vec![AlgoKind::Tracking],
         }
     }
 
@@ -422,6 +438,9 @@ pub fn build(
     key_range: u64,
 ) -> Arc<dyn SetAlgo> {
     match kind {
+        AlgoKind::TrackingComb => {
+            panic!("Tracking-Comb is a queue/stack variant, not a set implementation")
+        }
         AlgoKind::Tracking => Arc::new(TrackingAdapter(tracking::RecoverableList::new(pool, 0))),
         AlgoKind::TrackingNaive => {
             Arc::new(TrackingAdapter(tracking::RecoverableList::with_config(

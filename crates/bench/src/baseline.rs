@@ -33,8 +33,14 @@ use std::time::Instant;
 use pmem::{Backend, PmemPool, PoolCfg, SiteId, ThreadCtx};
 
 use crate::adapter::{build, AlgoKind, StructureKind};
+use crate::parallel::{run_thread_sweep, ParSubject, SweepPoint};
 
 /// Schema identifier embedded in every report.
+///
+/// The tag is unchanged since PR 4; later additions are strictly additive
+/// (`thread_sweep` since PR 7), so every committed `BENCH_*.json` remains
+/// readable by the current tooling. EXPERIMENTS.md documents the schema
+/// field by field with the PR each field appeared in.
 pub const SCHEMA: &str = "bench-baseline/v1";
 
 /// Configuration of one baseline capture.
@@ -44,6 +50,11 @@ pub struct BaselineCfg {
     pub ops: u64,
     /// Iterations of the primitive loop in the overhead benchmark.
     pub overhead_iters: u64,
+    /// Thread counts of the parallel thread sweep (`bench::parallel`
+    /// over the queue/stack shapes, plain and combining).
+    pub sweep_threads: Vec<usize>,
+    /// Timed window per sweep point, in milliseconds.
+    pub sweep_window_ms: u64,
     /// Label recorded in the report (e.g. `pr4`).
     pub label: String,
     /// Previously captured `off_ns_per_op`, for trend reporting (read from
@@ -57,6 +68,8 @@ impl BaselineCfg {
         BaselineCfg {
             ops: 40_000,
             overhead_iters: 4_000_000,
+            sweep_threads: vec![1, 2, 4],
+            sweep_window_ms: 200,
             label: label.to_string(),
             prev_off_ns_per_op: None,
         }
@@ -67,6 +80,8 @@ impl BaselineCfg {
         BaselineCfg {
             ops: 2_000,
             overhead_iters: 200_000,
+            sweep_threads: vec![1, 2],
+            sweep_window_ms: 40,
             label: label.to_string(),
             prev_off_ns_per_op: None,
         }
@@ -121,6 +136,9 @@ pub struct BaselineReport {
     pub created_unix: u64,
     /// Timed micro-workloads.
     pub rows: Vec<BenchRow>,
+    /// The parallel thread sweep over the queue/stack shapes (plain and
+    /// combining variants) on one contended shard.
+    pub thread_sweep: Vec<SweepPoint>,
     /// The observers-off/on comparison.
     pub overhead: OverheadRow,
 }
@@ -450,6 +468,12 @@ pub fn run_baseline(cfg: &BaselineCfg) -> BaselineReport {
         rows.push(bench_structure(structure, cfg.ops));
     }
     rows.extend(bench_palloc(cfg.ops));
+    let thread_sweep = run_thread_sweep(
+        &ParSubject::all(),
+        &cfg.sweep_threads,
+        std::time::Duration::from_millis(cfg.sweep_window_ms),
+        512 << 20,
+    );
     let overhead = bench_overhead(cfg.overhead_iters);
     BaselineReport {
         cfg: cfg.clone(),
@@ -458,6 +482,7 @@ pub fn run_baseline(cfg: &BaselineCfg) -> BaselineReport {
             .map(|d| d.as_secs())
             .unwrap_or(0),
         rows,
+        thread_sweep,
         overhead,
     }
 }
@@ -502,6 +527,17 @@ impl BaselineReport {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str("  \"thread_sweep\": [\n");
+        for (i, p) in self.thread_sweep.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&p.to_json());
+            out.push_str(if i + 1 == self.thread_sweep.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"overhead\": {\n");
         out.push_str(&format!(
             "    \"iters\": {},\n    \"off_ns_per_op\": {},\n    \"on_ns_per_op\": {},\n    \"ratio\": {}",
@@ -532,6 +568,23 @@ impl BaselineReport {
                 "{:<24} {:>10.1} {:>12.0} {:>10.1} {:>8.2} {:>8.2}\n",
                 r.name, r.ns_per_op, r.ops_per_sec, r.events_per_op, r.pwb_per_op, r.psync_per_op
             ));
+        }
+        if !self.thread_sweep.is_empty() {
+            out.push_str(&format!(
+                "{:<18} {:>3} {:>12} {:>12} {:>8} {:>9}\n",
+                "thread sweep", "thr", "ops/sec", "ops/sec/thr", "pwb/op", "psync/op"
+            ));
+            for p in &self.thread_sweep {
+                out.push_str(&format!(
+                    "{:<18} {:>3} {:>12.0} {:>12.0} {:>8.2} {:>9.2}\n",
+                    p.subject,
+                    p.threads,
+                    p.ops_per_sec,
+                    p.per_thread_ops_per_sec,
+                    p.pwb_per_op,
+                    p.psync_per_op
+                ));
+            }
         }
         out.push_str(&format!(
             "instrumentation overhead: off {:.2} ns/iter, on {:.2} ns/iter (x{:.1})",
@@ -565,6 +618,11 @@ pub fn extract_number(json: &str, key: &str) -> Option<f64> {
 /// Validates that `json` looks like a `bench-baseline/v1` document: schema
 /// tag, non-empty bench list with the required numeric fields, and an
 /// overhead block. Returns a description of the first problem found.
+///
+/// The `thread_sweep` section (added in PR 7) is validated when present —
+/// it must then be non-empty with finite numerics — but its absence is
+/// accepted, so pre-PR-7 committed reports still pass (the schema grows
+/// additively; fresh reports always include it).
 pub fn validate_json(json: &str) -> Result<(), String> {
     if !json.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
         return Err(format!("missing schema tag {SCHEMA:?}"));
@@ -572,6 +630,18 @@ pub fn validate_json(json: &str) -> Result<(), String> {
     for key in ["\"benches\": [", "\"overhead\": {"] {
         if !json.contains(key) {
             return Err(format!("missing section {key}"));
+        }
+    }
+    if json.contains("\"thread_sweep\": [") {
+        if json.matches("\"subject\":").count() == 0 {
+            return Err("thread_sweep section present but empty".into());
+        }
+        for key in ["per_thread_ops_per_sec"] {
+            match extract_number(json, key) {
+                Some(v) if v.is_finite() && v >= 0.0 => {}
+                Some(v) => return Err(format!("field {key} has non-finite/negative value {v}")),
+                None => return Err(format!("missing numeric field {key}")),
+            }
         }
     }
     let benches = json.matches("\"ns_per_op\":").count();
@@ -605,6 +675,8 @@ mod tests {
         let mut cfg = BaselineCfg::smoke("unit");
         cfg.ops = 64;
         cfg.overhead_iters = 2_000;
+        cfg.sweep_threads = vec![1, 2];
+        cfg.sweep_window_ms = 20;
         cfg.prev_off_ns_per_op = Some(12.5);
         let report = run_baseline(&cfg);
         assert_eq!(
@@ -616,11 +688,22 @@ mod tests {
             assert!(r.ns_per_op > 0.0, "{} measured nothing", r.name);
             assert!(r.events_per_op > 0.0, "{} counted no events", r.name);
         }
+        assert_eq!(
+            report.thread_sweep.len(),
+            8,
+            "4 parallel subjects x 2 thread counts"
+        );
+        for p in &report.thread_sweep {
+            assert!(p.ops > 0, "{} @{}T completed no ops", p.subject, p.threads);
+        }
         assert!(report.overhead.off_ns_per_op > 0.0);
         let json = report.to_json();
         validate_json(&json).expect("self-produced JSON must validate");
         assert_eq!(extract_number(&json, "prev_off_ns_per_op"), Some(12.5));
+        let parsed = crate::parallel::sweep_points_from_json(&json);
+        assert_eq!(parsed.len(), 8, "sweep points must parse back");
         assert!(report.to_text().contains("list/Tracking"));
+        assert!(report.to_text().contains("queue/Combining"));
     }
 
     #[test]

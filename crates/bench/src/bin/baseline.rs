@@ -59,6 +59,7 @@ fn main() {
     if let Some(n) = ops {
         cfg.ops = n;
     }
+    let mut prev_doc: Option<String> = None;
     if let Some(p) = &prev {
         let doc = std::fs::read_to_string(p).expect("reading --prev JSON");
         cfg.prev_off_ns_per_op = extract_number(&doc, "off_ns_per_op");
@@ -66,10 +67,31 @@ fn main() {
             eprintln!("--prev {} has no off_ns_per_op field", p.display());
             std::process::exit(2);
         }
+        prev_doc = Some(doc);
     }
 
     let report = run_baseline(&cfg);
     print!("{}", report.to_text());
+
+    // Scaling trend: compare the fresh thread sweep against the previous
+    // report's (pre-PR-7 reports have no sweep — note and move on). Warns,
+    // never fails: wall-clock throughput on a shared host is noisy; the
+    // committed trajectory is what reviewers judge.
+    if let Some(doc) = &prev_doc {
+        let prev_pts = bench::parallel::sweep_points_from_json(doc);
+        if prev_pts.is_empty() {
+            println!("(prev report has no thread_sweep section; no scaling trend)");
+        } else {
+            let (lines, warnings) =
+                bench::parallel::compare_sweeps(&prev_pts, &report.thread_sweep, 0.25);
+            for l in lines {
+                println!("{l}");
+            }
+            if warnings > 0 {
+                println!("WARNING: {warnings} scaling regression(s) vs previous report");
+            }
+        }
+    }
 
     let json = report.to_json();
     if let Err(e) = validate_json(&json) {

@@ -73,8 +73,9 @@ use tracking::{RecoverableExchanger, RecoverableQueue, RecoverableStack};
 use crate::adapter::{build, AlgoKind, StructureKind};
 use crate::csv::Csv;
 use crate::sweep::{
-    csv_escape, file_slug, splitmix64, AdversaryKind, CompletedOp, CrashSubject, ExchangerSubject,
-    QueueSubject, Rng, SetSubject, StackSubject, SET_KEYS,
+    csv_escape, file_slug, splitmix64, AdversaryKind, CombQueueSubject, CombStackSubject,
+    CompletedOp, CrashSubject, ExchangerSubject, QueueSubject, Rng, SetSubject, StackSubject,
+    SET_KEYS,
 };
 
 // --------------------------------------------------------------- strategies
@@ -935,11 +936,23 @@ fn make_case(cfg: &ExploreCfg) -> Box<dyn ExpCase> {
             let scripts = (0..n).map(|t| set_script_for(seed, t, len)).collect();
             Box::new(ExpRunner::new(pool, SetSubject { algo }, n, scripts))
         }
+        StructureKind::Queue if cfg.algo == AlgoKind::TrackingComb => {
+            pool.register_site_names(&tracking::sites::SITES);
+            let q = tracking::CombiningQueue::new(pool.clone(), 0, n);
+            let scripts = (0..n).map(|t| queue_script_for(seed, t, len)).collect();
+            Box::new(ExpRunner::new(pool, CombQueueSubject { q }, n, scripts))
+        }
         StructureKind::Queue => {
             pool.register_site_names(&tracking::sites::SITES);
             let q = RecoverableQueue::new(pool.clone(), 0);
             let scripts = (0..n).map(|t| queue_script_for(seed, t, len)).collect();
             Box::new(ExpRunner::new(pool, QueueSubject { q }, n, scripts))
+        }
+        StructureKind::Stack if cfg.algo == AlgoKind::TrackingComb => {
+            pool.register_site_names(&tracking::sites::SITES);
+            let s = tracking::CombiningStack::new(pool.clone(), 0, n);
+            let scripts = (0..n).map(|t| stack_script_for(seed, t, len)).collect();
+            Box::new(ExpRunner::new(pool, CombStackSubject { s }, n, scripts))
         }
         StructureKind::Stack => {
             pool.register_site_names(&tracking::sites::SITES);
@@ -1178,6 +1191,43 @@ mod tests {
             "identical cfg must replay identical schedules"
         );
         assert_eq!(a.total_events, b.total_events);
+    }
+
+    #[test]
+    fn combining_queue_and_stack_schedules_linearize() {
+        // Linearizability spot-check for the flat-combining variants: the
+        // combiner applies announced ops in thread order within a round, so
+        // every interleaving the explorer drives must still produce a history
+        // the sequential oracle accepts. Crash injection exercises the
+        // announcement/RD_q recovery path under adversarial persistence.
+        for kind in [StructureKind::Queue, StructureKind::Stack] {
+            let mut cfg = ExploreCfg::new(kind, AlgoKind::TrackingComb);
+            cfg.pool_bytes = 8 << 20;
+            cfg.ops_per_thread = 3;
+            cfg.schedules = 2;
+            cfg.crash = CrashMode::Sampled { per_schedule: 2 };
+            let r = run_explore(&cfg);
+            assert!(r.ok(), "{kind:?} violations: {:?}", r.violations);
+            assert!(r.crash_runs > 0, "{kind:?} sampled mode must inject crashes");
+        }
+    }
+
+    #[test]
+    fn stack_stale_gather_schedule_linearizes() {
+        // Regression for a lost push: the stack gather read `top_word`,
+        // then the top node's info, with no re-read of `top_cell`. A PCT
+        // schedule that preempts a pusher between the two loads while the
+        // other thread pushes over (and thereby re-versions) the gathered
+        // node made the stale tagging CAS succeed, the update CAS fail
+        // silently, and the push report success without installing its
+        // node. This is the exact explorer configuration that caught it
+        // (pct, default seed, schedule 2, no crashes).
+        let mut cfg = ExploreCfg::new(StructureKind::Stack, AlgoKind::Tracking);
+        cfg.pool_bytes = 8 << 20;
+        cfg.strategies = vec![StrategyKind::Pct];
+        cfg.crash = CrashMode::Off;
+        let r = run_explore(&cfg);
+        assert!(r.ok(), "violations: {:?}", r.violations);
     }
 
     #[test]

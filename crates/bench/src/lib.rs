@@ -10,6 +10,11 @@
 //!   Capsules-Opt, Romulus, RedoOpt);
 //! * [`workload`] — the timed multi-thread throughput runner with
 //!   persistence-instruction accounting;
+//! * [`parallel`] / `bin/throughput` — the genuinely parallel throughput
+//!   engine: N real OS threads over sharded queue/stack roots (plain
+//!   Tracking and flat-combining variants) with per-thread
+//!   [`pmem::SubArena`] allocation, emitting `bench-throughput/v1` JSON
+//!   and the baseline's `thread_sweep` series;
 //! * [`figures`] — drivers that reproduce each figure's measurement
 //!   protocol, including the paper's pwb-categorization methodology
 //!   (persistence-free baseline → single-site impact → L/M/H classes →
@@ -47,10 +52,12 @@ pub mod baseline;
 pub mod csv;
 pub mod explore;
 pub mod figures;
+pub mod parallel;
 pub mod sweep;
 pub mod workload;
 
 pub use adapter::{build, AlgoKind, SetAlgo, StructureKind};
 pub use explore::{run_explore, CrashMode, ExploreCfg, ExploreReport, StrategyKind};
+pub use parallel::{run_parallel, run_thread_sweep, ParSubject, ParallelCfg, ParallelResult};
 pub use sweep::{run_palloc_sweep, run_sweep, SweepCfg, SweepReport};
 pub use workload::{run, Mix, RunCfg, RunResult};

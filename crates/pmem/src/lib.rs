@@ -106,6 +106,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod arena;
 pub mod crash;
 mod epoch;
 pub mod lint;
@@ -119,6 +120,7 @@ pub mod thread;
 pub mod trace;
 
 pub use addr::{is_tagged, tagged, untagged, PAddr, WORDS_PER_LINE};
+pub use arena::{install_thread_arena, uninstall_thread_arena, SubArena, DEFAULT_CHUNK_LINES};
 pub use crash::{run_crashable, CrashCtl, CrashPoint};
 pub use lint::{Diagnostic, LintKind, LintReport};
 pub use palloc::{MAX_CLASS, PALLOC_SITES};

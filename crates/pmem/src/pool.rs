@@ -311,7 +311,23 @@ impl PmemPool {
     /// address is ever handed out). The bump pointer lives outside pmem but
     /// is monotone, which is equivalent to persisting the watermark on
     /// every allocation.
+    ///
+    /// When the calling thread has a [`crate::arena::SubArena`] installed
+    /// for this pool ([`crate::arena::install_thread_arena`]), the request
+    /// is served from the thread's private chunk instead, and the global
+    /// cursor is only touched on chunk refills. Arena chunks are carved
+    /// from this same cursor, so the never-issued-twice property is
+    /// unchanged (see the `arena` module docs).
     pub fn try_alloc_lines(&self, nlines: usize) -> Option<PAddr> {
+        if let Some(served) = crate::arena::thread_arena_alloc(self, nlines) {
+            return served;
+        }
+        self.try_alloc_lines_global(nlines)
+    }
+
+    /// The shared bump path: CAS-advances the global cursor. Arena refills
+    /// come here directly so a refill is never re-routed to the arena.
+    pub(crate) fn try_alloc_lines_global(&self, nlines: usize) -> Option<PAddr> {
         let need = nlines * WORDS_PER_LINE;
         let mut cur = self.next.load(Ordering::Relaxed);
         loop {
@@ -1259,6 +1275,34 @@ impl PoolSnapshot {
         self.words.len() * 8
             + self.persisted.as_ref().map_or(0, |p| p.len() * 8)
             + self.pending.len() * (8 + std::mem::size_of::<LineSnap>())
+    }
+
+    /// Allocation watermark (in words) at capture time. Words at or past
+    /// the watermark were not yet allocated when the snapshot was taken.
+    pub fn watermark(&self) -> usize {
+        self.next
+    }
+
+    /// The captured *volatile* image of word `w`, or `None` past the
+    /// watermark. Forensic introspection for crash-state debugging.
+    pub fn word(&self, w: usize) -> Option<u64> {
+        self.words.get(w).copied()
+    }
+
+    /// The captured shadow *persisted* image of word `w` (`None` for
+    /// non-shadow pools or past the watermark). Forensic introspection.
+    pub fn persisted_word(&self, w: usize) -> Option<u64> {
+        self.persisted.as_ref().and_then(|p| p.get(w).copied())
+    }
+
+    /// The captured *pending* `pwb` snapshot covering word `w`, if its
+    /// cache line had one in flight. Forensic introspection.
+    pub fn pending_word(&self, w: usize) -> Option<u64> {
+        let line = w / WORDS_PER_LINE;
+        self.pending
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, snap)| snap[w % WORDS_PER_LINE])
     }
 }
 

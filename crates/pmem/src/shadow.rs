@@ -135,10 +135,20 @@ impl ShadowMem {
     }
 
     /// Records a `pwb` of `line`: snapshots the current volatile content.
+    ///
+    /// The snapshot is read *while holding* the pending lock, never before.
+    /// `psync` drains the map under the same lock, so every committed
+    /// snapshot reflects the line at insert time and per-word persisted
+    /// images only move forward. If the snapshot were read first, a thread
+    /// descheduled between the read and the insert could publish an
+    /// arbitrarily old image, and the next `psync` would commit it —
+    /// rolling the persisted image *backward* past durably-committed
+    /// updates, something no real write-back can do.
     pub(crate) fn pwb(&self, volatile: &[AtomicU64], line: usize) {
         let base = line * WORDS_PER_LINE;
+        let mut pend = lock_pending(&self.pending);
         let snap: LineSnap = std::array::from_fn(|i| volatile[base + i].load(Ordering::Acquire));
-        lock_pending(&self.pending).insert(line, snap);
+        pend.insert(line, snap);
     }
 
     /// Commits every pending snapshot to the persisted image (`psync`).

@@ -99,6 +99,19 @@ impl ThreadCtx {
         self.pool.store(self.rd, v);
     }
 
+    /// Address of the `i`-th spare word of this thread's recovery line
+    /// (the six words after `CP_q` and `RD_q`, otherwise padding against
+    /// false sharing). Algorithms that need a small per-operation
+    /// announcement to be crash-atomic *with* `RD_q` store it here: a
+    /// cache line resolves all-or-nothing at a crash, so the announcement
+    /// and the recovery reference can never tear apart (used by the
+    /// combining variants in the `tracking` crate).
+    #[inline]
+    pub fn aux_addr(&self, i: usize) -> PAddr {
+        assert!(i < 6, "recovery line has six spare words");
+        self.cp.add(2 + i as u64)
+    }
+
     /// Allocates `nlines` zeroed cache lines under this thread's identity,
     /// recycling retired blocks when the pool was built with
     /// [`crate::PoolCfg::reclaim`] (see [`crate::palloc`]); identical to

@@ -11,6 +11,11 @@
 //! 3. **Line granularity**: resolution never tears below the tracked
 //!    granularity — a surviving value for word `w` was `w`'s value at some
 //!    pwb/psync/crash boundary.
+//! 4. **Forward-only persistence**: under concurrency, a word's persisted
+//!    image never moves backward past a durably-committed value — once a
+//!    thread's `pwb`+`psync` has returned, no later `psync` (draining
+//!    another thread's snapshot) may regress the image below what that
+//!    thread persisted.
 //!
 //! Sequences are drawn from a seeded xorshift64* generator (the workspace
 //! builds offline, so no proptest): every case is reproducible from the
@@ -186,5 +191,66 @@ fn double_crash_is_idempotent_under_pessimist() {
             first, second,
             "case {case} (seed {seed:#x}): a second crash changed settled state"
         );
+    }
+}
+
+/// Law 4: the persisted image of a word never regresses behind a value a
+/// thread has durably committed.
+///
+/// Four threads race to raise one cell (CAS-max, so the volatile cell is
+/// monotone), each raise followed by `pwb` + `psync`. The moment a
+/// thread's `psync` returns, its value is durable: the snapshot it
+/// inserted covered the cell at (or past) that value, and any snapshot
+/// that replaces it in the pending map was taken later under the same
+/// lock, hence covers a same-or-newer cell. The persisted image must
+/// therefore read at-or-past the thread's value — forever.
+///
+/// This is a regression test for a real bug: `ShadowMem::pwb` used to read
+/// the line snapshot *before* taking the pending lock, so a descheduled
+/// thread could publish an arbitrarily stale snapshot which the next
+/// `psync` then committed, rolling the persisted image backward past
+/// thousands of completed, durably-acknowledged operations. (The failure
+/// is a thread-timing race, so this test is probabilistic — it cannot
+/// catch every regression on every run — but the storm tests in the
+/// `integration-tests` crate hit the same law from above.)
+#[test]
+fn persisted_image_never_regresses_under_concurrency() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const THREADS: usize = 4;
+    const ITERS: u64 = 8_000;
+
+    let pool = Arc::new(PmemPool::new(PoolCfg::model(1 << 20)));
+    let cell = pool.alloc_lines(1);
+    let ticket = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            let ticket = Arc::clone(&ticket);
+            std::thread::spawn(move || {
+                for _ in 0..ITERS {
+                    let v = ticket.fetch_add(1, Ordering::Relaxed) + 1;
+                    // CAS-max: never lower the cell, so its history is monotone.
+                    loop {
+                        let cur = pool.load(cell);
+                        if cur >= v || pool.cas(cell, cur, v).is_ok() {
+                            break;
+                        }
+                    }
+                    pool.pwb(cell, SiteId(0));
+                    pool.psync();
+                    let persisted = pool.persisted_load(cell);
+                    assert!(
+                        persisted >= v,
+                        "persisted image regressed: committed {v} but later read {persisted}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
     }
 }

@@ -91,6 +91,19 @@ pub fn help(pool: &PmemPool, desc: Desc) {
         let _ = pool.cas(w.field, w.old, w.new); // idempotent: failure means done
         pool.pwb(w.field, S_UPDATE);
     }
+    // The psync below must come *before* the result store, not be merged
+    // into the result phase's psync. Crash lines resolve independently: if
+    // the result store were issued first, a crash in the window could keep
+    // the result (volatile image) while reverting the updated field
+    // (persisted image). Recovery would then trust a non-⊥ result for an
+    // operation whose structural effect was undone — losing the value — or,
+    // worse, resurrect a reachable node still tagged by this completed
+    // descriptor whose update CAS can no longer match, wedging every later
+    // traversal in a help loop. Syncing here guarantees: result ≠ ⊥ in any
+    // crash resolution ⇒ every WriteSet field is durably at (or past) `new`.
+    // Note every helper pwbs each field even when its CAS fails, so whichever
+    // helper reaches the result store has itself persisted the updates.
+    pool.psync();
 
     // ---- Result (lines 52–53) ----
     desc.set_result(pool, desc.success_result(pool));
@@ -370,6 +383,65 @@ mod tests {
             assert_eq!(p.load(info), d.untagged(), "crash_at={crash_at}");
             if done {
                 break; // the whole help() ran without crashing: sweep complete
+            }
+        }
+    }
+
+    #[test]
+    fn result_implies_update_under_mixed_crash_resolutions() {
+        // Regression for a lost-suffix / recovery-livelock bug: the update
+        // phase must psync before the result store. The seeded adversary
+        // resolves each unflushed line independently, so without that sync a
+        // crash between the result store and the result psync could keep the
+        // result (volatile image of its line) while reverting the WriteSet
+        // field (persisted image of its line). Recovery then trusts a non-⊥
+        // result for an operation whose effect was undone. Sweep every crash
+        // point under several seeds and assert the detectability invariant:
+        // a non-⊥ result implies the update is durably applied.
+        use pmem::SeededAdversary;
+        for seed in [1u64, 0x9E37_79B9, 104729, 0xDEAD_BEE5, 777] {
+            let p = pool();
+            for crash_at in 0.. {
+                let nd = node(&p, 5);
+                let info = nd.add(2);
+                p.pwb(nd, pmem::SiteId(1));
+                p.psync();
+                let d = Desc::alloc(&p);
+                d.init(
+                    &p,
+                    1,
+                    enc_bool(true),
+                    &[AffectEntry {
+                        info_addr: info,
+                        observed: 0,
+                        untag_on_cleanup: true,
+                    }],
+                    &[WriteEntry {
+                        field: nd,
+                        old: 5,
+                        new: 9,
+                    }],
+                    &[],
+                );
+                d.pbarrier(&p, pmem::SiteId(0));
+                p.crash_ctl().arm_after(crash_at);
+                let done = pmem::run_crashable(|| help(&p, d)).is_some();
+                p.crash(&mut SeededAdversary::new(seed ^ crash_at));
+                if d.result(&p) != BOTTOM {
+                    assert_eq!(
+                        p.load(nd),
+                        9,
+                        "seed={seed} crash_at={crash_at}: non-⊥ result with unapplied update"
+                    );
+                }
+                // Re-help must always converge to the final state.
+                help(&p, d);
+                assert_eq!(p.load(nd), 9, "seed={seed} crash_at={crash_at}");
+                assert_eq!(d.result(&p), TRUE, "seed={seed} crash_at={crash_at}");
+                assert_eq!(p.load(info), d.untagged(), "seed={seed} crash_at={crash_at}");
+                if done {
+                    break;
+                }
             }
         }
     }

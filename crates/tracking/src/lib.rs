@@ -44,6 +44,11 @@
 //!   queue, an extra structure demonstrating the approach's generality.
 //! * [`stack::RecoverableStack`] — a detectably recoverable Treiber-style
 //!   LIFO stack (same engine, fourth shape).
+//! * [`combining::CombiningQueue`] / [`combining::CombiningStack`] —
+//!   detectable flat-combining variants of the queue and stack: one
+//!   combiner applies a whole batch of announced operations and pays a
+//!   single coalesced `pwb`/`psync` bill for the round (the PBComb-style
+//!   alternative the paper's related work contrasts with).
 //! * Per-operation recovery functions (`recover_insert`, …) implementing
 //!   the paper's `Op.Recover` (Algorithm 1 lines 27–31).
 //!
@@ -60,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod bst;
+pub mod combining;
 pub mod descriptor;
 pub mod exchanger;
 pub mod help;
@@ -70,6 +76,7 @@ pub mod sites;
 pub mod stack;
 
 pub use bst::RecoverableBst;
+pub use combining::{CombiningQueue, CombiningStack};
 pub use exchanger::RecoverableExchanger;
 pub use list::RecoverableList;
 pub use queue::RecoverableQueue;

@@ -39,9 +39,17 @@ pub const S_PARTNER: SiteId = SiteId(9);
 /// Izraelevitz-style `pwb; pfence` after every shared read of the gather
 /// phase — the placement the paper's approach deliberately avoids.
 pub const S_TRAVERSE: SiteId = SiteId(10);
+/// Combining variants ([`crate::combining`]): `pwb` of a thread's announced
+/// operation (its recovery line, one line, one `psync`).
+pub const S_ANNOUNCE: SiteId = SiteId(11);
+/// Combining variants: the combiner's coalesced `pwb` batch over a round's
+/// fresh nodes and round record.
+pub const S_COMB_ROUND: SiteId = SiteId(12);
+/// Combining variants: `pwb` of the structure header publishing a round.
+pub const S_COMB_PUBLISH: SiteId = SiteId(13);
 
 /// All Tracking sites with human-readable names, for harness reports.
-pub const SITES: [(SiteId, &str); 11] = [
+pub const SITES: [(SiteId, &str); 14] = [
     (S_CP, "cp"),
     (S_RD, "rd"),
     (S_DESC, "desc"),
@@ -53,6 +61,9 @@ pub const SITES: [(SiteId, &str); 11] = [
     (S_CLEANUP, "cleanup-info"),
     (S_PARTNER, "partner"),
     (S_TRAVERSE, "traverse(ablation)"),
+    (S_ANNOUNCE, "comb-announce"),
+    (S_COMB_ROUND, "comb-round"),
+    (S_COMB_PUBLISH, "comb-publish"),
 ];
 
 /// Human-readable name of a Tracking site (or `"?"`).

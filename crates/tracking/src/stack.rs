@@ -19,15 +19,67 @@
 //!   pool recycled only across an epoch quiescence that no window spans;
 //!   popped nodes are retired to `pmem::palloc` limbo).
 //!
-//! The `top` cell's CAS is ABA-free for the same reason as everywhere else
-//! in this repository: node addresses are never reused within an operation
-//! window, so `top` cannot return to an expected value behind a gathering
-//! thread's back... with one subtlety: `top` can
-//! return to the *sentinel* many times. That is harmless: the sentinel's
-//! AffectSet entry carries its gathered `info` version stamp, and every
-//! push/pop that touches the sentinel bumps it (cleanup leaves
-//! `untagged(desc)` behind), so a stale WriteSet expecting an old
-//! sentinel-epoch fails its *tagging* phase before any top CAS runs.
+//! ## Why `top` stores a *stamped* pointer
+//!
+//! The `top` cell does not hold a bare node address: it holds
+//! `node | (desc << STAMP_SHIFT)` where `desc` is the address of the
+//! descriptor whose WriteSet installed the value. The stamp closes a real
+//! linearizability hole that a bare-pointer Treiber top has under the
+//! generic help engine — the **stale-helper CAS**:
+//!
+//! 1. Helper H observes node `T` tagged by push-descriptor `d`
+//!    (installing `X` over `T`) and enters `help(d)`'s update phase.
+//! 2. H stalls (OS preemption). The owner completes `d`, cleanup untags
+//!    `T`; later `X` is popped; later still the stack shrinks until `T`
+//!    is top again — a *bare* `top` now holds exactly the value H's
+//!    update CAS expects.
+//! 3. H wakes and its `CAS(top, T, X)` succeeds, reinstalling the
+//!    long-popped `X`. The reinstall self-heals (X is still tagged by
+//!    its pop descriptor, so the next arriving operation re-helps that
+//!    pop and removes it), **but** any legitimate update CAS racing the
+//!    rogue one fails and is ignored as "already applied" — silently
+//!    losing a concurrent completed push. (The rare
+//!    `stack_survives_crash_storms_exactly_once` failures that prompted
+//!    this audit turned out to have two further, independent causes:
+//!    the help engine's update phase was not psynced before the result
+//!    store, so a crash could keep an operation's result while reverting
+//!    its `top` update — see the update-phase comment in `help.rs` — and
+//!    the shadow crash model itself could commit a stale line snapshot
+//!    taken by a long-descheduled thread, rolling `top`'s persisted image
+//!    back past thousands of completed pops — see `ShadowMem::pwb`.)
+//!
+//! Note that the *tagging* phase cannot prevent this: H legitimately saw
+//! the tag while it was in place; nothing re-validates between that
+//! observation and H's update CAS, and no recheck can (TOCTOU). What
+//! does close it is making `top`'s *value* unrepeatable: descriptors are
+//! allocated from a bump path and never recycled, so each
+//! `(node, installing-desc)` pair appears in `top` at most once in the
+//! pool's entire history. By induction no update CAS can succeed twice
+//! — a value can only recur in `top` via an earlier successful rogue
+//! CAS, and there is no first one. The queue needs no stamp on its
+//! `L.next` WriteSet fields (written exactly once, never reset), but its
+//! `head` cell shares the hazard on reclaim pools; see DESIGN.md.
+//!
+//! Only the `top` cell is stamped. Node `next` fields still hold bare
+//! node addresses, and readers mask with [`node_of`] before dereferencing.
+//!
+//! ## Why the gather re-reads `top` after the info load
+//!
+//! The stack gathers in the order *protected field first, stamp second*
+//! (`top_word`, then the top node's `info`) — the reverse of the list and
+//! BST, whose traversals read each node's `info` before the child/next
+//! pointer it protects. The reversed order opens a window the tag cannot
+//! see: if `top` moves between the two loads (a push buries the gathered
+//! node and untags it to a fresh version), the info read returns the
+//! *current* stamp, the tagging CAS succeeds on a node that is no longer
+//! top, and the update CAS on `top` fails and is ignored as "already
+//! applied" — recording a success that never took structural effect (a
+//! lost push, or a duplicated pop leaving a reachable node tagged
+//! forever). Both gathers therefore re-read `top_cell` after the info
+//! load and retry on mismatch; past that point any movement of `top`
+//! must first tag the gathered node, which the tagging CAS detects. The
+//! queue and exchanger need no such re-read: their displaced nodes keep
+//! their tag forever, so a stale gather always lands on a tagged node.
 
 use std::sync::Arc;
 
@@ -51,6 +103,27 @@ const N_SENTINEL: u64 = 3;
 
 /// Largest pushable value (room for the result encoding).
 pub const VALUE_MAX: u64 = u64::MAX - 4;
+
+/// Bit position of the installing-descriptor stamp inside the `top` word
+/// (see module docs). Node and descriptor addresses are word indices and
+/// must each fit below this shift, which holds for pools up to 32 GiB.
+pub const STAMP_SHIFT: u32 = 32;
+
+const ADDR_MASK: u64 = (1 << STAMP_SHIFT) - 1;
+
+/// Extracts the node address from a stamped `top` word.
+#[inline]
+pub fn node_of(top_word: u64) -> PAddr {
+    PAddr::from_raw(top_word & ADDR_MASK)
+}
+
+/// Builds the stamped `top` word installing `node` on behalf of `desc`.
+#[inline]
+fn stamped(node: PAddr, desc: Desc) -> u64 {
+    let d = desc.addr().raw();
+    debug_assert!(node.raw() <= ADDR_MASK && d <= ADDR_MASK, "pool too large for top stamps");
+    node.raw() | (d << STAMP_SHIFT)
+}
 
 /// The detectably recoverable LIFO stack.
 #[derive(Clone)]
@@ -102,16 +175,29 @@ impl RecoverableStack {
         pool.store(new.add(N_VALUE), value);
         self.prologue(ctx);
         loop {
-            // Gather: the current top node and its info version stamp.
-            let top_raw = pool.load(self.top_cell);
-            let top = PAddr::from_raw(top_raw);
+            // Gather: the current (stamped) top word and the top node's
+            // info version stamp.
+            let top_word = pool.load(self.top_cell);
+            let top = node_of(top_word);
             let info = pool.load(top.add(N_INFO));
             if is_tagged(info) {
                 help(pool, Desc::from_raw(info));
                 continue;
             }
+            // Validate that `top` is still the top *after* the info read.
+            // `top_word` was read before `info`: if `top` moved between the
+            // two loads (a push buried this node and untagged it to a fresh
+            // version), the gathered info is current and the tagging CAS
+            // would succeed — yet the update CAS on `top` would fail against
+            // the moved word and be ignored, recording a success for a node
+            // that was never installed. The re-read closes the window: once
+            // `top_cell` still holds `top_word` here, any later movement
+            // must first tag this node, which the tagging CAS detects.
+            if pool.load(self.top_cell) != top_word {
+                continue;
+            }
             let desc = Desc::alloc(pool);
-            pool.store(new.add(N_NEXT), top_raw);
+            pool.store(new.add(N_NEXT), top.raw());
             pool.store(new.add(N_INFO), desc.tagged());
             desc.init(
                 pool,
@@ -124,8 +210,8 @@ impl RecoverableStack {
                 }],
                 &[WriteEntry {
                     field: self.top_cell,
-                    old: top_raw,
-                    new: new.raw(),
+                    old: top_word,
+                    new: stamped(new, desc),
                 }],
                 &[new.add(N_INFO)],
             );
@@ -167,18 +253,28 @@ impl RecoverableStack {
         let pool = &*self.pool;
         self.prologue(ctx);
         loop {
-            let top_raw = pool.load(self.top_cell);
-            let top = PAddr::from_raw(top_raw);
+            let top_word = pool.load(self.top_cell);
+            let top = node_of(top_word);
             let info = pool.load(top.add(N_INFO));
             if is_tagged(info) {
                 help(pool, Desc::from_raw(info));
                 continue;
             }
+            // Same stale-gather window as in `push_started`: without this
+            // re-read, a pop whose `top_word` predates the info read could
+            // tag a buried node, have its update CAS fail silently, and
+            // report that node's value popped — a duplicate, with the node
+            // left reachable and tagged forever (a help livelock for every
+            // later traversal).
+            if pool.load(self.top_cell) != top_word {
+                continue;
+            }
             let desc = Desc::alloc(pool);
             if pool.load(top.add(N_SENTINEL)) == 1 {
-                // Read-only empty outcome, validated against the version
-                // stamp still being in place (top may have moved).
-                if pool.load(self.top_cell) != top_raw || pool.load(top.add(N_INFO)) != info {
+                // Read-only empty outcome, validated against the stamped
+                // top word and the info version stamp still being in place
+                // (top may have moved).
+                if pool.load(self.top_cell) != top_word || pool.load(top.add(N_INFO)) != info {
                     continue;
                 }
                 desc.init(
@@ -213,8 +309,8 @@ impl RecoverableStack {
                 }],
                 &[WriteEntry {
                     field: self.top_cell,
-                    old: top_raw,
-                    new: next,
+                    old: top_word,
+                    new: stamped(PAddr::from_raw(next), desc),
                 }],
                 &[],
             );
@@ -259,7 +355,7 @@ impl RecoverableStack {
     pub fn values(&self) -> Vec<u64> {
         let pool = &*self.pool;
         let mut out = Vec::new();
-        let mut nd = PAddr::from_raw(pool.load(self.top_cell));
+        let mut nd = node_of(pool.load(self.top_cell));
         while pool.load(nd.add(N_SENTINEL)) != 1 {
             out.push(pool.load(nd.add(N_VALUE)));
             nd = PAddr::from_raw(pool.load(nd.add(N_NEXT)));
@@ -274,7 +370,7 @@ impl RecoverableStack {
 
     /// Is the stack empty (quiescent only)?
     pub fn is_empty(&self) -> bool {
-        let top = PAddr::from_raw(self.pool.load(self.top_cell));
+        let top = node_of(self.pool.load(self.top_cell));
         self.pool.load(top.add(N_SENTINEL)) == 1
     }
 }

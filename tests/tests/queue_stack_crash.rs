@@ -170,6 +170,7 @@ fn stack_survives_crash_storms_exactly_once() {
             .into_iter()
             .map(|h| h.join().expect("worker died"))
             .collect();
+        pool.crash_ctl().disarm();
         pool.crash(&mut SeededAdversary::new(((round as u64 + 1) * 104729) | 1));
         for (ctx, pending) in &outcomes {
             match *pending {

@@ -34,7 +34,7 @@ fn tracking_list_event_count_is_pinned() {
     cfg.sample = 0.0;
     let report = run_sweep(&cfg);
     assert_eq!(
-        report.total_events, 316,
+        report.total_events, 319,
         "Tracking list persistence-event count changed: the paper's \
          persistence-instruction placement moved (or the script generator \
          changed). If intentional, update this pin."
@@ -49,7 +49,7 @@ fn tracking_queue_pin_and_sampled_sweep_is_clean() {
     let mut cfg = pinned_cfg(StructureKind::Queue, AlgoKind::Tracking);
     cfg.sample = 0.2;
     let report = run_sweep(&cfg);
-    assert_eq!(report.total_events, 296, "Tracking queue event count moved");
+    assert_eq!(report.total_events, 300, "Tracking queue event count moved");
     assert!(report.points_run > 0, "0.2 sample selected nothing");
     assert!(
         report.ok(),
@@ -96,15 +96,15 @@ fn masked_site_event_totals_are_pinned() {
     let mut cfg = pinned_cfg(StructureKind::List, AlgoKind::Tracking);
     cfg.sample = 0.0; // count only
     let full = run_sweep(&cfg);
-    assert_eq!(full.total_events, 316, "unmasked pin moved");
+    assert_eq!(full.total_events, 319, "unmasked pin moved");
 
     cfg.site_mask = !(1 << tracking::sites::S_CP.0);
     let masked = run_sweep(&cfg);
-    assert_eq!(masked.total_events, 305, "masked S_CP pin moved");
+    assert_eq!(masked.total_events, 308, "masked S_CP pin moved");
 
     cfg.site_mask = !(1 << tracking::sites::S_RESULT.0);
     let masked = run_sweep(&cfg);
-    assert_eq!(masked.total_events, 313, "masked S_RESULT pin moved");
+    assert_eq!(masked.total_events, 316, "masked S_RESULT pin moved");
 }
 
 /// A masked site is invisible at the substrate level, not just in sweep
