@@ -116,21 +116,25 @@ impl AlgoKind {
     /// Can this implementation run under the cooperative schedule explorer
     /// (`bench::explore`), which parks every virtual thread except one?
     ///
-    /// `false` only for Romulus, on two counts: its writer side takes an OS
-    /// mutex (a parked lock holder deadlocks every other writer the
-    /// scheduler grants), and its reader side spins on the volatile seqlock
-    /// version word — not a pool access, so the spin contains no yield point
-    /// and the granted reader livelocks waiting for a parked writer. Both
-    /// are inherent to its blocking design, not bugs; the explorer simply
-    /// requires obstruction-free progress, which every other competitor has.
+    /// `true` for everything. The lock-free competitors qualify outright:
+    /// the granted thread finishes its operation in finitely many
+    /// instrumented events no matter who stays parked. Romulus — the one
+    /// blocking design — qualifies through the *spin channel*
+    /// ([`pmem::yield_spin`]): its writer-mutex wait and its seqlock
+    /// reader spin both hand the explorer's turn back on every wait-loop
+    /// iteration, so the lock holder (or active writer) can be scheduled
+    /// to completion instead of deadlocking the turn protocol. Spin
+    /// yields are not pool events: they advance neither the event count
+    /// nor the crash countdown, keeping crash-point indexing identical
+    /// between a count run and its replays.
     ///
-    /// The combining variant *is* schedulable even though a waiter spins:
-    /// it spins on instrumented pool loads (the request/ready words and
-    /// the combiner lock), so every wait-loop iteration is a yield point,
-    /// and a parked combiner's lock is observably free — any granted
-    /// waiter takes over as combiner rather than livelocking.
+    /// The combining variant never needed the spin channel: it waits on
+    /// instrumented pool loads (the request/ready words and the combiner
+    /// lock), so every wait-loop iteration is already a yield point, and
+    /// a parked combiner's lock is observably free — any granted waiter
+    /// takes over as combiner rather than livelocking.
     pub fn schedulable(self) -> bool {
-        !matches!(self, AlgoKind::Romulus)
+        true
     }
 }
 

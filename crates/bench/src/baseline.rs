@@ -452,6 +452,20 @@ fn bench_overhead(iters: u64) -> OverheadRow {
     }
 }
 
+/// Available parallelism of the host, sampled now (not cached): the value
+/// recorded in emitted reports must describe the machine *at emit time*,
+/// e.g. after the runner shrank a cpuset mid-session.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Does a sweep over `threads_list` oversubscribe this host? When true, the
+/// multi-thread sweep points measure scheduler time-slicing, not contention,
+/// and must not be compared against points captured on a wider machine.
+pub fn degraded_parallelism(threads_list: &[usize]) -> bool {
+    threads_list.iter().copied().max().unwrap_or(0) > host_cpus()
+}
+
 /// Runs every baseline bench per `cfg`.
 pub fn run_baseline(cfg: &BaselineCfg) -> BaselineReport {
     let mut rows = Vec::new();
@@ -468,6 +482,15 @@ pub fn run_baseline(cfg: &BaselineCfg) -> BaselineReport {
         rows.push(bench_structure(structure, cfg.ops));
     }
     rows.extend(bench_palloc(cfg.ops));
+    if degraded_parallelism(&cfg.sweep_threads) {
+        eprintln!(
+            "WARNING: thread sweep requests up to {} threads but the host exposes \
+             only {} CPU(s); multi-thread points measure time-slicing, not \
+             contention. The report will carry \"degraded_parallelism\": true.",
+            cfg.sweep_threads.iter().max().unwrap_or(&0),
+            host_cpus(),
+        );
+    }
     let thread_sweep = run_thread_sweep(
         &ParSubject::all(),
         &cfg.sweep_threads,
@@ -504,9 +527,10 @@ impl BaselineReport {
         out.push_str(&format!("  \"label\": \"{}\",\n", self.cfg.label));
         out.push_str(&format!("  \"created_unix\": {},\n", self.created_unix));
         out.push_str(&format!("  \"ops_per_bench\": {},\n", self.cfg.ops));
+        out.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
         out.push_str(&format!(
-            "  \"host_cpus\": {},\n",
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            "  \"degraded_parallelism\": {},\n",
+            degraded_parallelism(&self.cfg.sweep_threads)
         ));
         out.push_str("  \"benches\": [\n");
         for (i, r) in self.rows.iter().enumerate() {

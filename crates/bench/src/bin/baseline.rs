@@ -5,8 +5,10 @@
 //!   --smoke            CI tier: ~20x fewer iterations per bench
 //!   --label L          report label and default file stem (default pr4)
 //!   --out PATH         output JSON path (default BENCH_<label>.json)
-//!   --prev PATH        earlier BENCH_*.json to compare the overhead
-//!                      benchmark's off-cost against
+//!   --prev PATH        earlier BENCH_*.json to compare against: trend
+//!                      lines for off-cost and the thread sweep (warn
+//!                      only), plus a hard gate on the observers-on/off
+//!                      ratio (exit 1 if it worsens by more than 15%)
 //!   --ops N            operations per micro-workload (overrides tier)
 //! ```
 //!
@@ -90,6 +92,32 @@ fn main() {
             if warnings > 0 {
                 println!("WARNING: {warnings} scaling regression(s) vs previous report");
             }
+        }
+    }
+
+    // Overhead-ratio regression gate. Unlike wall-clock throughput (which
+    // only warns above — shared hosts are noisy), the observers-on/off
+    // ratio divides two runs of the same loop on the same host in the same
+    // process, so host speed cancels out. A >15% worsening is a genuine
+    // fast-path regression, not noise: fail the run.
+    if let Some(doc) = &prev_doc {
+        match extract_number(doc, "ratio") {
+            Some(prev_ratio) if prev_ratio > 0.0 => {
+                let ratio = report.overhead.ratio;
+                let rel = ratio / prev_ratio - 1.0;
+                println!(
+                    "overhead ratio: {ratio:.2}x vs previous {prev_ratio:.2}x ({:+.1}%)",
+                    rel * 100.0
+                );
+                if rel > 0.15 {
+                    eprintln!(
+                        "FAIL: observer overhead ratio regressed by {:.1}% (> 15% gate)",
+                        rel * 100.0
+                    );
+                    std::process::exit(1);
+                }
+            }
+            _ => println!("(prev report has no overhead ratio; no ratio gate)"),
         }
     }
 

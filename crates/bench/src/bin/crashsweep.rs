@@ -18,6 +18,11 @@
 //!   --paranoia P           cross-check each replayed point with probability P:
 //!                          both engines re-run it traced and must agree on the
 //!                          verdict and the event stream (checkpoint engine only)
+//!   --multi-crash N        multi-crash tier: per first crash point, inject N
+//!                          second crashes *inside recovery* (deterministic
+//!                          points over recovery's own event count), re-run
+//!                          recovery after each, and apply the full verdict;
+//!                          CSVs gain a recrash_ prefix
 //!   --churn                allocator-churn mode: reclaim pools (structures
 //!                          retire removed nodes, boundaries drain limbo, every
 //!                          verdict audits the free lists), plus the allocator's
@@ -127,6 +132,10 @@ fn main() {
                     (0.0..=1.0).contains(&base.paranoia),
                     "paranoia must be in [0, 1]"
                 );
+            }
+            "--multi-crash" => {
+                i += 1;
+                base.multi_crash = args[i].parse().expect("bad multi-crash count");
             }
             "--churn" => churn = true,
             "--palloc" => palloc_only = true,

@@ -6,7 +6,8 @@
 //!   --structure list|bst|queue|stack|exchanger|all   shape(s) to explore (default all)
 //!   --algo tracking|capsules|...|all                 implementation(s) (default all =
 //!                                                    the shape's schedulable lineup;
-//!                                                    Romulus is excluded — blocking)
+//!                                                    Romulus spins via the scheduler's
+//!                                                    spin-yield channel)
 //!   --threads N            virtual threads per schedule (default 2)
 //!   --ops N                scripted operations per thread (default 4)
 //!   --schedules N          schedules per strategy (default 4)

@@ -102,6 +102,16 @@ fn main() {
     });
     let duration = Duration::from_millis(duration_ms.unwrap_or(if smoke { 40 } else { 200 }));
 
+    if bench::baseline::degraded_parallelism(&threads_list) {
+        eprintln!(
+            "WARNING: sweep requests up to {} threads but the host exposes only {} \
+             CPU(s); multi-thread points measure time-slicing, not contention. The \
+             report will carry \"degraded_parallelism\": true.",
+            threads_list.iter().max().unwrap_or(&0),
+            bench::baseline::host_cpus(),
+        );
+    }
+
     println!(
         "{:<16} {:>3} {:>3} {:>10} {:>12} {:>12} {:>8} {:>9}",
         "subject", "thr", "shd", "ops", "ops/sec", "ops/sec/thr", "pwb/op", "psync/op"
@@ -150,7 +160,10 @@ fn main() {
                 println!("{l}");
             }
             if warnings > 0 {
-                println!("WARNING: {warnings} scaling regression(s) vs {}", p.display());
+                println!(
+                    "WARNING: {warnings} scaling regression(s) vs {}",
+                    p.display()
+                );
             }
         }
     }

@@ -24,13 +24,17 @@
 //! schedule index)` — re-running the same triple replays the identical
 //! interleaving, which is what makes crash points addressable.
 //!
-//! Because the yield points are exactly the crash-countable events (the
-//! hook and [`pmem::CrashCtl`] tick ride the same slow path, in that
-//! order), the event index `k` of a schedule names both "the k-th
-//! scheduling decision" and "the k-th possible crash point": a crash-free
-//! run of a schedule counts its events `E`, and any `k < E` can then be
-//! armed with [`pmem::CrashCtl::arm_after`] to crash that same schedule at
-//! event `k`. The crash unwinds the unlucky worker, which broadcasts
+//! Because the yield points ride the same slow path as the
+//! [`pmem::CrashCtl`] tick (hook first, then tick), a crash-free run of a
+//! schedule counts its events `E`, and any `k < E` can then be armed with
+//! [`pmem::CrashCtl::arm_after`] to crash that same schedule
+//! deterministically. For the lock-free subjects event index and tick
+//! index coincide exactly; a blocking subject's wait loops (Romulus) add
+//! extra ticks between events, so `k` names "the k-th tick of this
+//! schedule's serial execution" — still a fixed, replayable point, since
+//! the wait-loop iteration counts are themselves deterministic under the
+//! turn protocol, and still dense in the schedule (`k < E ≤ total
+//! ticks`, so every armed crash fires). The crash unwinds the unlucky worker, which broadcasts
 //! ([`pmem::CrashCtl::raise`]) so every other worker crashes at its next
 //! event — a full-system power failure, as the paper models it. The driver
 //! then resolves the crash model, runs each crashed thread's `recover`
@@ -53,11 +57,21 @@
 //!   the bottom. Finds bugs that need long undisturbed runs punctuated
 //!   by a context switch at one precise spot.
 //!
-//! Progress: the structures under exploration are lock-free (Romulus is
-//! excluded — [`crate::adapter::AlgoKind::schedulable`]), so the granted
-//! thread always completes its operation in finitely many events even if
-//! every other thread stays parked; schedules therefore terminate. A fuel
-//! counter aborts the run loudly if that assumption is ever violated.
+//! Progress: the lock-free structures complete the granted thread's
+//! operation in finitely many events even if every other thread stays
+//! parked, so schedules terminate on events alone. Blocking subjects
+//! (Romulus: an OS writer mutex plus seqlock reader spins) additionally
+//! route their busy-wait loops through the *spin channel*
+//! ([`pmem::set_spin_hook`] / [`pmem::yield_spin`]): a waiter that cannot
+//! proceed hands the turn back via `Sched::spin_point`, which — unlike a
+//! yield point — does **not** advance the event count or the crash
+//! countdown (wait-loop iteration counts are scheduling artifacts, and
+//! counting them would desynchronize crash-point indexing between a count
+//! run and its replays). Under PCT the spinner is demoted exactly like a
+//! change-point demotion, so the lock holder it waits on becomes the
+//! leader and runs to release. A fuel counter on events and a second one
+//! on spins abort the run loudly if either termination assumption is
+//! violated.
 //!
 //! The `explore` binary drives this engine over the structure × algorithm ×
 //! strategy matrix and writes one CSV per pair under `results/explore/`.
@@ -239,6 +253,23 @@ impl Strategy {
             }
         }
     }
+
+    /// Demotes thread `t` below every other priority. Only PCT carries
+    /// priorities; the memoryless strategies need no demotion for spin
+    /// progress (round-robin rotates past the spinner by construction,
+    /// random picks every live thread with positive probability). Called
+    /// from [`Sched::spin_point`] so a busy-waiting PCT leader stops being
+    /// re-picked forever while the thread it waits on stays parked.
+    fn demote(&mut self, t: usize) {
+        if let Strategy::Pct {
+            prio, floor, burst, ..
+        } = self
+        {
+            *floor -= 1;
+            prio[t] = *floor;
+            *burst = 0;
+        }
+    }
 }
 
 // ---------------------------------------------------------------- scheduler
@@ -253,8 +284,14 @@ struct SchedSt {
     alive: Vec<bool>,
     live: usize,
     /// Events executed so far (== crash-countdown ticks in a crash-free
-    /// run: the hook and the tick ride the same instrumented slow path).
+    /// run of a lock-free subject: the hook and the tick ride the same
+    /// instrumented slow path; blocking subjects add extra ticks from
+    /// their wait loops, which stay deterministic under the turn
+    /// protocol).
     events: u64,
+    /// Spin yields taken so far (see [`Sched::spin_point`]) — bounded by
+    /// its own backstop, never mixed into `events`.
+    spins: u64,
     fuel: u64,
     abort: bool,
     strategy: Strategy,
@@ -278,6 +315,7 @@ impl Sched {
                 alive: vec![true; n],
                 live: n,
                 events: 0,
+                spins: 0,
                 fuel,
                 abort: false,
                 strategy,
@@ -360,6 +398,57 @@ impl Sched {
                 "schedule explorer: fuel exhausted after {fuel} events — \
                  a subject violated the lock-free progress assumption"
             );
+        }
+    }
+
+    /// The *spin* point: called (via the thread's spin hook) from a
+    /// busy-wait loop in a blocking subject — the spinner cannot proceed
+    /// until another thread runs, so it releases the turn and blocks until
+    /// it is granted again. Crucially this is **not** an instrumented pool
+    /// event: `events` does not advance (a spin count is a scheduling
+    /// artifact; counting it would desynchronize crash-point indexing
+    /// between a count run and its crash replays) and the crash countdown
+    /// is not ticked here (the subject's wait loop ticks it itself, after
+    /// the yield, so a raised system-wide crash still stops the spinner).
+    ///
+    /// The spinner is demoted under PCT before the next pick — otherwise a
+    /// spinning leader is re-picked forever and the thread it waits on
+    /// never runs. A separate spin backstop aborts if the wait never
+    /// resolves (a genuine deadlock: with every worker either retired or
+    /// unable to release what the spinner waits on, no pick can help).
+    fn spin_point(&self, me: usize) {
+        let mut st = self.lock();
+        debug_assert_eq!(st.granted, me, "only the turn holder reaches a spin point");
+        st.spins += 1;
+        if st.spins >= st.fuel {
+            st.abort = true;
+            self.cv.notify_all();
+            let fuel = st.fuel;
+            drop(st);
+            panic!(
+                "schedule explorer: spin backstop exhausted after {fuel} spin yields — \
+                 a blocked subject never unblocked (deadlock under the explored schedule)"
+            );
+        }
+        let next = {
+            let st = &mut *st;
+            st.strategy.demote(me);
+            st.strategy.pick(&st.alive, st.events)
+        };
+        if next != me {
+            st.granted = next;
+            self.cv.notify_all();
+            while st.granted != me {
+                if st.abort {
+                    drop(st);
+                    panic!("schedule explorer aborted");
+                }
+                st = self.wait(st);
+            }
+        }
+        if st.abort {
+            drop(st);
+            panic!("schedule explorer aborted");
         }
     }
 
@@ -632,6 +721,8 @@ fn worker_body<Sub: CrashSubject>(
 ) -> WorkerOut<Sub::S> {
     let hook_sched = sched.clone();
     pmem::set_yield_hook(Box::new(move || hook_sched.yield_point(me)));
+    let spin_sched = sched.clone();
+    pmem::set_spin_hook(Box::new(move || spin_sched.spin_point(me)));
     sched.gate(me);
     let done: RefCell<Vec<CompletedOp<Sub::S>>> = RefCell::new(Vec::new());
     let cur = Cell::new(CrashedOp {
@@ -669,6 +760,7 @@ fn worker_body<Sub: CrashSubject>(
         })
     }));
     pmem::clear_yield_hook();
+    pmem::clear_spin_hook();
     // Any abnormal exit — the injected crash or a harvested panic — raises
     // the cascade: every other worker crashes at its next instrumented
     // event, so nobody waits forever on a turn this worker will never take.
@@ -1208,7 +1300,10 @@ mod tests {
             cfg.crash = CrashMode::Sampled { per_schedule: 2 };
             let r = run_explore(&cfg);
             assert!(r.ok(), "{kind:?} violations: {:?}", r.violations);
-            assert!(r.crash_runs > 0, "{kind:?} sampled mode must inject crashes");
+            assert!(
+                r.crash_runs > 0,
+                "{kind:?} sampled mode must inject crashes"
+            );
         }
     }
 
@@ -1341,10 +1436,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot run under the cooperative scheduler")]
-    fn romulus_is_rejected() {
-        let cfg = ExploreCfg::new(StructureKind::List, AlgoKind::Romulus);
-        run_explore(&cfg);
+    fn romulus_schedules_linearize_and_recover() {
+        // The one blocking subject: its writer mutex and seqlock reader
+        // spins go through the spin channel, so schedules terminate even
+        // though a parked writer blocks everyone else. Crash injection
+        // exercises the twin-region recovery (MUTATING restore / COPYING
+        // roll-forward) from genuinely concurrent interleavings, including
+        // crashes that land while another thread busy-waits on the lock.
+        let mut cfg = ExploreCfg::new(StructureKind::List, AlgoKind::Romulus);
+        cfg.pool_bytes = 8 << 20;
+        cfg.ops_per_thread = 3;
+        cfg.schedules = 2;
+        cfg.crash = CrashMode::Sampled { per_schedule: 2 };
+        let r = run_explore(&cfg);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert!(r.crash_runs > 0, "sampled mode must inject crashes");
+        // Determinism despite the extra spin traffic: identical cfg must
+        // replay identical schedules.
+        let again = run_explore(&cfg);
+        assert_eq!(r.csv.to_text(), again.csv.to_text());
     }
 
     #[test]

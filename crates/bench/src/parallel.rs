@@ -422,7 +422,11 @@ pub fn throughput_json(label: &str, threads_list: &[usize], points: &[SweepPoint
     out.push_str(&format!("  \"label\": \"{label}\",\n"));
     out.push_str(&format!(
         "  \"host_cpus\": {},\n",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        crate::baseline::host_cpus()
+    ));
+    out.push_str(&format!(
+        "  \"degraded_parallelism\": {},\n",
+        crate::baseline::degraded_parallelism(threads_list)
     ));
     out.push_str(&format!(
         "  \"threads\": [{}],\n",
@@ -455,7 +459,12 @@ pub fn validate_throughput_json(json: &str) -> Result<(), String> {
     if n == 0 {
         return Err("no sweep points".into());
     }
-    for key in ["ops_per_sec", "per_thread_ops_per_sec", "pwb_per_op", "psync_per_op"] {
+    for key in [
+        "ops_per_sec",
+        "per_thread_ops_per_sec",
+        "pwb_per_op",
+        "psync_per_op",
+    ] {
         match crate::baseline::extract_number(json, key) {
             Some(v) if v.is_finite() && v >= 0.0 => {}
             Some(v) => return Err(format!("field {key} has non-finite/negative value {v}")),

@@ -177,6 +177,21 @@ pub struct SweepCfg {
     /// ([`PmemPool::palloc_check`]). Default `false` (bump arena; event
     /// streams bit-identical to before this knob existed).
     pub reclaim: bool,
+    /// Multi-crash tier: number of *second* crash points injected per
+    /// first crash point (`0` = off, the classic single-crash sweep,
+    /// bit-identical to before this knob existed). When `> 0`, each
+    /// replayed point additionally (a) snapshots the post-crash state,
+    /// (b) runs recovery once crash-free to count its instrumented events
+    /// `M` and take the single-crash verdict, then (c) for each of the
+    /// `multi_crash` second points restores the snapshot, re-arms the
+    /// countdown at a deterministic `k₂ ∈ [0, M)`, crashes *inside
+    /// recovery*, resolves the crash model again, re-runs recovery to
+    /// completion, and applies the full detectability + durable
+    /// linearizability + allocator-audit verdict. This checks the paper's
+    /// requirement that recovery functions are themselves crash-restartable
+    /// — a crash mid-recovery followed by a fresh recovery must still
+    /// produce the exactly-once response.
+    pub multi_crash: u64,
 }
 
 impl SweepCfg {
@@ -197,6 +212,7 @@ impl SweepCfg {
             paranoia: 0.0,
             site_mask: u64::MAX,
             reclaim: false,
+            multi_crash: 0,
         }
     }
 }
@@ -224,6 +240,9 @@ pub struct PointOutcome {
     pub exhausted: bool,
     /// Failure detail (empty when the point passed).
     pub note: String,
+    /// Second crash points injected mid-recovery at this point (multi-crash
+    /// tier only; `0` on classic single-crash sweeps).
+    pub recrash_points: u64,
     /// Rendered trace window (traced re-runs only).
     pub trace_tail: Vec<String>,
 }
@@ -271,7 +290,8 @@ pub struct SweepReport {
     /// The configuration that produced this report.
     pub cfg: SweepCfg,
     /// Report/CSV label: `structure_algo`, with a `churn_` prefix on
-    /// reclaim sweeps, or `churn_palloc` for the allocator's own sweep.
+    /// reclaim sweeps, a `recrash_` prefix on multi-crash tiers, or
+    /// `churn_palloc` for the allocator's own sweep.
     pub label: String,
     /// Total instrumented events `N` of the crash-free script.
     pub total_events: u64,
@@ -282,6 +302,9 @@ pub struct SweepReport {
     /// Points additionally cross-checked by paranoia mode (both engines
     /// re-run traced; any divergence lands in `violations`).
     pub paranoia_checked: u64,
+    /// Total second crash points injected mid-recovery across all replayed
+    /// points (multi-crash tier; `0` on classic sweeps).
+    pub recrash_checked: u64,
     /// Every failing point, ascending by `k`.
     pub violations: Vec<PointOutcome>,
     /// Minimized first failure (when any point failed).
@@ -298,13 +321,19 @@ impl SweepReport {
 
     /// One-line console summary.
     pub fn summary(&self) -> String {
+        let recrash = if self.recrash_checked > 0 {
+            format!(" recrash={}", self.recrash_checked)
+        } else {
+            String::new()
+        };
         format!(
-            "{:<32} events={:<5} run={:<5} skipped={:<5} violations={} {}",
+            "{:<32} events={:<5} run={:<5} skipped={:<5} violations={}{} {}",
             self.label,
             self.total_events,
             self.points_run,
             self.points_skipped,
             self.violations.len(),
+            recrash,
             if self.ok() { "OK" } else { "FAIL" },
         )
     }
@@ -1103,6 +1132,7 @@ where
             durable_ok: true,
             exhausted: false,
             note: String::new(),
+            recrash_points: 0,
             trace_tail,
         };
         if !crashed {
@@ -1113,39 +1143,155 @@ where
         }
 
         pool.crash(&mut *cfg.adversary.instantiate(k, cfg.seed));
-        // No further crash can fire before the next restore/rebuild, so the
-        // crash model's bookkeeping is dead weight for the rest of the
-        // verdict; restore (or the next scratch build) re-arms it.
-        pool.set_crash_model_dormant(true);
-        // Allocator recovery runs first, exactly as a restarted system
-        // would order it: structure recovery may allocate, and it must not
-        // see a half-linked free list (no-op on bump pools).
-        pool.recover_allocator();
-        sub.recover_structure();
 
         // Ground truth: the sequential model over the completed prefix; the
-        // interrupted operation must take effect exactly once.
+        // interrupted operation must take effect exactly once — no matter
+        // how many further crashes interrupt recovery itself.
         let mut model = Sub::S::default();
         for op in &self.script[..j] {
             model.apply(op);
         }
         let expected = model.apply(&self.script[j]);
 
-        let actual = if past_prologue {
+        if cfg.multi_crash == 0 {
+            // No further crash can fire before the next restore/rebuild, so
+            // the crash model's bookkeeping is dead weight for the rest of
+            // the verdict; restore (or the next scratch build) re-arms it.
+            pool.set_crash_model_dormant(true);
+            let pp = Cell::new(past_prologue);
+            let actual = self.run_recovery(pool, sub, ctx, j, &pp);
+            self.judge(
+                &mut outcome,
+                pool,
+                sub,
+                ctx,
+                j,
+                responses,
+                &expected,
+                actual,
+                "",
+            );
+            return outcome;
+        }
+
+        // Multi-crash tier: the crash model stays live, because recovery is
+        // about to crash too. The count pass doubles as the single-crash
+        // verdict: recovery runs crash-free under a sentinel countdown
+        // whose remainder counts recovery's instrumented events `M`.
+        let base = pool.snapshot();
+        const SENTINEL: u64 = 1 << 40;
+        pool.crash_ctl().arm_after(SENTINEL);
+        let pp = Cell::new(past_prologue);
+        let r0 = self.run_recovery(pool, sub, ctx, j, &pp);
+        let recovery_events = SENTINEL - pool.crash_ctl().remaining() as u64;
+        pool.crash_ctl().disarm();
+        self.judge(
+            &mut outcome,
+            pool,
+            sub,
+            ctx,
+            j,
+            responses,
+            &expected,
+            r0,
+            "",
+        );
+
+        for i in 0..cfg.multi_crash {
+            let k2 = splitmix64(cfg.seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i << 48))
+                % recovery_events.max(1);
+            pool.restore(&base);
+            let pp = Cell::new(past_prologue);
+            pool.crash_ctl().arm_after(k2);
+            let first_pass = run_crashable(|| self.run_recovery(pool, sub, ctx, j, &pp)).is_some();
+            pool.crash_ctl().disarm();
+            outcome.recrash_points += 1;
+            let tag = format!("recrash k2={k2}: ");
+            if first_pass {
+                // The count pass said event k2 exists within recovery, yet
+                // this replay finished: recovery is non-deterministic from
+                // identical post-crash state — itself a violation.
+                outcome.detect_ok = false;
+                outcome.note.push_str(&tag);
+                outcome
+                    .note
+                    .push_str("recovery completed without reaching the armed crash point; ");
+                continue;
+            }
+            // Second crash fired mid-recovery: resolve the crash model
+            // again (fresh adversary stream, deterministic in (k, k2)) and
+            // run recovery from the top — entry point per where the
+            // re-crash fell, exactly as a twice-restarted system would.
+            pool.crash(&mut *cfg.adversary.instantiate(k ^ (k2 << 20) ^ 0xD00D, cfg.seed));
+            let r2 = self.run_recovery(pool, sub, ctx, j, &pp);
+            self.judge(
+                &mut outcome,
+                pool,
+                sub,
+                ctx,
+                j,
+                responses,
+                &expected,
+                r2,
+                &tag,
+            );
+        }
+        pool.set_crash_model_dormant(true);
+        outcome
+    }
+
+    /// One full recovery pass, ordered as a restarted system orders it:
+    /// allocator recovery first (structure recovery may allocate, and it
+    /// must not see a half-linked free list; no-op on bump pools), then
+    /// structure-global recovery, then the interrupted thread's entry
+    /// point. `past_prologue` is updated in place: a re-crash landing
+    /// *after* this pass re-issued the prologue resumes through
+    /// `recover`, not a third prologue — `CP_q`/`RD_q` describe the
+    /// current operation from that moment on.
+    fn run_recovery(
+        &self,
+        pool: &PmemPool,
+        sub: &Sub,
+        ctx: &ThreadCtx,
+        j: usize,
+        past_prologue: &Cell<bool>,
+    ) -> <Sub::S as Spec>::Ret {
+        pool.recover_allocator();
+        sub.recover_structure();
+        if past_prologue.get() {
             sub.recover(ctx, &self.script[j])
         } else {
             // Crash inside begin_op: RD_q still describes the previous
             // operation, so `recover` would resolve the wrong op. The
             // system re-invokes from the prologue instead (see module docs).
             ctx.begin_op(SiteId(0));
+            past_prologue.set(true);
             sub.exec(ctx, &self.script[j])
-        };
-        if actual != expected {
+        }
+    }
+
+    /// Applies both of the paper's obligations (plus the allocator audit)
+    /// to one recovered response, appending failures to `outcome`. `tag`
+    /// prefixes notes so multi-crash verdicts name their second point.
+    #[allow(clippy::too_many_arguments)]
+    fn judge(
+        &self,
+        outcome: &mut PointOutcome,
+        pool: &PmemPool,
+        sub: &Sub,
+        ctx: &ThreadCtx,
+        j: usize,
+        responses: &RefCell<Vec<<Sub::S as Spec>::Ret>>,
+        expected: &<Sub::S as Spec>::Ret,
+        actual: <Sub::S as Spec>::Ret,
+        tag: &str,
+    ) {
+        if actual != *expected {
             outcome.detect_ok = false;
-            outcome.note = format!(
-                "detectability: recovered response {:?}, sequential model says {:?}; ",
+            outcome.note.push_str(&format!(
+                "{tag}detectability: recovered response {:?}, sequential model says {:?}; ",
                 actual, expected
-            );
+            ));
         }
 
         // Durable linearizability: completed prefix + recovered op +
@@ -1162,10 +1308,12 @@ where
         if structural.is_err() || lin.is_err() {
             outcome.durable_ok = false;
             if let Err(e) = structural {
+                outcome.note.push_str(tag);
                 outcome.note.push_str(&e);
                 outcome.note.push_str("; ");
             }
             if let Err(e) = lin {
+                outcome.note.push_str(tag);
                 outcome.note.push_str("not linearizable: ");
                 outcome.note.push_str(&e);
             }
@@ -1175,11 +1323,11 @@ where
         // overlapping or duplicated blocks, no dangling announcements.
         if let Err(e) = pool.palloc_check() {
             outcome.durable_ok = false;
+            outcome.note.push_str(tag);
             outcome.note.push_str("allocator audit: ");
             outcome.note.push_str(&e);
             outcome.note.push_str("; ");
         }
-        outcome
     }
 
     /// A replay panic that is not the injected crash: a pool-exhaustion
@@ -1206,6 +1354,7 @@ where
             durable_ok: true,
             exhausted: true,
             note: format!("pool exhausted: {msg}"),
+            recrash_points: 0,
             trace_tail: Vec::new(),
         }
     }
@@ -1510,7 +1659,8 @@ const SWEEP_CSV_COLUMNS: &[&str] = &[
 /// Runs one full sweep per [`SweepCfg`] and returns its report.
 pub fn run_sweep(cfg: &SweepCfg) -> SweepReport {
     let label = format!(
-        "{}{}_{}",
+        "{}{}{}_{}",
+        if cfg.multi_crash > 0 { "recrash_" } else { "" },
         if cfg.reclaim { "churn_" } else { "" },
         cfg.structure.name(),
         file_slug(cfg.algo.name())
@@ -1527,7 +1677,11 @@ pub fn run_palloc_sweep(cfg: &SweepCfg) -> SweepReport {
         ..cfg.clone()
     };
     let case = make_palloc_case(&cfg);
-    run_sweep_case(&cfg, case, "churn_palloc".into())
+    let label = format!(
+        "{}churn_palloc",
+        if cfg.multi_crash > 0 { "recrash_" } else { "" }
+    );
+    run_sweep_case(&cfg, case, label)
 }
 
 fn run_sweep_case(cfg: &SweepCfg, case: Box<dyn Case>, label: String) -> SweepReport {
@@ -1551,6 +1705,7 @@ fn run_sweep_case(cfg: &SweepCfg, case: Box<dyn Case>, label: String) -> SweepRe
                 durable_ok: true,
                 exhausted: true,
                 note: format!("pool exhausted during the crash-free count run: {msg}"),
+                recrash_points: 0,
                 trace_tail: Vec::new(),
             };
             return SweepReport {
@@ -1560,6 +1715,7 @@ fn run_sweep_case(cfg: &SweepCfg, case: Box<dyn Case>, label: String) -> SweepRe
                 points_run: 0,
                 points_skipped: 0,
                 paranoia_checked: 0,
+                recrash_checked: 0,
                 violations: vec![out],
                 first_failure: None,
                 csv: Csv::new(&label, SWEEP_CSV_COLUMNS),
@@ -1573,6 +1729,7 @@ fn run_sweep_case(cfg: &SweepCfg, case: Box<dyn Case>, label: String) -> SweepRe
     let mut violations = Vec::new();
     let (mut points_run, mut points_skipped) = (0u64, 0u64);
     let mut paranoia_checked = 0u64;
+    let mut recrash_checked = 0u64;
     for k in 0..total_events {
         let in_shard = cfg.shard_count <= 1 || k % cfg.shard_count == cfg.shard_index;
         if !in_shard || (cfg.sample < 1.0 && !sampled(cfg.seed, k, cfg.sample)) {
@@ -1599,6 +1756,7 @@ fn run_sweep_case(cfg: &SweepCfg, case: Box<dyn Case>, label: String) -> SweepRe
                     durable_ok: p.durable_ok,
                     exhausted: p.exhausted,
                     note: format!("paranoia: {err}"),
+                    recrash_points: 0,
                     trace_tail: Vec::new(),
                 });
             }
@@ -1613,6 +1771,7 @@ fn run_sweep_case(cfg: &SweepCfg, case: Box<dyn Case>, label: String) -> SweepRe
             csv_escape(&p.note),
         ]);
         points_run += 1;
+        recrash_checked += p.recrash_points;
         if !p.ok() {
             violations.push(p);
         }
@@ -1638,6 +1797,7 @@ fn run_sweep_case(cfg: &SweepCfg, case: Box<dyn Case>, label: String) -> SweepRe
         points_run,
         points_skipped,
         paranoia_checked,
+        recrash_checked,
         violations,
         first_failure,
         csv,
@@ -1804,6 +1964,58 @@ mod tests {
             churn.total_events,
             plain.total_events
         );
+    }
+
+    #[test]
+    fn multi_crash_tier_survives_crashes_inside_recovery() {
+        // Every first crash point of the exchanger sweep gets two further
+        // crashes injected *inside recovery*; each twice-interrupted
+        // operation must still produce its exactly-once response and a
+        // linearizable history. Deterministic: a second run reproduces the
+        // CSV bit for bit.
+        let mut cfg = SweepCfg::new(StructureKind::Exchanger, AlgoKind::Tracking);
+        cfg.pool_bytes = 4 << 20;
+        cfg.multi_crash = 2;
+        let r = run_sweep(&cfg);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert_eq!(r.label, "recrash_exchanger_tracking");
+        assert_eq!(
+            r.recrash_checked,
+            2 * r.points_run,
+            "every replayed point must inject exactly multi_crash second crashes"
+        );
+        assert!(r.summary().contains("recrash="));
+        let again = run_sweep(&cfg);
+        assert_eq!(r.csv.to_text(), again.csv.to_text());
+
+        // The tier must not disturb the classic sweep: same points, same
+        // event count with the knob off.
+        let classic = run_sweep(&SweepCfg {
+            multi_crash: 0,
+            ..cfg
+        });
+        assert_eq!(classic.total_events, r.total_events);
+        assert!(classic.ok());
+    }
+
+    #[test]
+    fn multi_crash_tier_is_clean_on_a_reclaim_list() {
+        // Double crashes over a reclaim pool: the second crash can land
+        // inside recover_allocator or a drain step, and the re-run recovery
+        // plus allocator audit must still come back clean. Sampled to keep
+        // the test cheap.
+        let mut cfg = SweepCfg::new(StructureKind::List, AlgoKind::Tracking);
+        cfg.pool_bytes = 8 << 20;
+        cfg.script_len = 8;
+        cfg.sample = 0.2;
+        cfg.reclaim = true;
+        cfg.multi_crash = 2;
+        cfg.adversary = AdversaryKind::Seeded;
+        let r = run_sweep(&cfg);
+        assert_eq!(r.label, "recrash_churn_list_tracking");
+        assert!(r.points_run > 0);
+        assert!(r.recrash_checked > 0);
+        assert!(r.ok(), "violations: {:?}", r.violations);
     }
 
     #[test]

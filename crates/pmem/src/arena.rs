@@ -210,7 +210,11 @@ mod tests {
         install_thread_arena(SubArena::new(p.clone(), 8));
         let a = p.alloc_lines(1);
         let b = p.alloc_lines(1);
-        assert_eq!(b.word(), a.word() + WORDS_PER_LINE, "private bump: adjacent");
+        assert_eq!(
+            b.word(),
+            a.word() + WORDS_PER_LINE,
+            "private bump: adjacent"
+        );
         let arena = uninstall_thread_arena().expect("was installed");
         assert_eq!(arena.refills(), 1);
         // After uninstall the global path serves again.

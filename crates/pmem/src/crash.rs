@@ -139,6 +139,17 @@ impl CrashCtl {
         self.countdown.store(-1, Ordering::SeqCst);
     }
 
+    /// Remaining countdown events (negative when no countdown is armed).
+    ///
+    /// Harness introspection: arming a sentinel countdown far beyond the
+    /// section's length and reading back the remainder afterwards counts
+    /// the section's instrumented events *without* tracing — the sweep
+    /// engine's multi-crash tier sizes its second-crash enumeration over a
+    /// recovery run this way.
+    pub fn remaining(&self) -> i64 {
+        self.countdown.load(Ordering::SeqCst)
+    }
+
     /// Has a broadcast crash been raised?
     pub fn raised(&self) -> bool {
         self.enabled.load(Ordering::SeqCst) && self.broadcast.load(Ordering::SeqCst)

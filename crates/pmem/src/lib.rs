@@ -126,7 +126,10 @@ pub use lint::{Diagnostic, LintKind, LintReport};
 pub use palloc::{MAX_CLASS, PALLOC_SITES};
 pub use persist::{Backend, SiteId, MAX_SITES};
 pub use pool::{exhaustion_message, PmemPool, PoolCfg, PoolSnapshot, EXHAUSTED_PREFIX, NUM_ROOTS};
-pub use sched::{clear_yield_hook, has_yield_hook, set_yield_hook};
+pub use sched::{
+    clear_spin_hook, clear_yield_hook, has_spin_hook, has_yield_hook, set_spin_hook,
+    set_yield_hook, yield_spin,
+};
 pub use shadow::{
     CrashAdversary, CrashChoice, OptimistAdversary, PessimistAdversary, SeededAdversary,
 };

@@ -257,7 +257,7 @@ impl PmemPool {
             retired_debug: Mutex::new(std::collections::HashSet::new()),
             max_threads: cfg.max_threads,
             trace: Trace::new(cfg.trace_capacity, cfg.trace),
-            lint: FlushLint::new(cfg.lint),
+            lint: FlushLint::new(cfg.lint, nwords / WORDS_PER_LINE),
             epoch,
             site_names: RwLock::new([None; MAX_SITES]),
             foot: Mutex::new(Footprint::default()),
@@ -439,7 +439,7 @@ impl PmemPool {
         self.load_slow(a, bits)
     }
 
-    #[cold]
+    #[inline(never)]
     fn load_slow(&self, a: PAddr, bits: u64) -> u64 {
         // Yield before the tick: the scheduler decides who runs this event,
         // and an armed crash must fire on whichever thread it granted.
@@ -491,7 +491,7 @@ impl PmemPool {
         self.store_slow(a, v, site, bits);
     }
 
-    #[cold]
+    #[inline(never)]
     fn store_slow(&self, a: PAddr, v: u64, site: u8, bits: u64) {
         if bits & EP_SCHED != 0 {
             crate::sched::yield_now();
@@ -549,7 +549,7 @@ impl PmemPool {
         self.cas_slow(a, old, new, site, bits)
     }
 
-    #[cold]
+    #[inline(never)]
     fn cas_slow(&self, a: PAddr, old: u64, new: u64, site: u8, bits: u64) -> Result<u64, u64> {
         if bits & EP_SCHED != 0 {
             crate::sched::yield_now();
@@ -591,7 +591,7 @@ impl PmemPool {
         self.pwb_slow(a, site, bits);
     }
 
-    #[cold]
+    #[inline(never)]
     fn pwb_slow(&self, a: PAddr, site: SiteId, bits: u64) {
         // Mask check first, then the tick: a disabled site is invisible to
         // crash-point enumeration, and a crash firing at this event must
@@ -675,7 +675,7 @@ impl PmemPool {
         self.fence_slow(EventKind::Psync, bits);
     }
 
-    #[cold]
+    #[inline(never)]
     fn fence_slow(&self, kind: EventKind, bits: u64) {
         // Mask check first, then the tick: a disabled fence is invisible to
         // crash-point enumeration, and a crash at this event must leave the
@@ -883,26 +883,33 @@ impl PmemPool {
         lock_foot(&self.foot).lines.push(line);
     }
 
-    #[cold]
+    // The observe_* fns inline into the `_slow` dispatch bodies, which are
+    // `inline(never)` rather than `#[cold]`: kept out of the disabled fast
+    // path's code stream, but compiled for speed — with observers on they
+    // run on every event, and `cold` would switch the whole observer path
+    // to size optimization.
+    #[inline]
     fn observe_load(&self, a: PAddr) {
-        if self.trace.enabled() {
-            let seq = self.trace.next_seq();
-            let dirty = self.lint.line_dirty(a.line());
-            self.trace
-                .record(seq, EventKind::Load, NO_SITE, a.raw(), dirty);
-        }
+        // No `trace.enabled()` re-check: this is only reached under
+        // EP_TRACE, and `set_trace_enabled` keeps flag and epoch bit in
+        // lockstep at harness-quiescent points.
+        let seq = self.trace.next_seq();
+        let dirty = self.lint.line_dirty(a.line());
+        self.trace
+            .record(seq, EventKind::Load, NO_SITE, a.raw(), dirty);
     }
 
-    #[cold]
+    #[inline]
     fn observe_write(&self, a: PAddr, kind: EventKind, site: u8) {
+        let tid = trace_tid();
         let seq = self.trace.next_seq();
-        let dirty = self.lint.on_write(a.line(), site, trace_tid(), seq);
+        let dirty = self.lint.on_write(a.line(), site, tid, seq);
         if self.trace.enabled() {
             self.trace.record(seq, kind, site, a.raw(), dirty);
         }
     }
 
-    #[cold]
+    #[inline]
     fn observe_cas(&self, a: PAddr, new: u64, success: bool, site: u8) {
         let tid = trace_tid();
         let seq = self.trace.next_seq();
@@ -942,18 +949,17 @@ impl PmemPool {
         Some(w / WORDS_PER_LINE)
     }
 
-    #[cold]
+    #[inline]
     fn observe_pwb(&self, a: PAddr, site: SiteId) {
-        let tid = trace_tid();
         let seq = self.trace.next_seq();
-        let was_dirty = self.lint.on_pwb(a.line(), site, tid, seq);
+        let was_dirty = self.lint.on_pwb(a.line(), site, seq);
         if self.trace.enabled() {
             self.trace
                 .record(seq, EventKind::Pwb, site.0, a.raw(), was_dirty);
         }
     }
 
-    #[cold]
+    #[inline]
     fn observe_fence(&self, kind: EventKind) {
         let seq = self.trace.next_seq();
         self.lint.on_fence();
@@ -1105,7 +1111,10 @@ impl PmemPool {
             hot_lines,
             lint_lines,
             lint_flushed,
-            trace_seq: self.trace.seq(),
+            // Checkpointing (not a plain read): returns the capturing
+            // thread's banked seqs so a restored replay re-issues exactly
+            // the seqs this run issues next.
+            trace_seq: self.trace.seq_checkpoint(),
             sites_mask: self.mask.mask(),
             psync_on: self.mask.psync_enabled(),
         }

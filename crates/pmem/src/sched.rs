@@ -22,6 +22,22 @@
 //! triggers a pool event (it should not, but a scheduler bug must not
 //! recurse into itself), the nested call sees an empty slot and returns.
 //!
+//! ## The spin channel
+//!
+//! A second, separate slot carries *spin yields* ([`set_spin_hook`] /
+//! [`yield_spin`]). A blocking subject — Romulus's writer mutex, its
+//! seqlock readers — busy-waits on state only another thread can change;
+//! under the explorer's one-thread-at-a-time turn protocol such a wait can
+//! never resolve unless the waiter explicitly offers the turn back. The
+//! subject calls [`yield_spin`] from inside its wait loop to do exactly
+//! that. A spin yield is deliberately **not** a pool event: it does not
+//! tick the crash countdown and the explorer does not count it, because
+//! the number of wait-loop iterations is a scheduling artifact, not a
+//! point in the algorithm where a crash is meaningful or a schedule index
+//! must be stable. Subjects that never block never call it; threads with
+//! no spin hook (every thread outside an exploration) fall straight
+//! through, so the call is free in production paths.
+//!
 //! Zero-cost when off: the only cost on the pool's fast paths is the one
 //! fused epoch load they already perform; `EP_SCHED` rides along in the
 //! slow-path masks.
@@ -31,6 +47,9 @@ use std::cell::RefCell;
 thread_local! {
     /// This thread's yield hook, if it is participating in an exploration.
     static YIELD_HOOK: RefCell<Option<Box<dyn FnMut()>>> = const { RefCell::new(None) };
+    /// This thread's spin hook — the turn-release channel for busy-wait
+    /// loops in blocking subjects (see the module docs).
+    static SPIN_HOOK: RefCell<Option<Box<dyn FnMut()>>> = const { RefCell::new(None) };
 }
 
 /// Registers `hook` as the calling thread's yield hook. It will be invoked
@@ -58,6 +77,48 @@ pub fn clear_yield_hook() {
 /// Does the calling thread currently have a yield hook registered?
 pub fn has_yield_hook() -> bool {
     YIELD_HOOK.with(|h| h.borrow().is_some())
+}
+
+/// Registers `hook` as the calling thread's *spin* hook, invoked by
+/// [`yield_spin`] from the busy-wait loops of blocking subjects. Replaces
+/// any previously registered spin hook. Explorer workers register it
+/// alongside the yield hook; the two channels are independent so a spin
+/// never perturbs event counting or crash-point indexing.
+pub fn set_spin_hook(hook: Box<dyn FnMut()>) {
+    SPIN_HOOK.with(|h| *h.borrow_mut() = Some(hook));
+}
+
+/// Removes the calling thread's spin hook, if any. Safe to call when none
+/// is registered.
+pub fn clear_spin_hook() {
+    SPIN_HOOK.with(|h| *h.borrow_mut() = None);
+}
+
+/// Does the calling thread currently have a spin hook registered?
+/// Blocking subjects use this to choose between their native blocking
+/// acquire (no hook: real parallelism, the OS arbitrates) and a
+/// `try`-acquire loop around [`yield_spin`] (hook: the explorer
+/// arbitrates, and parking the OS thread would deadlock the turn).
+pub fn has_spin_hook() -> bool {
+    SPIN_HOOK.with(|h| h.borrow().is_some())
+}
+
+/// Offers the scheduler a chance to run someone else from inside a
+/// busy-wait loop. Invokes the calling thread's spin hook if one is
+/// registered; a no-op otherwise, so subjects may call it unconditionally
+/// from their wait loops. Same re-entrancy discipline as the yield hook:
+/// the hook is taken out of its slot for the duration of the call.
+pub fn yield_spin() {
+    let hook = SPIN_HOOK.with(|h| h.borrow_mut().take());
+    if let Some(mut f) = hook {
+        f();
+        SPIN_HOOK.with(|h| {
+            let mut slot = h.borrow_mut();
+            if slot.is_none() {
+                *slot = Some(f);
+            }
+        });
+    }
 }
 
 /// Invokes the calling thread's yield hook, if one is registered. Called
@@ -99,6 +160,26 @@ mod tests {
         assert!(!has_yield_hook());
         yield_now(); // no hook: falls through
         assert_eq!(hits.get(), 2);
+    }
+
+    #[test]
+    fn spin_channel_is_independent_of_the_yield_channel() {
+        let yields = Rc::new(Cell::new(0u32));
+        let spins = Rc::new(Cell::new(0u32));
+        let (y, s) = (yields.clone(), spins.clone());
+        set_yield_hook(Box::new(move || y.set(y.get() + 1)));
+        set_spin_hook(Box::new(move || s.set(s.get() + 1)));
+        assert!(has_spin_hook());
+        yield_spin();
+        yield_spin();
+        assert_eq!((yields.get(), spins.get()), (0, 2));
+        yield_now();
+        assert_eq!((yields.get(), spins.get()), (1, 2));
+        clear_spin_hook();
+        assert!(!has_spin_hook());
+        yield_spin(); // no hook: falls through
+        assert_eq!(spins.get(), 2);
+        clear_yield_hook();
     }
 
     #[test]

@@ -120,7 +120,28 @@ impl RomulusTm {
     pub fn write_tx<R>(&self, f: impl FnOnce(&mut WriteTx<'_>) -> R) -> R {
         // An injected CrashPoint can unwind through the guard; the next
         // writer (post-recovery) must still acquire, so poisoning is ignored.
-        let guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        //
+        // Under the schedule explorer (a spin hook is registered) a blocked
+        // `lock()` would park the OS thread while it holds the explorer's
+        // turn — deadlock. Spin on `try_lock` instead, offering the turn
+        // back on every miss so the current lock holder can be scheduled to
+        // completion, and ticking the crash model so a system-wide crash
+        // stops a waiting writer the same way it stops spinning readers.
+        let guard = if pmem::has_spin_hook() {
+            loop {
+                match self.writer.try_lock() {
+                    Ok(g) => break g,
+                    Err(std::sync::TryLockError::Poisoned(p)) => break p.into_inner(),
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        pmem::yield_spin();
+                        self.pool.crash_ctl().tick();
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        } else {
+            self.writer.lock().unwrap_or_else(|e| e.into_inner())
+        };
         let pool = &*self.pool;
         // Enter MUTATING before the first write reaches main.
         pool.store(self.state, ST_MUTATING);
@@ -171,7 +192,12 @@ impl RomulusTm {
         loop {
             let v1 = self.version.load(Ordering::Acquire);
             if v1 % 2 == 1 {
-                // an injected system-wide crash must stop spinning readers
+                // A writer is active. Under the explorer, hand the turn
+                // back so that writer can be scheduled (the spin would
+                // otherwise never resolve: nobody else runs while we hold
+                // the turn). Then let an injected system-wide crash stop
+                // spinning readers.
+                pmem::yield_spin();
                 self.pool.crash_ctl().tick();
                 std::hint::spin_loop();
                 continue;

@@ -17,6 +17,14 @@
 //!   AffectSet = `{gp, p}` in root-down order (the paper's assumption (b));
 //!   `p` leaves the tree and keeps its tag forever.
 //!
+//! Unlinked nodes (the replaced leaf of an insert, the leaf/parent pair of
+//! a delete) and the unpublished nodes of a lost attempt are retired to
+//! `pmem::palloc` limbo by the operation's owner — ABA freedom is
+//! preserved because retired addresses are re-issued only after an epoch
+//! quiescence that no operation window spans, and helpers still read a
+//! retired node's intact words until that drain. A no-op on the default
+//! bump pool.
+//!
 //! Two deliberate deviations from the (abbreviated) pseudocode, both noted
 //! in DESIGN.md:
 //!
@@ -109,9 +117,16 @@ impl RecoverableBst {
 
     fn mk_leaf(pool: &PmemPool, key: u64) -> PAddr {
         let n = pool.alloc_lines(1);
+        Self::init_leaf(pool, n, key);
+        n
+    }
+
+    /// Leaf initialization, split from [`Self::mk_leaf`] so operation paths
+    /// can allocate through [`ThreadCtx::palloc`] (recycling retired blocks
+    /// on reclaim pools) while construction keeps the plain bump path.
+    fn init_leaf(pool: &PmemPool, n: PAddr, key: u64) {
         pool.store(n.add(N_KEY), key);
         pool.store(n.add(N_KIND), KIND_LEAF);
-        n
     }
 
     /// The owning pool.
@@ -179,7 +194,8 @@ impl RecoverableBst {
         Self::assert_user_key(key);
         let pool = &*self.pool;
         // Line 1: the key leaf is allocated once, reused across attempts.
-        let new_leaf = Self::mk_leaf(pool, key);
+        let new_leaf = ctx.palloc(1);
+        Self::init_leaf(pool, new_leaf, key);
         self.prologue(ctx);
         loop {
             // Gather phase (lines 8–10)
@@ -211,11 +227,15 @@ impl RecoverableBst {
                 ctx.set_rd(desc.raw());
                 pool.pwb(ctx.rd_addr(), S_RD);
                 pool.psync();
+                // The pre-allocated key leaf was never published: retire it
+                // (no-op on a bump pool).
+                ctx.retire(new_leaf, 1);
                 return false;
             }
             // Lines 14–15: duplicate of l and the new internal node
-            let new_sibling = Self::mk_leaf(pool, l_key);
-            let internal = pool.alloc_lines(1);
+            let new_sibling = ctx.palloc(1);
+            Self::init_leaf(pool, new_sibling, l_key);
+            let internal = ctx.palloc(1);
             let (left, right) = if key < l_key {
                 (new_leaf, new_sibling)
             } else {
@@ -263,8 +283,19 @@ impl RecoverableBst {
             help(pool, desc);
             let r = desc.result(pool);
             if r != BOTTOM {
+                // Non-duplicate descriptors commit `true`: the WriteSet CAS
+                // replaced the reached leaf with the new subtree, and its
+                // durability was fenced by help's cleanup — l left the tree
+                // for good. Leaves carry no info word, so late searchers
+                // that still hold l's address only ever read it.
+                ctx.retire(s.l, 1);
                 return dec_bool(r);
             }
+            // The attempt lost the tag race on p: its subtree nodes were
+            // never published; the next attempt re-allocates them (the
+            // reached leaf — and hence the sibling key — may have changed).
+            ctx.retire(new_sibling, 1);
+            ctx.retire(internal, 1);
         }
     }
 
@@ -374,6 +405,13 @@ impl RecoverableBst {
             help(pool, desc);
             let r = desc.result(pool);
             if r != BOTTOM {
+                // Present-key descriptors commit `true`: the grandparent's
+                // child CAS unlinked both p and l durably. p keeps its tag
+                // forever, so late searchers that gathered it still help
+                // through its intact info word — retirement only parks the
+                // blocks in limbo until a quiescent drain.
+                ctx.retire(s.p, 1);
+                ctx.retire(s.l, 1);
                 return dec_bool(r);
             }
         }
@@ -708,5 +746,53 @@ mod tests {
         assert!(bst.insert(&ctx, 9));
         assert!(bst.recover_insert(&ctx, 9));
         assert_eq!(bst.keys(), vec![9], "no double insert");
+    }
+
+    #[test]
+    fn reclaim_pool_churn_recycles_unlinked_nodes() {
+        // Insert/delete churn over a small key range on a reclaiming pool.
+        // Every unlinked leaf/internal/descriptor must land in limbo, survive
+        // the audit, and actually get re-issued after a quiescent drain —
+        // otherwise the tree leaks a node per delete and the working set
+        // grows without bound.
+        let pool = Arc::new(PmemPool::new(PoolCfg {
+            reclaim: true,
+            ..PoolCfg::model(16 << 20)
+        }));
+        let bst = RecoverableBst::new(pool.clone(), 1);
+        let ctx = ThreadCtx::new(pool.clone(), 0);
+        let mut model = BTreeSet::new();
+        let mut rng = 0xC0FFEEu64;
+        for round in 0..6 {
+            for _ in 0..200 {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let k = 1 + (rng >> 33) % 16;
+                if rng & 1 == 0 {
+                    assert_eq!(bst.insert(&ctx, k), model.insert(k));
+                } else {
+                    assert_eq!(bst.delete(&ctx, k), model.remove(&k));
+                }
+            }
+            assert_eq!(bst.keys(), model.iter().copied().collect::<Vec<_>>());
+            assert_eq!(bst.check_invariants(), model.len());
+            // Quiescent point: no op in flight, so limbo may drain to the
+            // free lists and the allocator audit must hold.
+            pool.palloc_drain_all();
+            pool.palloc_check().unwrap();
+            if round == 0 {
+                assert!(
+                    !pool.palloc_free_blocks().is_empty(),
+                    "churn retired nodes but none reached the free lists"
+                );
+            }
+        }
+        // Recycling must be real: the next single-line allocation comes from
+        // a drained free list, not fresh bump space.
+        let wm = pool.palloc_free_blocks().iter().map(|&(b, _)| b).max();
+        let a = ctx.palloc(1);
+        assert!(
+            wm.is_some_and(|hi| a.raw() <= hi),
+            "allocation after drain skipped the free lists"
+        );
     }
 }

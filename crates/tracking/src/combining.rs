@@ -153,16 +153,24 @@ struct Comb {
 impl Comb {
     fn new(pool: Arc<PmemPool>, root_idx: usize, nthreads: usize, shape: u64) -> Comb {
         assert!(
-            nthreads >= 1 && nthreads <= MAX_THREADS,
+            (1..=MAX_THREADS).contains(&nthreads),
             "nthreads out of range"
         );
         let root = pool.root(root_idx);
         let existing = pool.load(root);
         if existing != 0 {
             let hdr = PAddr::from_raw(existing);
-            assert_eq!(pool.load(hdr.add(H_SHAPE)), shape, "root holds another shape");
+            assert_eq!(
+                pool.load(hdr.add(H_SHAPE)),
+                shape,
+                "root holds another shape"
+            );
             let nthreads = pool.load(hdr.add(H_NTHREADS)) as usize;
-            return Comb { pool, hdr, nthreads };
+            return Comb {
+                pool,
+                hdr,
+                nthreads,
+            };
         }
         let hdr = pool.alloc_lines(1);
         let request = pool.alloc_lines(nthreads);
@@ -180,7 +188,11 @@ impl Comb {
         pool.pbarrier(hdr, WORDS_PER_LINE, S_COMB_PUBLISH);
         pool.store(root, hdr.raw());
         pool.pbarrier(root, 1, S_COMB_PUBLISH);
-        Comb { pool, hdr, nthreads }
+        Comb {
+            pool,
+            hdr,
+            nthreads,
+        }
     }
 
     #[inline]
@@ -434,10 +446,7 @@ impl Comb {
 
     fn state(&self) -> (u64, u64) {
         let cur = self.cur_round();
-        (
-            self.pool.load(cur.add(R_A)),
-            self.pool.load(cur.add(R_B)),
-        )
+        (self.pool.load(cur.add(R_A)), self.pool.load(cur.add(R_B)))
     }
 
     fn chain(&self, mut head: u64) -> Vec<u64> {

@@ -21,6 +21,15 @@
 //!   on `nd_p`'s tag; exactly one wins, and a losing cancel finds the
 //!   partner value written.
 //!
+//! Reclamation: every node that durably leaves the slot is retired to
+//! `pmem::palloc` limbo by its unique unlinker — a successful collide
+//! retires the waiter node it replaced (plus its own never-published
+//! waiter node), a successful cancel retires the withdrawn node, a
+//! successful capture retires the free node it displaced, and lost
+//! attempts retire their unpublished replacement nodes. Recovery paths
+//! never retire (they cannot tell whether the pre-crash run already did).
+//! A no-op on the default bump pool.
+//!
 //! Detectability: `RD_q` always names the thread's latest
 //! capture/collide/cancel descriptor. On recovery, a collide's outcome is
 //! read from its descriptor; a capture that took effect resumes waiting on
@@ -77,9 +86,16 @@ impl RecoverableExchanger {
 
     fn mk_free(pool: &PmemPool, info: u64) -> PAddr {
         let n = pool.alloc_lines(1);
+        Self::init_free(pool, n, info);
+        n
+    }
+
+    /// Free-node initialization, split from [`Self::mk_free`] so operation
+    /// paths can allocate through [`ThreadCtx::palloc`] (recycling retired
+    /// blocks on reclaim pools) while construction keeps the bump path.
+    fn init_free(pool: &PmemPool, n: PAddr, info: u64) {
         pool.store(n.add(N_FREE), 1);
         pool.store(n.add(N_INFO), info);
-        n
     }
 
     /// The owning pool.
@@ -111,7 +127,7 @@ impl RecoverableExchanger {
         self.prologue(ctx);
         // The waiter node is allocated once and reused across attempts (it
         // is only published by a successful capture).
-        let nd_p = pool.alloc_lines(1);
+        let nd_p = ctx.palloc(1);
         pool.store(nd_p.add(N_VALUE), value);
         pool.store(nd_p.add(N_PARTNER), 0);
         pool.store(nd_p.add(N_FREE), 0);
@@ -154,11 +170,16 @@ impl RecoverableExchanger {
                 if desc.result(pool) == BOTTOM {
                     continue; // someone else captured first; retry
                 }
+                // The displaced free node left the slot for good (it keeps
+                // its tag; late exchangers that gathered it still help
+                // through its intact info word until the quiescent drain).
+                ctx.retire(nd, 1);
                 return self.wait_for_partner(ctx, nd_p, spin_budget);
             }
             // ---- Collide ----
             let their_value = pool.load(nd.add(N_VALUE)); // immutable once published
-            let free2 = Self::mk_free(pool, 0);
+            let free2 = ctx.palloc(1);
+            Self::init_free(pool, free2, 0);
             let desc = Desc::alloc(pool);
             pool.store(free2.add(N_INFO), desc.tagged());
             desc.init(
@@ -196,8 +217,19 @@ impl RecoverableExchanger {
             help(pool, desc);
             let r = desc.result(pool);
             if r != BOTTOM {
+                // Our collide replaced the waiter's node in the slot: we
+                // are its unique unlinker, so we retire it — the waiter
+                // only ever *reads* its partner word, and limbo keeps a
+                // retired block's words intact until a quiescent drain
+                // (which no operation window spans). Our own pre-allocated
+                // waiter node was never published; it goes back too.
+                ctx.retire(nd, 1);
+                ctx.retire(nd_p, 1);
                 return Some(dec_val(r));
             }
+            // The collide lost the race on the waiter's tag: the
+            // replacement free node was never published.
+            ctx.retire(free2, 1);
         }
     }
 
@@ -234,7 +266,8 @@ impl RecoverableExchanger {
                 help(pool, Desc::from_raw(info));
                 continue;
             }
-            let free2 = Self::mk_free(pool, 0);
+            let free2 = ctx.palloc(1);
+            Self::init_free(pool, free2, 0);
             let desc = Desc::alloc(pool);
             pool.store(free2.add(N_INFO), desc.tagged());
             desc.init(
@@ -261,10 +294,20 @@ impl RecoverableExchanger {
             pool.psync();
             help(pool, desc);
             if desc.result(pool) != BOTTOM {
+                // The withdrawal took effect: our node left the slot and —
+                // uniquely here — nobody else will ever unlink it, so the
+                // canceller retires it. The partner-found branches above
+                // deliberately do NOT retire nd_p: a successful collider
+                // already retired it as the node *it* unlinked, and
+                // recovery re-enters this wait loop, so retiring on the
+                // read-only exit would double-retire.
+                ctx.retire(nd_p, 1);
                 return None; // withdrew without a partner
             }
             // cancel lost the race on nd_p's tag: a collision happened (or
-            // is happening); loop re-checks the partner field
+            // is happening); loop re-checks the partner field. The
+            // unpublished replacement free node goes back.
+            ctx.retire(free2, 1);
         }
     }
 
@@ -439,5 +482,54 @@ mod tests {
             let recovered = ex.recover_exchange(ctx, 0, 10);
             assert_eq!(recovered, *original, "recovery must reproduce the response");
         }
+    }
+
+    #[test]
+    fn reclaim_pool_churn_recycles_slot_nodes() {
+        // Repeated lone-thread timeouts and paired swaps on a reclaiming
+        // pool. Every exchange allocates a value node, a reservation node
+        // and fresh free nodes; all but the one left installed in the slot
+        // must be retired, survive the allocator audit, and get re-issued
+        // after a quiescent drain.
+        let pool = Arc::new(PmemPool::new(PoolCfg {
+            reclaim: true,
+            ..PoolCfg::model(16 << 20)
+        }));
+        let ex = RecoverableExchanger::new(pool.clone(), 2);
+        let ctx0 = ThreadCtx::new(pool.clone(), 0);
+        for _ in 0..50 {
+            assert_eq!(ex.exchange(&ctx0, 7, 10), None);
+            assert!(ex.is_free());
+        }
+        pool.palloc_drain_all();
+        pool.palloc_check().unwrap();
+        assert!(
+            !pool.palloc_free_blocks().is_empty(),
+            "timeout churn retired nodes but none reached the free lists"
+        );
+        for round in 0..20 {
+            let mut handles = vec![];
+            for t in 0..2usize {
+                let ex = ex.clone();
+                let ctx = ThreadCtx::new(pool.clone(), t);
+                handles.push(std::thread::spawn(move || {
+                    ex.exchange(&ctx, t as u64 + 100, 50_000_000)
+                }));
+            }
+            let got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert_eq!(got[0], Some(101), "round {round}");
+            assert_eq!(got[1], Some(100), "round {round}");
+            // Quiescent: both participants returned, so limbo may drain.
+            pool.palloc_drain_all();
+            pool.palloc_check().unwrap();
+        }
+        // Recycling must be real: the next allocation comes from a drained
+        // free list, not fresh bump space.
+        let wm = pool.palloc_free_blocks().iter().map(|&(b, _)| b).max();
+        let a = ctx0.palloc(1);
+        assert!(
+            wm.is_some_and(|hi| a.raw() <= hi),
+            "allocation after drain skipped the free lists"
+        );
     }
 }

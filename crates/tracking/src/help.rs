@@ -438,7 +438,11 @@ mod tests {
                 help(&p, d);
                 assert_eq!(p.load(nd), 9, "seed={seed} crash_at={crash_at}");
                 assert_eq!(d.result(&p), TRUE, "seed={seed} crash_at={crash_at}");
-                assert_eq!(p.load(info), d.untagged(), "seed={seed} crash_at={crash_at}");
+                assert_eq!(
+                    p.load(info),
+                    d.untagged(),
+                    "seed={seed} crash_at={crash_at}"
+                );
                 if done {
                     break;
                 }

@@ -121,7 +121,10 @@ pub fn node_of(top_word: u64) -> PAddr {
 #[inline]
 fn stamped(node: PAddr, desc: Desc) -> u64 {
     let d = desc.addr().raw();
-    debug_assert!(node.raw() <= ADDR_MASK && d <= ADDR_MASK, "pool too large for top stamps");
+    debug_assert!(
+        node.raw() <= ADDR_MASK && d <= ADDR_MASK,
+        "pool too large for top stamps"
+    );
     node.raw() | (d << STAMP_SHIFT)
 }
 

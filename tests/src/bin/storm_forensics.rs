@@ -328,7 +328,12 @@ fn dump_state(diag: &Diag, anomalies: &[u64]) {
         dump_word_images(pool, snap.as_ref(), line, &format!("t{t}.cp"));
         dump_word_images(pool, snap.as_ref(), line.add(1), &format!("t{t}.rd"));
         if rd != 0 {
-            dump_desc(pool, snap.as_ref(), Desc::from_raw(rd), &format!("t{t}.rd desc"));
+            dump_desc(
+                pool,
+                snap.as_ref(),
+                Desc::from_raw(rd),
+                &format!("t{t}.rd desc"),
+            );
         }
     }
 }

@@ -51,16 +51,21 @@ fn full_matrix_linearizes_with_crash_injection() {
     }
 }
 
-/// Romulus is the one non-schedulable competitor (blocking writer mutex +
-/// volatile seqlock reader spin), and the lineup helper excludes it.
+/// Romulus used to be the one non-schedulable competitor (blocking writer
+/// mutex + volatile seqlock reader spin); the spin-yield channel
+/// (`pmem::yield_spin` inside both wait loops) made it schedulable, so
+/// the full list lineup now participates in exploration.
 #[test]
-fn romulus_is_excluded_from_the_schedulable_lineup() {
-    assert!(!AlgoKind::Romulus.schedulable());
-    assert!(!StructureKind::List
+fn romulus_is_schedulable_via_the_spin_channel() {
+    assert!(AlgoKind::Romulus.schedulable());
+    assert!(StructureKind::List
         .explore_lineup()
         .contains(&AlgoKind::Romulus));
-    // Everything else in the paper lineup is schedulable.
-    assert_eq!(StructureKind::List.explore_lineup().len(), 4);
+    // The whole paper lineup is schedulable.
+    assert_eq!(
+        StructureKind::List.explore_lineup(),
+        StructureKind::List.lineup()
+    );
 }
 
 /// Determinism: identical configurations replay identical schedules —
