@@ -110,6 +110,12 @@ pub struct BenchRow {
     pub pwb_per_op: f64,
     /// Executed `psync`s+`pfence`s per operation.
     pub psync_per_op: f64,
+    /// `pwb`s elided or coalesced away by the flush-elision layer, per
+    /// operation ([`pmem::PoolCfg::flushopt`]; 0 on the layer-off rows).
+    pub pwb_elided_per_op: f64,
+    /// Fences elided inside coalescible regions, per operation (0 when the
+    /// layer is off).
+    pub psync_coalesced_per_op: f64,
 }
 
 /// The instrumentation-overhead benchmark: the primitive loop with all
@@ -171,26 +177,31 @@ fn set_loop(algo: &dyn crate::adapter::SetAlgo, ctx: &ThreadCtx, ops: u64) {
     }
 }
 
-fn perf_pool(bytes: usize) -> Arc<PmemPool> {
+fn perf_pool(bytes: usize, flushopt: bool) -> Arc<PmemPool> {
     Arc::new(PmemPool::new(PoolCfg {
         max_threads: 8,
+        flushopt,
         ..PoolCfg::perf(bytes)
     }))
 }
 
-fn model_pool(bytes: usize, trace: bool) -> Arc<PmemPool> {
+fn model_pool(bytes: usize, trace: bool, flushopt: bool) -> Arc<PmemPool> {
     Arc::new(PmemPool::new(PoolCfg {
         trace,
         max_threads: 8,
         trace_capacity: 64, // the total counter, not the window, is used
+        flushopt,
         ..PoolCfg::model(bytes)
     }))
 }
 
 /// Times one per-competitor list workload and measures its event density.
-fn bench_list(kind: AlgoKind, ops: u64) -> BenchRow {
+/// With `flushopt` the pools arm the flush-elision layer and the row is
+/// named `list/<Algo>+flushopt`; `pwb_per_op` then counts only the flushes
+/// that actually executed, with the elided balance in `pwb_elided_per_op`.
+fn bench_list(kind: AlgoKind, ops: u64, flushopt: bool) -> BenchRow {
     // Timed run: Perf mode, real flushes, observers off.
-    let pool = perf_pool(256 << 20);
+    let pool = perf_pool(256 << 20, flushopt);
     let algo = build(kind, pool.clone(), 2, KEY_RANGE + 4);
     let ctx = ThreadCtx::new(pool.clone(), 0);
     let mut rng = SEED ^ 0xF00D;
@@ -205,7 +216,7 @@ fn bench_list(kind: AlgoKind, ops: u64) -> BenchRow {
 
     // Event density: a short traced Model-mode replay of the same script.
     let ev_ops = ops.min(512);
-    let tp = model_pool(64 << 20, true);
+    let tp = model_pool(64 << 20, true, flushopt);
     let talgo = build(kind, tp.clone(), 2, KEY_RANGE + 4);
     let tctx = ThreadCtx::new(tp.clone(), 0);
     let mut rng = SEED ^ 0xF00D;
@@ -217,8 +228,9 @@ fn bench_list(kind: AlgoKind, ops: u64) -> BenchRow {
     let events = tp.trace_snapshot().total();
 
     let ns = elapsed.as_nanos() as f64 / ops as f64;
+    let suffix = if flushopt { "+flushopt" } else { "" };
     BenchRow {
-        name: format!("list/{}", kind.name()),
+        name: format!("list/{}{}", kind.name(), suffix),
         structure: StructureKind::List.name(),
         algo: kind.name().to_string(),
         ops,
@@ -227,6 +239,8 @@ fn bench_list(kind: AlgoKind, ops: u64) -> BenchRow {
         events_per_op: events as f64 / ev_ops as f64,
         pwb_per_op: stats.pwb_total() as f64 / ops as f64,
         psync_per_op: (stats.psync + stats.pfence) as f64 / ops as f64,
+        pwb_elided_per_op: stats.pwb_elided_total() as f64 / ops as f64,
+        psync_coalesced_per_op: stats.psync_coalesced as f64 / ops as f64,
     }
 }
 
@@ -265,7 +279,7 @@ fn bench_structure(structure: StructureKind, ops: u64) -> BenchRow {
         }
     };
 
-    let pool = perf_pool(256 << 20);
+    let pool = perf_pool(256 << 20, false);
     let ctx = ThreadCtx::new(pool.clone(), 0);
     pool.stats_reset();
     let t = Instant::now();
@@ -274,7 +288,7 @@ fn bench_structure(structure: StructureKind, ops: u64) -> BenchRow {
     let stats = pool.stats();
 
     let ev_ops = ops.min(512);
-    let tp = model_pool(64 << 20, true);
+    let tp = model_pool(64 << 20, true, false);
     let tctx = ThreadCtx::new(tp.clone(), 0);
     tp.trace_clear();
     run(&tp, &tctx, ev_ops);
@@ -291,6 +305,8 @@ fn bench_structure(structure: StructureKind, ops: u64) -> BenchRow {
         events_per_op: events as f64 / ev_ops as f64,
         pwb_per_op: stats.pwb_total() as f64 / ops as f64,
         psync_per_op: (stats.psync + stats.pfence) as f64 / ops as f64,
+        pwb_elided_per_op: 0.0,
+        psync_coalesced_per_op: 0.0,
     }
 }
 
@@ -390,6 +406,8 @@ fn bench_palloc(ops: u64) -> Vec<BenchRow> {
                 events_per_op: events[i + 1] as f64 / ev_ops as f64,
                 pwb_per_op: pwb as f64 / ops as f64,
                 psync_per_op: psync as f64 / ops as f64,
+                pwb_elided_per_op: 0.0,
+                psync_coalesced_per_op: 0.0,
             }
         })
         .collect()
@@ -471,8 +489,13 @@ pub fn run_baseline(cfg: &BaselineCfg) -> BaselineReport {
     let mut rows = Vec::new();
     let mut lineup = AlgoKind::paper_lineup().to_vec();
     lineup.push(AlgoKind::OneFile);
-    for kind in lineup {
-        rows.push(bench_list(kind, cfg.ops));
+    for kind in &lineup {
+        rows.push(bench_list(*kind, cfg.ops, false));
+    }
+    // The same list workloads with the flush-elision layer armed: the
+    // committed before/after pairs the elision claims are judged against.
+    for kind in &lineup {
+        rows.push(bench_list(*kind, cfg.ops, true));
     }
     for structure in [
         StructureKind::Queue,
@@ -537,7 +560,8 @@ impl BaselineReport {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"structure\": \"{}\", \"algo\": \"{}\", \
                  \"ops\": {}, \"ns_per_op\": {}, \"ops_per_sec\": {}, \
-                 \"events_per_op\": {}, \"pwb_per_op\": {}, \"psync_per_op\": {}}}{}\n",
+                 \"events_per_op\": {}, \"pwb_per_op\": {}, \"psync_per_op\": {}, \
+                 \"pwb_elided_per_op\": {}, \"psync_coalesced_per_op\": {}}}{}\n",
                 r.name,
                 r.structure,
                 r.algo,
@@ -547,6 +571,8 @@ impl BaselineReport {
                 json_f(r.events_per_op),
                 json_f(r.pwb_per_op),
                 json_f(r.psync_per_op),
+                json_f(r.pwb_elided_per_op),
+                json_f(r.psync_coalesced_per_op),
                 if i + 1 == self.rows.len() { "" } else { "," },
             ));
         }
@@ -584,13 +610,20 @@ impl BaselineReport {
     /// Console table.
     pub fn to_text(&self) -> String {
         let mut out = format!(
-            "{:<24} {:>10} {:>12} {:>10} {:>8} {:>8}\n",
-            "bench", "ns/op", "ops/sec", "events/op", "pwb/op", "psync/op"
+            "{:<24} {:>10} {:>12} {:>10} {:>8} {:>8} {:>8} {:>8}\n",
+            "bench", "ns/op", "ops/sec", "events/op", "pwb/op", "psync/op", "elide/op", "coal/op"
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{:<24} {:>10.1} {:>12.0} {:>10.1} {:>8.2} {:>8.2}\n",
-                r.name, r.ns_per_op, r.ops_per_sec, r.events_per_op, r.pwb_per_op, r.psync_per_op
+                "{:<24} {:>10.1} {:>12.0} {:>10.1} {:>8.2} {:>8.2} {:>8.2} {:>8.2}\n",
+                r.name,
+                r.ns_per_op,
+                r.ops_per_sec,
+                r.events_per_op,
+                r.pwb_per_op,
+                r.psync_per_op,
+                r.pwb_elided_per_op,
+                r.psync_coalesced_per_op
             ));
         }
         if !self.thread_sweep.is_empty() {
@@ -637,6 +670,66 @@ pub fn extract_number(json: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Per-row `(name, pwb_per_op, psync_per_op)` triples of a baseline
+/// document's `benches` section — the counters the `--prev` density
+/// comparison runs on (hand-rolled like [`extract_number`]; thread-sweep
+/// points use `subject` rather than `name` and are skipped naturally).
+pub fn bench_rows_from_json(json: &str) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    for chunk in json.split("{\"name\": \"").skip(1) {
+        let Some(name_end) = chunk.find('"') else {
+            continue;
+        };
+        let body = &chunk[..chunk.find('}').unwrap_or(chunk.len())];
+        if let (Some(pwb), Some(psync)) = (
+            extract_number(body, "pwb_per_op"),
+            extract_number(body, "psync_per_op"),
+        ) {
+            out.push((chunk[..name_end].to_string(), pwb, psync));
+        }
+    }
+    out
+}
+
+/// Compares per-row persistence-instruction densities against a previous
+/// report's rows: any same-named row whose executed `pwb`/op or `psync`/op
+/// grew by more than `tol` (relative) yields a warning line. Unlike
+/// wall-clock numbers these counters are deterministic functions of the
+/// scripted workload, so a movement is a placement change (or an elision
+/// that stopped working), not noise — but new rows and removed rows are
+/// normal across schema growth, so this warns rather than fails.
+pub fn compare_bench_rows(
+    prev: &[(String, f64, f64)],
+    cur: &[BenchRow],
+    tol: f64,
+) -> (Vec<String>, usize) {
+    let mut lines = Vec::new();
+    let mut warnings = 0;
+    for r in cur {
+        let Some((_, ppwb, ppsync)) = prev.iter().find(|(n, _, _)| *n == r.name) else {
+            continue;
+        };
+        for (what, prev_v, cur_v) in [
+            ("pwb/op", *ppwb, r.pwb_per_op),
+            ("psync/op", *ppsync, r.psync_per_op),
+        ] {
+            if prev_v <= 0.0 {
+                continue;
+            }
+            let rel = cur_v / prev_v - 1.0;
+            if rel > tol {
+                lines.push(format!(
+                    "WARNING: {} {what} regressed {prev_v:.2} -> {cur_v:.2} ({:+.1}%)",
+                    r.name,
+                    rel * 100.0
+                ));
+                warnings += 1;
+            }
+        }
+    }
+    (lines, warnings)
 }
 
 /// Validates that `json` looks like a `bench-baseline/v1` document: schema
@@ -687,6 +780,17 @@ pub fn validate_json(json: &str) -> Result<(), String> {
             None => return Err(format!("missing numeric field {key}")),
         }
     }
+    // Elision densities (additive since PR 9): validated when present, so
+    // earlier committed reports still pass; fresh reports always carry them.
+    if json.contains("\"pwb_elided_per_op\":") {
+        for key in ["pwb_elided_per_op", "psync_coalesced_per_op"] {
+            match extract_number(json, key) {
+                Some(v) if v.is_finite() && v >= 0.0 => {}
+                Some(v) => return Err(format!("field {key} has non-finite/negative value {v}")),
+                None => return Err(format!("missing numeric field {key}")),
+            }
+        }
+    }
     Ok(())
 }
 
@@ -705,13 +809,68 @@ mod tests {
         let report = run_baseline(&cfg);
         assert_eq!(
             report.rows.len(),
-            12,
-            "6 list competitors + 3 structures + 3 allocator phases"
+            18,
+            "6 list competitors x (flushopt off + on) + 3 structures + 3 allocator phases"
         );
         for r in &report.rows {
             assert!(r.ns_per_op > 0.0, "{} measured nothing", r.name);
             assert!(r.events_per_op > 0.0, "{} counted no events", r.name);
         }
+        // The elision layer only ever removes work: a +flushopt row must
+        // execute no more pwbs than its layer-off twin, and the Capsules
+        // (Izraelevitz-transformed) list must show actual elision even on
+        // the tiny unit-test workload.
+        for r in &report.rows {
+            let Some(base) = r.name.strip_suffix("+flushopt") else {
+                assert_eq!(
+                    r.pwb_elided_per_op, 0.0,
+                    "{} elided pwbs with the layer off",
+                    r.name
+                );
+                continue;
+            };
+            let twin = report
+                .rows
+                .iter()
+                .find(|t| t.name == base)
+                .expect("every +flushopt row has a layer-off twin");
+            assert!(
+                r.pwb_per_op <= twin.pwb_per_op + 1e-9,
+                "{}: executed pwb/op grew under flushopt ({} -> {})",
+                r.name,
+                twin.pwb_per_op,
+                r.pwb_per_op
+            );
+            // Issued-count invariance: the layer moves and removes
+            // *executions*, never what the algorithm asked for, so
+            // executed + elided must reproduce the layer-off count
+            // exactly (and likewise for fences).
+            assert!(
+                (r.pwb_per_op + r.pwb_elided_per_op - twin.pwb_per_op).abs() < 1e-9,
+                "{}: issued pwb/op drifted under flushopt ({} + {} != {})",
+                r.name,
+                r.pwb_per_op,
+                r.pwb_elided_per_op,
+                twin.pwb_per_op
+            );
+            assert!(
+                (r.psync_per_op + r.psync_coalesced_per_op - twin.psync_per_op).abs() < 1e-9,
+                "{}: issued psync/op drifted under flushopt ({} + {} != {})",
+                r.name,
+                r.psync_per_op,
+                r.psync_coalesced_per_op,
+                twin.psync_per_op
+            );
+        }
+        let cap = report
+            .rows
+            .iter()
+            .find(|r| r.name == "list/Capsules+flushopt")
+            .unwrap();
+        assert!(
+            cap.pwb_elided_per_op > 0.0,
+            "Capsules Full-persist traverse must elide some pwbs"
+        );
         assert_eq!(
             report.thread_sweep.len(),
             8,
@@ -728,6 +887,44 @@ mod tests {
         assert_eq!(parsed.len(), 8, "sweep points must parse back");
         assert!(report.to_text().contains("list/Tracking"));
         assert!(report.to_text().contains("queue/Combining"));
+    }
+
+    #[test]
+    fn bench_row_density_comparison_flags_regressions() {
+        let prev_doc = "{\"benches\": [\n    \
+            {\"name\": \"list/Tracking\", \"pwb_per_op\": 6.0, \"psync_per_op\": 3.4},\n    \
+            {\"name\": \"list/Capsules+flushopt\", \"pwb_per_op\": 5.0, \"psync_per_op\": 4.0}\n  ]}";
+        let prev = bench_rows_from_json(prev_doc);
+        assert_eq!(prev.len(), 2);
+        assert_eq!(prev[0], ("list/Tracking".to_string(), 6.0, 3.4));
+        let row = |name: &str, pwb: f64, psync: f64| BenchRow {
+            name: name.to_string(),
+            structure: "list",
+            algo: "x".to_string(),
+            ops: 1,
+            ns_per_op: 1.0,
+            ops_per_sec: 1.0,
+            events_per_op: 1.0,
+            pwb_per_op: pwb,
+            psync_per_op: psync,
+            pwb_elided_per_op: 0.0,
+            psync_coalesced_per_op: 0.0,
+        };
+        // Unchanged + unknown rows: silent. A >5% pwb/op growth: flagged.
+        let (lines, warnings) = compare_bench_rows(
+            &prev,
+            &[
+                row("list/Tracking", 6.0, 3.4),
+                row("queue/Tracking", 99.0, 99.0),
+            ],
+            0.05,
+        );
+        assert_eq!(warnings, 0, "{lines:?}");
+        let (lines, warnings) =
+            compare_bench_rows(&prev, &[row("list/Capsules+flushopt", 9.0, 4.0)], 0.05);
+        assert_eq!(warnings, 1);
+        assert!(lines[0].contains("list/Capsules+flushopt"), "{lines:?}");
+        assert!(lines[0].contains("pwb/op"), "{lines:?}");
     }
 
     #[test]

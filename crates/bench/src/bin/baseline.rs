@@ -6,9 +6,10 @@
 //!   --label L          report label and default file stem (default pr4)
 //!   --out PATH         output JSON path (default BENCH_<label>.json)
 //!   --prev PATH        earlier BENCH_*.json to compare against: trend
-//!                      lines for off-cost and the thread sweep (warn
-//!                      only), plus a hard gate on the observers-on/off
-//!                      ratio (exit 1 if it worsens by more than 15%)
+//!                      lines for off-cost, the thread sweep, and per-row
+//!                      pwb/op + psync/op densities (all warn only), plus
+//!                      a hard gate on the observers-on/off ratio (exit 1
+//!                      if it worsens by more than 15%)
 //!   --ops N            operations per micro-workload (overrides tier)
 //! ```
 //!
@@ -16,7 +17,10 @@
 //! produced document against the `bench-baseline/v1` schema (non-zero exit
 //! on schema violations, so CI catches a malformed report immediately).
 
-use bench::baseline::{extract_number, run_baseline, validate_json, BaselineCfg};
+use bench::baseline::{
+    bench_rows_from_json, compare_bench_rows, extract_number, run_baseline, validate_json,
+    BaselineCfg,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,6 +95,28 @@ fn main() {
             }
             if warnings > 0 {
                 println!("WARNING: {warnings} scaling regression(s) vs previous report");
+            }
+        }
+    }
+
+    // Persistence-density trend: executed pwb/op and psync/op per row vs
+    // the previous report. These are deterministic functions of the fixed
+    // scripts, so any growth is a real placement change — or a flushopt row
+    // whose elision stopped biting. Warns only (rows come and go as the
+    // schema grows; the hard gate below stays the overhead ratio).
+    if let Some(doc) = &prev_doc {
+        let prev_rows = bench_rows_from_json(doc);
+        if prev_rows.is_empty() {
+            println!("(prev report has no bench rows; no density trend)");
+        } else {
+            let (lines, warnings) = compare_bench_rows(&prev_rows, &report.rows, 0.05);
+            for l in lines {
+                println!("{l}");
+            }
+            if warnings > 0 {
+                println!(
+                    "WARNING: {warnings} persistence-density regression(s) vs previous report"
+                );
             }
         }
     }

@@ -28,6 +28,11 @@
 //!                          verdict audits the free lists), plus the allocator's
 //!                          own crash sweep; CSVs gain a churn_ prefix
 //!   --palloc               sweep only the allocator itself (implies reclaim)
+//!   --flushopt             arm the flush-elision layer on every replay pool:
+//!                          the event space shrinks to the non-elided
+//!                          instructions and the sweep proves the survivors
+//!                          still recover at every crash point
+//!
 //!   --smoke                CI tier: the churn matrix over the retiring pairs
 //!                          with a short script and sampled points (fast,
 //!                          deterministic; combines with --shard/--seed)
@@ -139,6 +144,7 @@ fn main() {
             }
             "--churn" => churn = true,
             "--palloc" => palloc_only = true,
+            "--flushopt" => base.flushopt = true,
             "--smoke" => smoke = true,
             "--out" => {
                 i += 1;
@@ -212,7 +218,7 @@ fn main() {
     }
 
     println!(
-        "crash sweep: {} pair(s), engine={}, adversary={}, shard {}/{}, sample {}, paranoia {}, seed {:#x}",
+        "crash sweep: {} pair(s), engine={}, adversary={}, shard {}/{}, sample {}, paranoia {}, seed {:#x}{}",
         pairs.len(),
         if base.checkpoint { "checkpoint" } else { "scratch" },
         base.adversary.name(),
@@ -221,6 +227,7 @@ fn main() {
         base.sample,
         base.paranoia,
         base.seed,
+        if base.flushopt { ", flushopt" } else { "" },
     );
 
     let mut failed = false;

@@ -19,6 +19,9 @@
 //!   --shard I/N            run only (strategy, schedule) cells with index % N == I
 //!   --pool-mb M            pool size (default 64)
 //!   --out DIR              CSV directory (default results/explore)
+//!   --flushopt             arm the flush-elision layer on the shared pool:
+//!                          elided events vanish from the yield-point stream
+//!                          and every injected crash must still recover
 //!   --smoke                quick CI tier: 1 schedule per strategy, 1 crash sample
 //! ```
 //!
@@ -130,6 +133,7 @@ fn main() {
                 i += 1;
                 out = args[i].clone().into();
             }
+            "--flushopt" => base.flushopt = true,
             "--smoke" => {
                 base.schedules = 1;
                 crash_samples = 1;

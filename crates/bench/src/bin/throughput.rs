@@ -10,6 +10,9 @@
 //!   --label L          report label (default pr7)
 //!   --out PATH         output JSON path (default BENCH_throughput_<label>.json)
 //!   --prev PATH        earlier report to compare aggregate ops/sec against
+//!   --flushopt         arm the flush-elision layer on every point's pool
+//!                      (elision densities land in pwb_elided_per_op /
+//!                      psync_coalesced_per_op, committed in the JSON)
 //! ```
 //!
 //! Every point runs its threads as real concurrent OS threads — no turn
@@ -42,10 +45,12 @@ fn main() {
     let mut label = "pr7".to_string();
     let mut out: Option<std::path::PathBuf> = None;
     let mut prev: Option<std::path::PathBuf> = None;
+    let mut flushopt = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--flushopt" => flushopt = true,
             "--threads" => {
                 i += 1;
                 threads_list = Some(parse_list(&args[i]));
@@ -122,6 +127,7 @@ fn main() {
             let cfg = ParallelCfg {
                 shards: if shards == 0 { threads } else { shards },
                 duration,
+                flushopt,
                 ..ParallelCfg::contended(subject, threads)
             };
             let r = run_parallel(&cfg);
@@ -145,6 +151,8 @@ fn main() {
                 per_thread_ops_per_sec: r.per_thread_ops_per_sec(),
                 pwb_per_op: r.pwb_per_op(),
                 psync_per_op: r.psync_per_op(),
+                pwb_elided_per_op: r.pwb_elided_per_op(),
+                psync_coalesced_per_op: r.psync_coalesced_per_op(),
             });
         }
     }

@@ -528,6 +528,13 @@ pub struct ExploreCfg {
     /// point), and every verdict additionally audits the allocator's lists.
     /// Default `false`.
     pub reclaim: bool,
+    /// Build the pool with the flush-elision layer armed
+    /// ([`pmem::PoolCfg::flushopt`]). Under the cooperative scheduler this
+    /// exercises the layer's concurrency story: elided `pwb`s and coalesced
+    /// fences vanish from the yield-point stream (schedules get shorter),
+    /// deferred flushes drain at another virtual thread's fence, and every
+    /// injected crash must still recover detectably. Default `false`.
+    pub flushopt: bool,
 }
 
 impl ExploreCfg {
@@ -549,6 +556,7 @@ impl ExploreCfg {
             pool_bytes: 64 << 20,
             fuel: 5_000_000,
             reclaim: false,
+            flushopt: false,
         }
     }
 }
@@ -1018,6 +1026,7 @@ where
 fn make_case(cfg: &ExploreCfg) -> Box<dyn ExpCase> {
     let pool = Arc::new(PmemPool::new(PoolCfg {
         reclaim: cfg.reclaim,
+        flushopt: cfg.flushopt,
         ..PoolCfg::model(cfg.pool_bytes)
     }));
     let (n, len, seed) = (cfg.threads, cfg.ops_per_thread, cfg.seed);

@@ -116,6 +116,9 @@ pub struct ParallelCfg {
     pub chunk_lines: usize,
     /// Values prefilled per shard (so pops mostly succeed).
     pub prefill: u64,
+    /// Arm the flush-elision layer ([`pmem::PoolCfg::flushopt`]) on the
+    /// shared pool. Default `false`.
+    pub flushopt: bool,
 }
 
 impl ParallelCfg {
@@ -132,6 +135,7 @@ impl ParallelCfg {
             seed: 0x7A11E1,
             chunk_lines: pmem::DEFAULT_CHUNK_LINES,
             prefill: 256,
+            flushopt: false,
         }
     }
 }
@@ -155,6 +159,11 @@ pub struct ParallelResult {
     pub pwb: u64,
     /// `psync` + `pfence` executions in the window.
     pub psync: u64,
+    /// `pwb`s elided/coalesced by the flush-elision layer in the window
+    /// (0 unless the pool was built with [`pmem::PoolCfg::flushopt`]).
+    pub pwb_elided: u64,
+    /// Fences elided inside coalescible regions in the window.
+    pub psync_coalesced: u64,
     /// Sub-arena chunk refills across all workers (global-cursor touches).
     pub arena_refills: u64,
     /// Lines stranded in abandoned sub-arena chunks.
@@ -180,6 +189,16 @@ impl ParallelResult {
     /// `psync`s (incl. `pfence`s) per completed operation.
     pub fn psync_per_op(&self) -> f64 {
         self.psync as f64 / self.ops.max(1) as f64
+    }
+
+    /// Elided/coalesced `pwb`s per completed operation.
+    pub fn pwb_elided_per_op(&self) -> f64 {
+        self.pwb_elided as f64 / self.ops.max(1) as f64
+    }
+
+    /// Coalesced fences per completed operation.
+    pub fn psync_coalesced_per_op(&self) -> f64 {
+        self.psync_coalesced as f64 / self.ops.max(1) as f64
     }
 }
 
@@ -246,6 +265,7 @@ pub fn run_parallel(cfg: &ParallelCfg) -> ParallelResult {
         backend: cfg.backend,
         shadow: false,
         max_threads: threads.next_power_of_two().max(8),
+        flushopt: cfg.flushopt,
         ..Default::default()
     }));
     let shard_list: Arc<Vec<Shard>> = Arc::new(
@@ -322,6 +342,8 @@ pub fn run_parallel(cfg: &ParallelCfg) -> ParallelResult {
         elapsed,
         pwb: d.pwb_total(),
         psync: d.psync + d.pfence,
+        pwb_elided: d.pwb_elided_total(),
+        psync_coalesced: d.psync_coalesced,
         arena_refills: refills,
         arena_waste_lines: waste,
     }
@@ -348,6 +370,11 @@ pub struct SweepPoint {
     pub pwb_per_op: f64,
     /// `psync`s per operation.
     pub psync_per_op: f64,
+    /// Elided/coalesced `pwb`s per operation (additive since PR 9; 0 on
+    /// layer-off pools).
+    pub pwb_elided_per_op: f64,
+    /// Coalesced fences per operation.
+    pub psync_coalesced_per_op: f64,
 }
 
 impl SweepPoint {
@@ -361,6 +388,8 @@ impl SweepPoint {
             per_thread_ops_per_sec: r.per_thread_ops_per_sec(),
             pwb_per_op: r.pwb_per_op(),
             psync_per_op: r.psync_per_op(),
+            pwb_elided_per_op: r.pwb_elided_per_op(),
+            psync_coalesced_per_op: r.psync_coalesced_per_op(),
         }
     }
 
@@ -376,7 +405,8 @@ impl SweepPoint {
         format!(
             "{{\"subject\": \"{}\", \"threads\": {}, \"shards\": {}, \"ops\": {}, \
              \"ops_per_sec\": {}, \"per_thread_ops_per_sec\": {}, \
-             \"pwb_per_op\": {}, \"psync_per_op\": {}}}",
+             \"pwb_per_op\": {}, \"psync_per_op\": {}, \
+             \"pwb_elided_per_op\": {}, \"psync_coalesced_per_op\": {}}}",
             self.subject,
             self.threads,
             self.shards,
@@ -385,6 +415,8 @@ impl SweepPoint {
             f(self.per_thread_ops_per_sec),
             f(self.pwb_per_op),
             f(self.psync_per_op),
+            f(self.pwb_elided_per_op),
+            f(self.psync_coalesced_per_op),
         )
     }
 }

@@ -107,6 +107,85 @@ fn masked_site_event_totals_are_pinned() {
     assert_eq!(masked.total_events, 316, "masked S_RESULT pin moved");
 }
 
+/// Hashes a trace stream's observable content (everything but the seq
+/// numbers, which per-thread banking makes allocation-order dependent):
+/// kind, site, line, tid and dirty annotation of every retained event, in
+/// global order. Two runs with equal hashes executed bit-identical
+/// instrumented event streams.
+fn stream_hash(snap: &pmem::TraceSnapshot) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325; // FNV-1a
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for e in &snap.events {
+        mix(e.kind.label().len() as u64 ^ (e.kind as u64) << 8);
+        mix(e.site as u64);
+        mix(e.line as u64);
+        mix(e.tid as u64);
+        mix(e.dirty as u64);
+    }
+    mix(snap.dropped);
+    h
+}
+
+/// Runs the pinned deterministic single-thread scripted workload against a
+/// traced Model pool and returns the stream hash. `flushopt` selects the
+/// elision layer; `false` must reproduce the PR 8 streams bit-for-bit.
+fn pinned_stream(algo: AlgoKind, flushopt: bool) -> u64 {
+    use pmem::{PmemPool, PoolCfg, ThreadCtx};
+    let pool = std::sync::Arc::new(PmemPool::new(PoolCfg {
+        trace: true,
+        flushopt,
+        ..PoolCfg::model(16 << 20)
+    }));
+    let ctx = ThreadCtx::new(pool.clone(), 0);
+    let set = bench::adapter::build(algo, pool.clone(), 1, 32);
+    let mut rng = PIN_SEED;
+    for i in 0..24u64 {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let key = rng >> 33 & 31;
+        match i % 4 {
+            0 | 1 => {
+                set.insert(&ctx, key);
+            }
+            2 => {
+                set.delete(&ctx, key);
+            }
+            _ => {
+                set.find(&ctx, key);
+            }
+        }
+    }
+    stream_hash(&pool.trace_snapshot())
+}
+
+/// The flushopt-off event streams are bit-identical to PR 8: with the
+/// elision layer disabled (the default), every store/pwb/fence takes
+/// exactly the code path it took before `pmem::flushopt` existed, pinned
+/// here as a content hash over the full trace of a scripted Tracking run
+/// and a scripted Capsules (Full-persist) run. If either hash moves, the
+/// flushopt-off path is no longer a bystander — that is a regression, not
+/// a pin to update lightly.
+#[test]
+fn flushopt_off_streams_are_bit_identical_to_pr8() {
+    assert_eq!(
+        pinned_stream(AlgoKind::Tracking, false),
+        TRACKING_PR8_STREAM_HASH,
+        "Tracking flushopt-off stream diverged from PR 8"
+    );
+    assert_eq!(
+        pinned_stream(AlgoKind::Capsules, false),
+        CAPSULES_PR8_STREAM_HASH,
+        "Capsules flushopt-off stream diverged from PR 8"
+    );
+}
+
+const TRACKING_PR8_STREAM_HASH: u64 = 1931165606446196522;
+const CAPSULES_PR8_STREAM_HASH: u64 = 16994248641333252118;
+
 /// A masked site is invisible at the substrate level, not just in sweep
 /// accounting: its `pwb` neither ticks the crash countdown, nor records a
 /// trace event, nor counts in the per-site stats.
