@@ -143,9 +143,9 @@ impl AlgoKind {
 /// The set shapes (`List`, `Bst`) go through the [`SetAlgo`] adapters built
 /// by [`build`]; the non-set shapes are the Tracking-only structures
 /// (`tracking::RecoverableQueue` / `RecoverableStack` /
-/// `RecoverableExchanger`), whose recovery entry points
-/// (`recover_enqueue`, `recover_pop`, `recover_exchange`, …) the sweep
-/// engine drives directly.
+/// `RecoverableExchanger` / `RecoverableHashMap`), whose recovery entry
+/// points (`recover_enqueue`, `recover_pop`, `recover_exchange`,
+/// `recover_put`, …) the sweep engine drives directly.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum StructureKind {
     /// Sorted linked-list set (the paper's running example, §4).
@@ -158,6 +158,10 @@ pub enum StructureKind {
     Stack,
     /// Durable elimination exchanger.
     Exchanger,
+    /// Resizable hash-table map (`tracking::RecoverableHashMap`): bucket
+    /// ops *and* the Clevel-style resize protocol run through Tracking, so
+    /// the sweep injects crashes mid-migration as well as mid-operation.
+    Hashmap,
 }
 
 impl StructureKind {
@@ -169,6 +173,7 @@ impl StructureKind {
             "queue" => StructureKind::Queue,
             "stack" => StructureKind::Stack,
             "exchanger" => StructureKind::Exchanger,
+            "hashmap" | "map" => StructureKind::Hashmap,
             _ => return None,
         })
     }
@@ -181,17 +186,19 @@ impl StructureKind {
             StructureKind::Queue => "queue",
             StructureKind::Stack => "stack",
             StructureKind::Exchanger => "exchanger",
+            StructureKind::Hashmap => "hashmap",
         }
     }
 
     /// Every shape, in sweep order.
-    pub fn all() -> [StructureKind; 5] {
+    pub fn all() -> [StructureKind; 6] {
         [
             StructureKind::List,
             StructureKind::Bst,
             StructureKind::Queue,
             StructureKind::Stack,
             StructureKind::Exchanger,
+            StructureKind::Hashmap,
         ]
     }
 
@@ -205,7 +212,7 @@ impl StructureKind {
             StructureKind::Queue | StructureKind::Stack => {
                 vec![AlgoKind::Tracking, AlgoKind::TrackingComb]
             }
-            StructureKind::Exchanger => vec![AlgoKind::Tracking],
+            StructureKind::Exchanger | StructureKind::Hashmap => vec![AlgoKind::Tracking],
         }
     }
 

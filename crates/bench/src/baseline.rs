@@ -275,6 +275,21 @@ fn bench_structure(structure: StructureKind, ops: u64) -> BenchRow {
                     std::hint::black_box(x.exchange(ctx, i + 1, 2));
                 }
             }
+            StructureKind::Hashmap => {
+                // 256-key universe over the default 8-bucket geometry: the
+                // timed window includes several level migrations, so the
+                // row prices resize amortization, not just bucket ops.
+                let m = tracking::RecoverableHashMap::new(pool.clone(), 0);
+                for _ in 0..n {
+                    let r = next_rng(&mut rng);
+                    let key = r % 256 + 1;
+                    match (r >> 32) % 10 {
+                        0..=5 => std::hint::black_box(m.get(ctx, key)).map(|_| ()),
+                        6..=8 => std::hint::black_box(m.put(ctx, key, (r >> 16) | 1)).then_some(()),
+                        _ => std::hint::black_box(m.remove(ctx, key)).map(|_| ()),
+                    };
+                }
+            }
             _ => unreachable!("set shapes go through bench_list"),
         }
     };
@@ -501,6 +516,7 @@ pub fn run_baseline(cfg: &BaselineCfg) -> BaselineReport {
         StructureKind::Queue,
         StructureKind::Stack,
         StructureKind::Exchanger,
+        StructureKind::Hashmap,
     ] {
         rows.push(bench_structure(structure, cfg.ops));
     }
@@ -809,8 +825,8 @@ mod tests {
         let report = run_baseline(&cfg);
         assert_eq!(
             report.rows.len(),
-            18,
-            "6 list competitors x (flushopt off + on) + 3 structures + 3 allocator phases"
+            19,
+            "6 list competitors x (flushopt off + on) + 4 structures + 3 allocator phases"
         );
         for r in &report.rows {
             assert!(r.ns_per_op > 0.0, "{} measured nothing", r.name);
@@ -873,8 +889,8 @@ mod tests {
         );
         assert_eq!(
             report.thread_sweep.len(),
-            8,
-            "4 parallel subjects x 2 thread counts"
+            10,
+            "5 parallel subjects x 2 thread counts"
         );
         for p in &report.thread_sweep {
             assert!(p.ops > 0, "{} @{}T completed no ops", p.subject, p.threads);
@@ -884,7 +900,7 @@ mod tests {
         validate_json(&json).expect("self-produced JSON must validate");
         assert_eq!(extract_number(&json, "prev_off_ns_per_op"), Some(12.5));
         let parsed = crate::parallel::sweep_points_from_json(&json);
-        assert_eq!(parsed.len(), 8, "sweep points must parse back");
+        assert_eq!(parsed.len(), 10, "sweep points must parse back");
         assert!(report.to_text().contains("list/Tracking"));
         assert!(report.to_text().contains("queue/Combining"));
     }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! crashsweep [options]
-//!   --structure list|bst|queue|stack|exchanger|all   shape(s) to sweep (default all)
+//!   --structure list|bst|queue|stack|exchanger|hashmap|all   shape(s) to sweep (default all)
 //!   --algo tracking|capsules|...|all                 set implementation(s) (default all
 //!                                                    = the shape's full lineup)
 //!   --shard I/N            run only crash points with k % N == I
@@ -64,7 +64,9 @@ fn main() {
                 structures = match args[i].as_str() {
                     "all" => StructureKind::all().to_vec(),
                     s => vec![StructureKind::parse(s).unwrap_or_else(|| {
-                        eprintln!("unknown structure '{s}' (list|bst|queue|stack|exchanger|all)");
+                        eprintln!(
+                            "unknown structure '{s}' (list|bst|queue|stack|exchanger|hashmap|all)"
+                        );
                         std::process::exit(2);
                     })],
                 };
@@ -170,6 +172,7 @@ fn main() {
                 StructureKind::List,
                 StructureKind::Queue,
                 StructureKind::Stack,
+                StructureKind::Hashmap,
             ];
         }
     }
@@ -186,6 +189,7 @@ fn main() {
             (StructureKind::List, AlgoKind::CapsulesOpt),
             (StructureKind::Queue, AlgoKind::Tracking),
             (StructureKind::Stack, AlgoKind::Tracking),
+            (StructureKind::Hashmap, AlgoKind::Tracking),
         ];
     }
     if pairs.is_empty() {

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! explore [options]
-//!   --structure list|bst|queue|stack|exchanger|all   shape(s) to explore (default all)
+//!   --structure list|bst|queue|stack|exchanger|hashmap|all   shape(s) to explore (default all)
 //!   --algo tracking|capsules|...|all                 implementation(s) (default all =
 //!                                                    the shape's schedulable lineup;
 //!                                                    Romulus spins via the scheduler's
@@ -49,7 +49,9 @@ fn main() {
                 structures = match args[i].as_str() {
                     "all" => StructureKind::all().to_vec(),
                     s => vec![StructureKind::parse(s).unwrap_or_else(|| {
-                        eprintln!("unknown structure '{s}' (list|bst|queue|stack|exchanger|all)");
+                        eprintln!(
+                            "unknown structure '{s}' (list|bst|queue|stack|exchanger|hashmap|all)"
+                        );
                         std::process::exit(2);
                     })],
                 };

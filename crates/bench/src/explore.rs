@@ -80,16 +80,16 @@ use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use linearize::{QueueOp, SetOp, Spec, StackOp};
+use linearize::{MapOp, QueueOp, SetOp, Spec, StackOp};
 use pmem::{run_crashable, PmemPool, PoolCfg, PoolSnapshot, SiteId, ThreadCtx};
-use tracking::{RecoverableExchanger, RecoverableQueue, RecoverableStack};
+use tracking::{RecoverableExchanger, RecoverableHashMap, RecoverableQueue, RecoverableStack};
 
 use crate::adapter::{build, AlgoKind, StructureKind};
 use crate::csv::Csv;
 use crate::sweep::{
     csv_escape, file_slug, splitmix64, AdversaryKind, CombQueueSubject, CombStackSubject,
-    CompletedOp, CrashSubject, ExchangerSubject, QueueSubject, Rng, SetSubject, StackSubject,
-    SET_KEYS,
+    CompletedOp, CrashSubject, ExchangerSubject, HashmapSubject, QueueSubject, Rng, SetSubject,
+    StackSubject, HASHMAP_SWEEP_CFG, MAP_KEYS, SET_KEYS,
 };
 
 // --------------------------------------------------------------- strategies
@@ -687,6 +687,29 @@ fn exchange_script_for(t: usize, len: usize) -> Vec<u64> {
     (0..len as u64).map(|i| (t as u64 + 1) * 1000 + i).collect()
 }
 
+/// Per-thread hashmap script. Thread 0 is put-heavy over the shared key
+/// universe (driving chains past the resize trigger), the others mix
+/// puts/removes/gets on the same keys — so resizes race bucket operations
+/// and other resizes, the schedules the hashmap exists to survive.
+fn map_script_for(seed: u64, t: usize, len: usize) -> Vec<MapOp> {
+    let mut rng = Rng(splitmix64(seed ^ (t as u64 + 1).wrapping_mul(0x4A5F_9876)) | 1);
+    (0..len)
+        .map(|_| {
+            let r = rng.next();
+            let key = r % MAP_KEYS + 1;
+            if t == 0 {
+                MapOp::Put(key, (r >> 40) % 90 + 100)
+            } else {
+                match (r >> 32) % 8 {
+                    0..=3 => MapOp::Put(key, (r >> 40) % 90 + 200),
+                    4..=6 => MapOp::Remove(key),
+                    _ => MapOp::Get(key),
+                }
+            }
+        })
+        .collect()
+}
+
 // ------------------------------------------------------------------ engine
 
 /// What a worker knows about its crash-interrupted operation, harvested
@@ -1067,6 +1090,12 @@ fn make_case(cfg: &ExploreCfg) -> Box<dyn ExpCase> {
             let scripts = (0..n).map(|t| exchange_script_for(t, len)).collect();
             Box::new(ExpRunner::new(pool, ExchangerSubject { x }, n, scripts))
         }
+        StructureKind::Hashmap => {
+            pool.register_site_names(&tracking::sites::SITES);
+            let m = RecoverableHashMap::with_config(pool.clone(), 0, HASHMAP_SWEEP_CFG);
+            let scripts = (0..n).map(|t| map_script_for(seed, t, len)).collect();
+            Box::new(ExpRunner::new(pool, HashmapSubject { m }, n, scripts))
+        }
     }
 }
 
@@ -1274,6 +1303,33 @@ mod tests {
         let tiny = crash_points(42, StrategyKind::Pct, 0, 3, 8);
         assert!(tiny.len() <= 3);
         assert!(crash_points(42, StrategyKind::Pct, 0, 0, 8).is_empty());
+    }
+
+    #[test]
+    fn explore_map_scripts_reach_a_resize() {
+        // The resize-vs-insert exploration below (and its committed golden
+        // CSV in the integration suite) is only meaningful if the scripted
+        // key mix actually grows the table. Puts are insert-if-absent, so
+        // the distinct-key set — and with it the resize trigger — is the
+        // same under any interleaving; serializing the two scripts
+        // thread-by-thread is a faithful guard.
+        let pool = std::sync::Arc::new(PmemPool::new(PoolCfg::model(4 << 20)));
+        let m = RecoverableHashMap::with_config(pool.clone(), 0, HASHMAP_SWEEP_CFG);
+        for t in 0..2 {
+            let ctx = ThreadCtx::new(pool.clone(), t);
+            for op in map_script_for(0, t, 12) {
+                match op {
+                    MapOp::Put(k, v) => drop(m.put(&ctx, k, v)),
+                    MapOp::Remove(k) => drop(m.remove(&ctx, k)),
+                    MapOp::Get(k) => drop(m.get(&ctx, k)),
+                }
+            }
+        }
+        assert!(
+            m.bucket_count() > HASHMAP_SWEEP_CFG.initial_buckets,
+            "t=2 x 12-op explore scripts never resized ({} buckets)",
+            m.bucket_count()
+        );
     }
 
     #[test]

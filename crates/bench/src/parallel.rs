@@ -8,7 +8,10 @@
 //! plain Tracking form and the flat-combining variants
 //! ([`tracking::CombiningQueue`] / [`tracking::CombiningStack`]), which
 //! exist precisely to change the *per-operation persistence bill* under
-//! contention. Three levers are exposed:
+//! contention, plus the resizable [`tracking::RecoverableHashMap`]
+//! (contended puts that occasionally co-drive a level migration — the
+//! one subject whose work per op changes with the thread count). Three
+//! levers are exposed:
 //!
 //! * **threads** — real `std::thread` workers, no turn monitor, no
 //!   serialization. On a single-core host the threads time-slice, which
@@ -35,7 +38,9 @@ use std::time::{Duration, Instant};
 
 use pmem::{install_thread_arena, uninstall_thread_arena, SubArena};
 use pmem::{Backend, PmemPool, PoolCfg, ThreadCtx};
-use tracking::{CombiningQueue, CombiningStack, RecoverableQueue, RecoverableStack};
+use tracking::{
+    CombiningQueue, CombiningStack, RecoverableHashMap, RecoverableQueue, RecoverableStack,
+};
 
 // xorshift64* — the deterministic generator every harness here uses.
 #[inline]
@@ -59,16 +64,21 @@ pub enum ParSubject {
     CombQueue,
     /// Flat-combining detectable stack.
     CombStack,
+    /// Resizable Tracking hash map. Unlike the single-root queue/stack
+    /// shapes, contention here spreads over buckets — the interesting
+    /// parallel behavior is threads *helping* a concurrent resize.
+    Hashmap,
 }
 
 impl ParSubject {
     /// All subjects, in report order.
-    pub fn all() -> [ParSubject; 4] {
+    pub fn all() -> [ParSubject; 5] {
         [
             ParSubject::Queue,
             ParSubject::CombQueue,
             ParSubject::Stack,
             ParSubject::CombStack,
+            ParSubject::Hashmap,
         ]
     }
 
@@ -79,6 +89,7 @@ impl ParSubject {
             ParSubject::Stack => "stack/Tracking",
             ParSubject::CombQueue => "queue/Combining",
             ParSubject::CombStack => "stack/Combining",
+            ParSubject::Hashmap => "hashmap/Tracking",
         }
     }
 
@@ -89,6 +100,7 @@ impl ParSubject {
             "stack" | "stack/Tracking" => Some(ParSubject::Stack),
             "comb-queue" | "queue/Combining" => Some(ParSubject::CombQueue),
             "comb-stack" | "stack/Combining" => Some(ParSubject::CombStack),
+            "hashmap" | "hashmap/Tracking" => Some(ParSubject::Hashmap),
             _ => None,
         }
     }
@@ -208,7 +220,13 @@ enum Shard {
     S(RecoverableStack),
     CQ(CombiningQueue),
     CS(CombiningStack),
+    H(RecoverableHashMap),
 }
+
+/// Key universe of the hashmap shard: big enough that the default 8-bucket
+/// geometry resizes several times inside the timed window, small enough
+/// that gets mostly hit.
+const HASHMAP_PAR_KEYS: u64 = 4096;
 
 impl Shard {
     fn build(subject: ParSubject, pool: &Arc<PmemPool>, root: usize, nthreads: usize) -> Shard {
@@ -217,6 +235,7 @@ impl Shard {
             ParSubject::Stack => Shard::S(RecoverableStack::new(pool.clone(), root)),
             ParSubject::CombQueue => Shard::CQ(CombiningQueue::new(pool.clone(), root, nthreads)),
             ParSubject::CombStack => Shard::CS(CombiningStack::new(pool.clone(), root, nthreads)),
+            ParSubject::Hashmap => Shard::H(RecoverableHashMap::new(pool.clone(), root)),
         }
     }
 
@@ -250,6 +269,19 @@ impl Shard {
                     s.push(ctx, v);
                 } else {
                     std::hint::black_box(s.pop(ctx));
+                }
+            }
+            Shard::H(m) => {
+                // Producer side (the prefill's `r & !1` lands here) puts;
+                // the other half splits between gets and removes so the
+                // table keeps churning through its resize trigger.
+                let key = (r >> 8) % HASHMAP_PAR_KEYS + 1;
+                if r & 1 == 0 {
+                    std::hint::black_box(m.put(ctx, key, v));
+                } else if r & 2 == 0 {
+                    std::hint::black_box(m.get(ctx, key));
+                } else {
+                    std::hint::black_box(m.remove(ctx, key));
                 }
             }
         }

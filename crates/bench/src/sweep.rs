@@ -64,14 +64,16 @@ use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 use linearize::{
-    History, QueueOp, QueueRet, QueueSpec, SetOp, SetSpec, Spec, StackOp, StackRet, StackSpec,
+    History, MapOp, MapRet, MapSpec, QueueOp, QueueRet, QueueSpec, SetOp, SetSpec, Spec, StackOp,
+    StackRet, StackSpec,
 };
 use pmem::{
     run_crashable, CrashAdversary, Event, PAddr, PessimistAdversary, PmemPool, PoolCfg,
     PoolSnapshot, SeededAdversary, SiteId, ThreadCtx,
 };
 use tracking::{
-    CombiningQueue, CombiningStack, RecoverableExchanger, RecoverableQueue, RecoverableStack,
+    CombiningQueue, CombiningStack, RecoverableExchanger, RecoverableHashMap, RecoverableQueue,
+    RecoverableStack,
 };
 
 use crate::adapter::{build, AlgoKind, SetAlgo, StructureKind};
@@ -80,6 +82,21 @@ use crate::csv::Csv;
 /// Key universe of the set scripts (kept far below the [`SetSpec`] bitmap's
 /// 64-key ceiling so the observation phase stays cheap).
 pub const SET_KEYS: u64 = 12;
+
+/// Key universe of the hashmap scripts. Paired with the deliberately tiny
+/// `HASHMAP_SWEEP_CFG` (2 initial buckets, chains capped at 2) it forces
+/// several level migrations *inside* the scripted window, so the exhaustive
+/// sweep crashes the resize protocol at every publish / migrate / seal /
+/// finish event, not just the bucket operations.
+pub const MAP_KEYS: u64 = 12;
+
+/// Hash-table geometry used by every sweep/explore case: small enough that
+/// the 12-op script crosses multiple resizes.
+pub(crate) const HASHMAP_SWEEP_CFG: tracking::hashmap::HashMapConfig =
+    tracking::hashmap::HashMapConfig {
+        initial_buckets: 2,
+        max_chain: 2,
+    };
 
 /// Threads parameter passed to [`build`] (sizes per-thread tables of the
 /// algorithms that need them; the sweep itself is single-threaded so that
@@ -420,6 +437,22 @@ fn stack_script(seed: u64, len: usize) -> Vec<StackOp> {
                 StackOp::Push(next)
             } else {
                 StackOp::Pop
+            }
+        })
+        .collect()
+}
+
+fn map_script(seed: u64, len: usize) -> Vec<MapOp> {
+    let mut rng = Rng(splitmix64(seed) | 1);
+    (0..len)
+        .map(|_| {
+            let r = rng.next();
+            let key = r % MAP_KEYS + 1;
+            match (r >> 32) % 8 {
+                // Put-heavy so the table actually grows through resizes.
+                0..=4 => MapOp::Put(key, (r >> 40) % 90 + 100),
+                5..=6 => MapOp::Remove(key),
+                _ => MapOp::Get(key),
             }
         })
         .collect()
@@ -801,6 +834,60 @@ impl CrashSubject for ExchangerSubject {
         if !self.x.is_free() {
             return Err("structural check: exchanger slot not free after the run".into());
         }
+        Ok(())
+    }
+}
+
+pub(crate) struct HashmapSubject {
+    pub(crate) m: RecoverableHashMap,
+}
+
+impl CrashSubject for HashmapSubject {
+    type S = MapSpec;
+
+    fn exec(&self, ctx: &ThreadCtx, op: &MapOp) -> MapRet {
+        match *op {
+            MapOp::Put(k, v) => MapRet::Put(self.m.put_started(ctx, k, v)),
+            MapOp::Remove(k) => MapRet::Removed(self.m.remove_started(ctx, k)),
+            MapOp::Get(k) => MapRet::Got(self.m.get(ctx, k)),
+        }
+    }
+
+    fn recover(&self, ctx: &ThreadCtx, op: &MapOp) -> MapRet {
+        match *op {
+            MapOp::Put(k, v) => MapRet::Put(self.m.recover_put(ctx, k, v)),
+            MapOp::Remove(k) => MapRet::Removed(self.m.recover_remove(ctx, k)),
+            MapOp::Get(k) => MapRet::Got(self.m.recover_get(ctx, k)),
+        }
+    }
+
+    fn observe(&self, ctx: &ThreadCtx, h: &mut History<MapSpec>) -> Result<(), String> {
+        let mut present = 0usize;
+        for key in 1..=MAP_KEYS {
+            let got = self.m.get(ctx, key);
+            present += got.is_some() as usize;
+            let t = h.invoke(0, MapOp::Get(key));
+            h.ret(t, MapRet::Got(got));
+        }
+        let len = self.m.len();
+        if len != present {
+            return Err(format!(
+                "structural check: len() = {len} but {present} keys answer get"
+            ));
+        }
+        // `check_invariants` walks every bucket of the current level
+        // (sorted chains, bucket-hash residency, no stale tags, no pending
+        // next level) and panics on violation; surface that as a verdict,
+        // not a sweep-killing panic.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.m.check_invariants()))
+            .map_err(|p| {
+                let msg = p
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| p.downcast_ref::<&str>().copied())
+                    .unwrap_or("invariant panic");
+                format!("structural check: {msg}")
+            })?;
         Ok(())
     }
 }
@@ -1637,6 +1724,16 @@ fn make_case(cfg: &SweepCfg) -> Box<dyn Case> {
             let ctx = ThreadCtx::new(pool.clone(), 0);
             (pool, ExchangerSubject { x }, ctx)
         })),
+        StructureKind::Hashmap => Box::new(CaseRunner::new(
+            map_script(cfg.seed, cfg.script_len),
+            move |traced| {
+                let pool = pool_for(&c, traced);
+                pool.register_site_names(&tracking::sites::SITES);
+                let m = RecoverableHashMap::with_config(pool.clone(), 0, HASHMAP_SWEEP_CFG);
+                let ctx = ThreadCtx::new(pool.clone(), 0);
+                (pool, HashmapSubject { m }, ctx)
+            },
+        )),
     }
 }
 
@@ -1837,6 +1934,31 @@ mod tests {
         }
         assert_eq!(queue_script(7, 10), queue_script(7, 10));
         assert_eq!(stack_script(7, 10), stack_script(7, 10));
+    }
+
+    #[test]
+    fn pinned_hashmap_script_reaches_a_resize() {
+        // The sweep-regression pin (tests/tests/sweep_regression.rs) claims
+        // its counted event space covers a full resize; this guards the
+        // claim — the pinned script against the aggressive sweep config
+        // must grow the table past its initial two buckets.
+        let script = map_script(0xDECA_FBAD, 24);
+        let pool = std::sync::Arc::new(PmemPool::new(PoolCfg::model(4 << 20)));
+        let m = RecoverableHashMap::with_config(pool.clone(), 0, HASHMAP_SWEEP_CFG);
+        let ctx = ThreadCtx::new(pool, 0);
+        for op in &script {
+            match *op {
+                MapOp::Put(k, v) => drop(m.put(&ctx, k, v)),
+                MapOp::Remove(k) => drop(m.remove(&ctx, k)),
+                MapOp::Get(k) => drop(m.get(&ctx, k)),
+            }
+        }
+        assert!(
+            m.bucket_count() > HASHMAP_SWEEP_CFG.initial_buckets,
+            "pinned script never resized ({} buckets): the sweep pin no \
+             longer covers the resize protocol",
+            m.bucket_count()
+        );
     }
 
     #[test]

@@ -411,6 +411,61 @@ impl Spec for SetSpec {
     }
 }
 
+/// Key-value map operations over small integer keys and u64 values.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MapOp {
+    /// Bind `key` to `value` if the key is absent; responds whether the
+    /// binding was created (an insert-if-absent, like [`SetOp::Insert`]).
+    Put(u64, u64),
+    /// Remove a key; responds with the value it was bound to, if any.
+    Remove(u64),
+    /// Look a key up; responds with its bound value, if any.
+    Get(u64),
+}
+
+/// Responses of [`MapOp`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MapRet {
+    /// Put acknowledgement: was the binding created?
+    Put(bool),
+    /// Remove response: the removed value, if the key was present.
+    Removed(Option<u64>),
+    /// Get response: the bound value, if the key was present.
+    Got(Option<u64>),
+}
+
+/// Sequential key-value map (insert-if-absent semantics, so a key's value
+/// never changes while bound — the oracle for `tracking::RecoverableHashMap`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MapSpec {
+    bound: std::collections::BTreeMap<u64, u64>,
+}
+
+impl Spec for MapSpec {
+    type Op = MapOp;
+    type Ret = MapRet;
+    type Digest = Vec<(u64, u64)>;
+
+    fn apply(&mut self, op: &MapOp) -> MapRet {
+        match *op {
+            MapOp::Put(k, v) => {
+                if let std::collections::btree_map::Entry::Vacant(e) = self.bound.entry(k) {
+                    e.insert(v);
+                    MapRet::Put(true)
+                } else {
+                    MapRet::Put(false)
+                }
+            }
+            MapOp::Remove(k) => MapRet::Removed(self.bound.remove(&k)),
+            MapOp::Get(k) => MapRet::Got(self.bound.get(&k).copied()),
+        }
+    }
+
+    fn digest(&self) -> Vec<(u64, u64)> {
+        self.bound.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+}
+
 /// Queue operations over u64 values.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum QueueOp {

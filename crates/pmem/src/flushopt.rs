@@ -10,7 +10,7 @@
 //! charges for. This module makes that a no-op the *substrate* recognizes,
 //! behind [`crate::PoolCfg::flushopt`], with three cooperating pieces:
 //!
-//! 1. **Per-line flush state** ([`FlushOpt::pwb_decision`]): one packed
+//! 1. **Per-line flush state** (`FlushOpt::pwb_decision`): one packed
 //!    atomic word per pool cache line tracking *unknown → dirty → flushed
 //!    → (effectively) clean*, alongside the lint's table but independent
 //!    of it — the lint is an observer that must stay truthful about what
@@ -19,7 +19,7 @@
 //!    relaxed load, no crash tick, no trace event, no shadow mutation —
 //!    only the [`crate::StatsSnapshot::pwb_elided_per_site`] counter.
 //! 2. **A per-thread write-combining buffer** (FliT-style small fixed
-//!    array, [`BUF_CAP`] entries): a `pwb` of a still-dirty line is not
+//!    array, `BUF_CAP` entries): a `pwb` of a still-dirty line is not
 //!    executed on the spot but parked, deduplicated by line, and drained
 //!    at the next real `pfence`/`psync` — so N same-line flushes between
 //!    two fences cost one executed `pwb`. Overflow falls back to immediate
@@ -51,7 +51,7 @@
 //!   the volatile one — both already choices of the un-elided execution
 //!   (which merely adds the mid-point snapshot as a third option).
 //!   Crucially the *lint* stays truthful: a deferred `pwb` reports
-//!   [`crate::lint::FlushLint::on_pwb`] only when it actually drains, so a
+//!   `FlushLint::on_pwb` only when it actually drains, so a
 //!   crash before the drain still flags the line as unflushed-dirty.
 //! * A fence elides only when there is *globally* nothing to commit. The
 //!   shadow model documents `psync` as committing every pending line
@@ -62,7 +62,7 @@
 //! The cross-check is live, not just argued: when the pool elides a `pwb`
 //! whose line the *lint* believes is dirty, the lint records a
 //! [`crate::LintKind::ElidedDirtyPwb`] violation (see
-//! [`crate::lint::FlushLint::on_elided_pwb`]). Every flushopt-enabled
+//! `FlushLint::on_elided_pwb`). Every flushopt-enabled
 //! verification matrix runs with that tripwire armed.
 //!
 //! ## Determinism
@@ -157,7 +157,7 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// What [`FlushOpt::pwb_decision`] told the pool to do with a `pwb`.
+/// What `FlushOpt::pwb_decision` told the pool to do with a `pwb`.
 pub(crate) enum FlushDecision {
     /// Run the real flush path; `pre` is the pre-read line word for the
     /// post-execution [`FlushOpt::note_real_pwb`] transition.
@@ -330,7 +330,7 @@ impl FlushOpt {
     }
 
     /// A real `pwb` of `line` just executed (immediately or from a drain);
-    /// `pre` is the word [`FlushOpt::pwb_decision`] read. Transitions the
+    /// `pre` is the word `FlushOpt::pwb_decision` read. Transitions the
     /// line to `Flushed` at the current epoch. The CAS may lose to a
     /// racing store — then the line correctly stays dirty (the snapshot
     /// predates the new content).

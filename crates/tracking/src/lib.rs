@@ -44,6 +44,11 @@
 //!   queue, an extra structure demonstrating the approach's generality.
 //! * [`stack::RecoverableStack`] — a detectably recoverable Treiber-style
 //!   LIFO stack (same engine, fourth shape).
+//! * [`hashmap::RecoverableHashMap`] — a detectably recoverable,
+//!   Clevel-style *resizable* hash table: bucket operations **and the
+//!   resize protocol itself** (level publish, helped bucket migration,
+//!   seal/finish) run through the Tracking machinery, so a resize is
+//!   restartable from any crash point with no lost or duplicated keys.
 //! * [`combining::CombiningQueue`] / [`combining::CombiningStack`] —
 //!   detectable flat-combining variants of the queue and stack: one
 //!   combiner applies a whole batch of announced operations and pays a
@@ -68,6 +73,7 @@ pub mod bst;
 pub mod combining;
 pub mod descriptor;
 pub mod exchanger;
+pub mod hashmap;
 pub mod help;
 pub mod list;
 pub mod queue;
@@ -78,6 +84,7 @@ pub mod stack;
 pub use bst::RecoverableBst;
 pub use combining::{CombiningQueue, CombiningStack};
 pub use exchanger::RecoverableExchanger;
+pub use hashmap::RecoverableHashMap;
 pub use list::RecoverableList;
 pub use queue::RecoverableQueue;
 pub use stack::RecoverableStack;

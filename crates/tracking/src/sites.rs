@@ -47,9 +47,14 @@ pub const S_ANNOUNCE: SiteId = SiteId(11);
 pub const S_COMB_ROUND: SiteId = SiteId(12);
 /// Combining variants: `pwb` of the structure header publishing a round.
 pub const S_COMB_PUBLISH: SiteId = SiteId(13);
+/// Hash table ([`crate::hashmap`]): `pwb` of a level directory or of the
+/// header line when a resize is published or finished.
+pub const S_LEVEL: SiteId = SiteId(14);
+/// Hash table: `pwb` of the migration cursor after a bucket is drained.
+pub const S_CURSOR: SiteId = SiteId(15);
 
 /// All Tracking sites with human-readable names, for harness reports.
-pub const SITES: [(SiteId, &str); 14] = [
+pub const SITES: [(SiteId, &str); 16] = [
     (S_CP, "cp"),
     (S_RD, "rd"),
     (S_DESC, "desc"),
@@ -64,6 +69,8 @@ pub const SITES: [(SiteId, &str); 14] = [
     (S_ANNOUNCE, "comb-announce"),
     (S_COMB_ROUND, "comb-round"),
     (S_COMB_PUBLISH, "comb-publish"),
+    (S_LEVEL, "level"),
+    (S_CURSOR, "migrate-cursor"),
 ];
 
 /// Human-readable name of a Tracking site (or `"?"`).

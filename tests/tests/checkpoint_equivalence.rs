@@ -101,6 +101,47 @@ fn exchanger_checkpoint_engine_is_equivalent() {
     );
 }
 
+/// Hashmap family, pessimist adversary: the sweep config (2 buckets,
+/// max-chain 2) drives the scripted puts through bucket migrations, so the
+/// incremental restore must reproduce level headers, migration cursors and
+/// move descriptors exactly — a stale `H_NEXT` or cursor line would send
+/// the replayed recovery down a different (still-migrating vs finished)
+/// path than the scratch engine's.
+#[test]
+fn hashmap_checkpoint_engine_is_equivalent() {
+    assert_engines_equivalent(
+        StructureKind::Hashmap,
+        AlgoKind::Tracking,
+        AdversaryKind::Pessimist,
+    );
+}
+
+/// Hashmap on a reclaim pool: migrated-out originals and sealed sentinels
+/// retire into limbo, so the per-thread allocator metadata joins the
+/// checkpointed footprint.
+#[test]
+fn churn_hashmap_checkpoint_engine_is_equivalent() {
+    assert_engines_equivalent_reclaim(
+        StructureKind::Hashmap,
+        AlgoKind::Tracking,
+        AdversaryKind::Seeded,
+        true,
+    );
+}
+
+/// Hashmap with the flush-elision layer armed (the bucket traversal is a
+/// coalescible region, so the elided event space differs most here).
+#[test]
+fn hashmap_checkpoint_engine_is_equivalent_with_flushopt() {
+    assert_engines_equivalent_cfg(
+        StructureKind::Hashmap,
+        AlgoKind::Tracking,
+        AdversaryKind::Pessimist,
+        false,
+        true,
+    );
+}
+
 /// Allocator-churn list on a reclaim pool: deletes retire nodes into
 /// limbo, op boundaries drain it, and every verdict audits the free
 /// lists — so the allocator's instrumented events join the sweep's event

@@ -122,6 +122,40 @@ fn three_thread_set_schedules_linearize() {
     assert!(report.ok(), "violations: {:?}", report.violations);
 }
 
+/// Resize-vs-insert: two threads over the aggressive sweep table (2
+/// buckets, max-chain 2), long enough scripts that thread 0's all-put
+/// stream triggers a resize while thread 1 keeps inserting and removing
+/// (guarded by `explore_map_scripts_reach_a_resize` in bench). Crash
+/// injection lands points inside the migration. The full CSV is pinned as
+/// a golden file: any change to the hashmap's event placement, the
+/// scheduler, or the crash-point sampling shows up as a diff here — if
+/// intentional, regenerate the golden and say so in the commit message.
+#[test]
+fn hashmap_resize_vs_insert_schedule_matches_golden() {
+    let mut cfg = quick_cfg(StructureKind::Hashmap, AlgoKind::Tracking);
+    cfg.ops_per_thread = 12;
+    let report = run_explore(&cfg);
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(report.crash_runs > 0, "no crash-injected runs");
+    assert_eq!(
+        report.csv.to_text(),
+        include_str!("../golden/explore_hashmap_resize_t2.csv"),
+        "resize-vs-insert schedule CSV diverged from the committed golden"
+    );
+}
+
+/// The same resize-vs-insert mix at three threads (two inserters against
+/// the resize-triggering putter) still linearizes under crash injection.
+#[test]
+fn hashmap_three_thread_resize_schedules_linearize() {
+    let mut cfg = quick_cfg(StructureKind::Hashmap, AlgoKind::Tracking);
+    cfg.threads = 3;
+    cfg.ops_per_thread = 8;
+    let report = run_explore(&cfg);
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(report.crash_runs > 0);
+}
+
 /// Sharding covers the grid exactly once and never changes a verdict.
 #[test]
 fn shards_partition_the_grid_without_changing_verdicts() {

@@ -58,6 +58,33 @@ fn tracking_queue_pin_and_sampled_sweep_is_clean() {
     );
 }
 
+/// The Tracking hashmap pin, plus a sampled end-to-end run. The pinned
+/// script is put-heavy over a 2-bucket / max-chain-2 table, so the counted
+/// event space includes at least one full resize (level publish, bucket
+/// migration, seal and finish) — a moved pin means the resize protocol's
+/// persistence-instruction placement changed, not just the bucket ops'.
+#[test]
+fn tracking_hashmap_pin_and_sampled_sweep_is_clean() {
+    let mut cfg = pinned_cfg(StructureKind::Hashmap, AlgoKind::Tracking);
+    // The short 6-op script shared by the other pins never trips the
+    // aggressive config's resize threshold; 24 ops do (guarded by
+    // `pinned_hashmap_script_reaches_a_resize` in bench).
+    cfg.script_len = 24;
+    cfg.sample = 0.05;
+    let report = run_sweep(&cfg);
+    assert_eq!(
+        report.total_events, 2078,
+        "Tracking hashmap persistence-event count changed: bucket-op or \
+         resize instruction placement moved. If intentional, update this pin."
+    );
+    assert!(report.points_run > 0, "0.1 sample selected nothing");
+    assert!(
+        report.ok(),
+        "sampled hashmap sweep found violations: {:?}",
+        report.violations
+    );
+}
+
 /// Counting is idempotent and replay-independent: two sweeps of the same
 /// configuration see the same `N` and the same per-point outcomes.
 #[test]
